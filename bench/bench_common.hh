@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: standard engine options for
+ * each processor (preconditioned to legal opcodes, §II-E1), the bug ->
+ * assertion mapping, and fixed-width table printing.
+ */
+
+#ifndef COPPELIA_BENCH_BENCH_COMMON_HH
+#define COPPELIA_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bse/engine.hh"
+#include "core/coppelia.hh"
+#include "cpu/or1k/core.hh"
+#include "cpu/or1k/isa.hh"
+#include "cpu/riscv/core.hh"
+#include "cpu/riscv/isa.hh"
+#include "props/assertion.hh"
+#include "util/strutil.hh"
+#include "util/timer.hh"
+
+namespace coppelia::bench
+{
+
+/** Preconditions restricting the 32-bit instruction input to the ISA. */
+inline bse::PreconditionFn
+or1kPreconditions(const rtl::Design &design)
+{
+    const rtl::Design *d = &design;
+    return [d](smt::TermManager &tm,
+               const sym::BoundState &bs) -> std::vector<smt::TermRef> {
+        std::vector<smt::TermRef> out =
+            cpu::or1k::stateAssumptions(tm, *d, bs.regVars);
+        for (const auto &[sig, var] : bs.inputVars) {
+            (void)sig;
+            if (tm.varWidth(tm.term(var).varId) == 32)
+                out.push_back(cpu::or1k::legalInsnConstraint(tm, var));
+        }
+        return out;
+    };
+}
+
+inline bse::PreconditionFn
+rv32Preconditions()
+{
+    return [](smt::TermManager &tm,
+              const sym::BoundState &bs) -> std::vector<smt::TermRef> {
+        for (const auto &[sig, var] : bs.inputVars) {
+            (void)sig;
+            if (tm.varWidth(tm.term(var).varId) == 32)
+                return {cpu::riscv::rvLegalInsnConstraint(tm, var)};
+        }
+        return {};
+    };
+}
+
+/** Default engine/driver configuration for OR1200 benchmark runs. */
+inline core::CoppeliaOptions
+or1200DriverOptions(const rtl::Design &design, double time_limit = 120.0)
+{
+    core::CoppeliaOptions opts;
+    opts.engine.bound = 6;
+    opts.engine.maxFeedbackRounds = 24;
+    opts.engine.timeLimitSeconds = time_limit;
+    opts.engine.preconditions = or1kPreconditions(design);
+    return opts;
+}
+
+inline core::CoppeliaOptions
+rv32DriverOptions(double time_limit = 120.0)
+{
+    core::CoppeliaOptions opts;
+    opts.engine.bound = 6;
+    opts.engine.maxFeedbackRounds = 24;
+    opts.engine.timeLimitSeconds = time_limit;
+    opts.engine.preconditions = rv32Preconditions();
+    return opts;
+}
+
+/** Find the assertion associated with a bug id; nullptr if none. */
+inline const props::Assertion *
+assertionForBug(const std::vector<props::Assertion> &asserts,
+                const std::string &bug_name)
+{
+    for (const props::Assertion &a : asserts) {
+        if (a.bugId == bug_name)
+            return &a;
+    }
+    return nullptr;
+}
+
+/** Print a row of fixed-width columns. */
+inline void
+printRow(const std::vector<std::string> &cells,
+         const std::vector<int> &widths)
+{
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const int w = i < widths.size() ? widths[i] : 12;
+        line += padRight(cells[i], static_cast<std::size_t>(w)) + " ";
+    }
+    std::printf("%s\n", line.c_str());
+}
+
+/** Print a separator matching the given column widths. */
+inline void
+printRule(const std::vector<int> &widths)
+{
+    std::size_t total = 0;
+    for (int w : widths)
+        total += static_cast<std::size_t>(w) + 1;
+    std::printf("%s\n", std::string(total, '-').c_str());
+}
+
+/** "yes"/"no"/"-" helpers. */
+inline std::string
+yn(bool v)
+{
+    return v ? "yes" : "no";
+}
+
+} // namespace coppelia::bench
+
+#endif // COPPELIA_BENCH_BENCH_COMMON_HH

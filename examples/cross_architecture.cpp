@@ -1,0 +1,139 @@
+/**
+ * @file
+ * §IV-F reproduced as an example: applying translated security assertions
+ * to new platforms finds new bugs. Runs the translated assertion sets on
+ * the Mor1kx-Espresso (OR1k) and PULPino-RI5CY (RISC-V) with the four
+ * Table VI bugs injected, and prints each generated exploit.
+ *
+ * Build & run:  ./build/examples/cross_architecture
+ */
+
+#include <cstdio>
+
+#include "core/coppelia.hh"
+#include "cpu/bugs.hh"
+#include "cpu/or1k/core.hh"
+#include "cpu/or1k/isa.hh"
+#include "cpu/riscv/core.hh"
+#include "cpu/riscv/isa.hh"
+
+using namespace coppelia;
+
+namespace
+{
+
+core::CoppeliaOptions
+rvOptions()
+{
+    core::CoppeliaOptions opts;
+    opts.engine.bound = 6;
+    opts.engine.timeLimitSeconds = 120;
+    opts.engine.preconditions =
+        [](smt::TermManager &tm,
+           const sym::BoundState &bs) -> std::vector<smt::TermRef> {
+        for (const auto &[sig, var] : bs.inputVars) {
+            (void)sig;
+            if (tm.varWidth(tm.term(var).varId) == 32)
+                return {cpu::riscv::rvLegalInsnConstraint(tm, var)};
+        }
+        return {};
+    };
+    return opts;
+}
+
+core::CoppeliaOptions
+or1kOptions(const rtl::Design &design)
+{
+    const rtl::Design *d = &design;
+    core::CoppeliaOptions opts = rvOptions();
+    opts.engine.preconditions =
+        [d](smt::TermManager &tm,
+            const sym::BoundState &bs) -> std::vector<smt::TermRef> {
+        std::vector<smt::TermRef> out =
+            cpu::or1k::stateAssumptions(tm, *d, bs.regVars);
+        for (const auto &[sig, var] : bs.inputVars) {
+            (void)sig;
+            if (tm.varWidth(tm.term(var).varId) == 32)
+                out.push_back(cpu::or1k::legalInsnConstraint(tm, var));
+        }
+        return out;
+    };
+    return opts;
+}
+
+void
+report(const cpu::BugInfo &info, const core::ExploitResult &res,
+       cpu::Processor proc)
+{
+    std::printf("%s on %s:\n  %s\n", info.name.c_str(),
+                processorName(info.processor), info.description.c_str());
+    if (!res.found()) {
+        std::printf("  -> no exploit (%s)\n\n",
+                    bse::outcomeName(res.outcome));
+        return;
+    }
+    std::printf("  -> exploit: %d instruction(s), %s\n",
+                res.triggerInstructions,
+                res.replayable() ? "replayable on the simulated board"
+                                 : "not replayable");
+    for (const auto &w : res.exploit->trigger) {
+        std::printf("       %s\n",
+                    proc == cpu::Processor::PulpinoRi5cy
+                        ? cpu::riscv::rvDisassemble(w.insn).c_str()
+                        : cpu::or1k::disassemble(w.insn).c_str());
+    }
+    std::printf("  payload class: %s (%s)\n\n",
+                props::categoryName(res.exploit->category),
+                res.exploit->stub.name.c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Cross-architecture hunting with translated "
+                "assertions (Table VI) ===\n\n");
+
+    // The R0 bug persists into the next OpenRISC generation (b32).
+    {
+        rtl::Design d = cpu::or1k::buildMor1kx(
+            cpu::BugConfig::with(cpu::BugId::b32));
+        auto asserts = cpu::or1k::mor1kxAssertions(d);
+        std::printf("Mor1kx-Espresso: %zu translated assertions\n\n",
+                    asserts.size());
+        core::Coppelia tool(d, cpu::Processor::Mor1kxEspresso,
+                            or1kOptions(d));
+        report(cpu::bugInfo(cpu::BugId::b32),
+               tool.generateExploit(
+                   props::findAssertion(asserts, "a24_gpr0_zero")),
+               cpu::Processor::Mor1kxEspresso);
+    }
+
+    // The three new RI5CY bugs.
+    const struct
+    {
+        cpu::BugId bug;
+        const char *assertId;
+    } rv_cases[] = {
+        {cpu::BugId::b33, "r09_mepc_ebreak"},
+        {cpu::BugId::b34, "r18_mret_target"},
+        {cpu::BugId::b35, "r17_jalr_lsb"},
+    };
+    {
+        rtl::Design clean = cpu::riscv::buildRi5cy();
+        std::printf("PULPino-RI5CY: %zu translated assertions\n\n",
+                    cpu::riscv::ri5cyAssertions(clean).size());
+    }
+    for (const auto &c : rv_cases) {
+        rtl::Design d = cpu::riscv::buildRi5cy(
+            cpu::BugConfig::with(c.bug));
+        auto asserts = cpu::riscv::ri5cyAssertions(d);
+        core::Coppelia tool(d, cpu::Processor::PulpinoRi5cy, rvOptions());
+        report(cpu::bugInfo(c.bug),
+               tool.generateExploit(
+                   props::findAssertion(asserts, c.assertId)),
+               cpu::Processor::PulpinoRi5cy);
+    }
+    return 0;
+}

@@ -1,0 +1,210 @@
+#include "coi/coi.hh"
+
+#include <deque>
+
+#include "util/logging.hh"
+
+namespace coppelia::coi
+{
+
+using rtl::Design;
+using rtl::ExprRef;
+using rtl::SignalId;
+
+DependencyGraph
+buildDependencyGraph(const Design &design)
+{
+    DependencyGraph dg;
+    const int np = design.numProcesses();
+    dg.edges.assign(np, {});
+    dg.reads.assign(np, {});
+    dg.writerOf.assign(design.numSignals(), -1);
+
+    for (int p = 0; p < np; ++p) {
+        for (SignalId sig : design.processes()[p].assigns)
+            dg.writerOf[sig] = p;
+    }
+
+    for (int p = 0; p < np; ++p) {
+        std::vector<bool> seen(design.numSignals(), false);
+        for (SignalId sig : design.processes()[p].assigns) {
+            const rtl::Signal &s = design.signal(sig);
+            if (s.def != rtl::NoExpr)
+                design.collectSignals(s.def, seen);
+        }
+        for (SignalId sig = 0; sig < design.numSignals(); ++sig) {
+            if (seen[sig])
+                dg.reads[p].insert(sig);
+        }
+    }
+
+    // Edge a -> b when b reads a signal that a writes.
+    std::vector<std::unordered_set<int>> edge_sets(np);
+    for (int b = 0; b < np; ++b) {
+        for (SignalId sig : dg.reads[b]) {
+            int a = dg.writerOf[sig];
+            if (a >= 0 && a != b)
+                edge_sets[a].insert(b);
+        }
+    }
+    for (int a = 0; a < np; ++a)
+        dg.edges[a].assign(edge_sets[a].begin(), edge_sets[a].end());
+    return dg;
+}
+
+namespace
+{
+
+/** Expression nodes reachable from a definition (the "instructions" a
+ *  signal's value depends on within its defining assignment). */
+void
+collectExprs(const Design &design, ExprRef root,
+             std::unordered_set<ExprRef> &out)
+{
+    std::vector<ExprRef> stack{root};
+    while (!stack.empty()) {
+        ExprRef r = stack.back();
+        stack.pop_back();
+        if (r == rtl::NoExpr || out.count(r))
+            continue;
+        out.insert(r);
+        const rtl::Expr &e = design.expr(r);
+        for (ExprRef a : e.args) {
+            if (a != rtl::NoExpr)
+                stack.push_back(a);
+        }
+    }
+}
+
+/** Total expression nodes reachable from any process-owned definition. */
+int
+totalInstrs(const Design &design)
+{
+    std::unordered_set<ExprRef> all;
+    for (SignalId sig = 0; sig < design.numSignals(); ++sig) {
+        const rtl::Signal &s = design.signal(sig);
+        if (s.def != rtl::NoExpr)
+            collectExprs(design, s.def, all);
+    }
+    return static_cast<int>(all.size());
+}
+
+} // namespace
+
+CoiResult
+analyze(const Design &design, const std::vector<SignalId> &vars_in_assert,
+        Granularity granularity)
+{
+    CoiResult res;
+    DependencyGraph dg = buildDependencyGraph(design);
+    const int np = design.numProcesses();
+
+    if (granularity == Granularity::Function) {
+        // Pure function-level reachability: start from the processes that
+        // assign the assertion variables (or, for variables assigned
+        // nowhere, every process reading them), then walk the reversed
+        // process graph. This is the conservative variant the paper found
+        // prunes little.
+        std::vector<std::vector<int>> redges(np);
+        for (int a = 0; a < np; ++a)
+            for (int b : dg.edges[a])
+                redges[b].push_back(a);
+
+        std::deque<int> work;
+        auto keep = [&](int p) {
+            if (p >= 0 && !res.keptProcesses.count(p)) {
+                res.keptProcesses.insert(p);
+                work.push_back(p);
+            }
+        };
+        for (SignalId v : vars_in_assert)
+            keep(dg.writerOf[v]);
+        while (!work.empty()) {
+            int p = work.front();
+            work.pop_front();
+            for (int q : redges[p])
+                keep(q);
+        }
+        // All instructions inside kept processes count as tracked.
+        for (int p : res.keptProcesses) {
+            for (SignalId sig : design.processes()[p].assigns) {
+                const rtl::Signal &s = design.signal(sig);
+                if (s.def != rtl::NoExpr)
+                    collectExprs(design, s.def, res.trackedInstrs);
+                res.coneSignals.insert(sig);
+                if (s.kind == rtl::SignalKind::Register)
+                    res.coneRegisters.insert(sig);
+            }
+        }
+        for (SignalId v : vars_in_assert) {
+            res.coneSignals.insert(v);
+            if (design.signal(v).kind == rtl::SignalKind::Register)
+                res.coneRegisters.insert(v);
+        }
+    } else {
+        // Instruction-level backward dependence (Algorithm 1 step 2): from
+        // each assertion variable's definition location, track the
+        // expression nodes and signals it transitively depends on.
+        std::deque<SignalId> work;
+        auto reach = [&](SignalId sig) {
+            if (!res.coneSignals.count(sig)) {
+                res.coneSignals.insert(sig);
+                work.push_back(sig);
+            }
+        };
+        for (SignalId v : vars_in_assert)
+            reach(v);
+        while (!work.empty()) {
+            SignalId sig = work.front();
+            work.pop_front();
+            const rtl::Signal &s = design.signal(sig);
+            if (s.kind == rtl::SignalKind::Register)
+                res.coneRegisters.insert(sig);
+            if (s.def == rtl::NoExpr)
+                continue;
+            collectExprs(design, s.def, res.trackedInstrs);
+            std::vector<bool> seen(design.numSignals(), false);
+            design.collectSignals(s.def, seen);
+            for (SignalId dep = 0; dep < design.numSignals(); ++dep) {
+                if (seen[dep])
+                    reach(dep);
+            }
+        }
+
+        // Pruning: Hybrid keeps whole processes containing a tracked
+        // instruction; Instruction keeps only processes whose every
+        // assignment is in the cone (the costly exact variant).
+        for (int p = 0; p < np; ++p) {
+            bool any = false, all = true;
+            for (SignalId sig : design.processes()[p].assigns) {
+                if (res.coneSignals.count(sig))
+                    any = true;
+                else
+                    all = false;
+            }
+            const bool keep =
+                granularity == Granularity::Hybrid ? any : (any && all);
+            if (keep)
+                res.keptProcesses.insert(p);
+        }
+        if (granularity == Granularity::Hybrid) {
+            // Function-level pruning keeps whole processes, so every
+            // instruction inside a kept process survives pruning.
+            for (int p : res.keptProcesses) {
+                for (SignalId sig : design.processes()[p].assigns) {
+                    const rtl::Signal &s = design.signal(sig);
+                    if (s.def != rtl::NoExpr)
+                        collectExprs(design, s.def, res.trackedInstrs);
+                }
+            }
+        }
+    }
+
+    res.stats.funcsTotal = np;
+    res.stats.funcsKept = static_cast<int>(res.keptProcesses.size());
+    res.stats.instrsTotal = totalInstrs(design);
+    res.stats.instrsKept = static_cast<int>(res.trackedInstrs.size());
+    return res;
+}
+
+} // namespace coppelia::coi

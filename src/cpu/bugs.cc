@@ -1,0 +1,188 @@
+#include "cpu/bugs.hh"
+
+#include "util/logging.hh"
+
+namespace coppelia::cpu
+{
+
+using props::Category;
+
+const char *
+processorName(Processor p)
+{
+    switch (p) {
+      case Processor::OR1200: return "OR1200";
+      case Processor::Mor1kxEspresso: return "Mor1kx-Espresso";
+      case Processor::PulpinoRi5cy: return "PULPino-RI5CY";
+    }
+    return "?";
+}
+
+namespace
+{
+
+std::vector<BugInfo>
+makeRegistry()
+{
+    // Table II ground truth: {id, name, description, category, processor,
+    //   coppelia instrs, cadence instrs (-1 = not found), ebmc instrs,
+    //   cadence replayable, ebmc replayable, out-of-scope, source}.
+    std::vector<BugInfo> r;
+    auto add = [&r](BugId id, const char *name, const char *desc,
+                    Category cat, int cop, int cad, int ebmc, bool cad_rep,
+                    bool ebmc_rep, bool oos, const char *src,
+                    Processor proc = Processor::OR1200) {
+        r.push_back(BugInfo{id, name, desc, cat, proc, cop, cad, ebmc,
+                            cad_rep, ebmc_rep, oos, src});
+    };
+
+    add(BugId::b01, "b01", "Privilege escalation by direct access",
+        Category::CR, 2, 1, 1, false, false, false, "SPECS");
+    add(BugId::b02, "b02", "Privilege escalation by exception",
+        Category::XR, 2, -1, -1, false, false, false, "SPECS");
+    add(BugId::b03, "b03", "Privilege anti-de-escalation", Category::XR, 1,
+        1, 1, true, true, false, "SPECS");
+    add(BugId::b04, "b04", "Register target redirection", Category::CR, 3,
+        1, 1, false, false, false, "SPECS");
+    add(BugId::b05, "b05", "Register source redirection", Category::CR, 1,
+        1, 1, true, true, false, "SPECS");
+    add(BugId::b06, "b06", "ROP by early kernel exit", Category::IE, 50, 1,
+        3, false, false, false, "SPECS");
+    add(BugId::b07, "b07", "Disable interrupts by SR contamination",
+        Category::XR, 1, 1, 1, true, true, false, "SPECS");
+    add(BugId::b08, "b08", "EEAR contamination", Category::XR, 1, -1, -1,
+        false, false, false, "SPECS");
+    add(BugId::b09, "b09", "EPCR contamination on exception entry",
+        Category::XR, 2, -1, -1, false, false, false, "SPECS");
+    add(BugId::b10, "b10", "EPCR contamination on exception exit",
+        Category::XR, 2, 1, 8, true, true, false, "SPECS");
+    add(BugId::b11, "b11", "Code injection into kernel", Category::XR, 2, 1,
+        1, true, true, false, "SPECS");
+    add(BugId::b12, "b12", "Selective function skip", Category::IE, 1, 1, 1,
+        false, false, false, "SPECS");
+    add(BugId::b13, "b13", "Register source redirection", Category::CR, 1,
+        1, 1, true, true, false, "SPECS");
+    add(BugId::b14, "b14", "Disable interrupts via micro arch",
+        Category::XR, 2, 1, 1, true, true, false, "SPECS");
+    add(BugId::b15, "b15", "l.sys in delay slot will enter infinite loop",
+        Category::XR, 2, -1, -1, false, false, false, "SCIFinder");
+    add(BugId::b16, "b16",
+        "l.macrc immediately after l.mac stalls the pipeline",
+        Category::IE, -1, -1, -1, false, false, true, "SCIFinder");
+    add(BugId::b17, "b17", "l.extw instructions behave incorrectly",
+        Category::MA, 4, 1, 7, false, false, false, "SCIFinder");
+    add(BugId::b18, "b18",
+        "Delay Slot Exception bit is not implemented in SR", Category::XR,
+        2, -1, -1, false, false, false, "SCIFinder");
+    add(BugId::b19, "b19", "EPCR on range exception is incorrect",
+        Category::XR, 3, -1, -1, false, false, false, "SCIFinder");
+    add(BugId::b20, "b20",
+        "Comparison wrong for unsigned inequality with different MSB",
+        Category::CF, 3, 1, 1, false, false, false, "SCIFinder");
+    add(BugId::b21, "b21", "Incorrect unsigned integer less-than compare",
+        Category::CF, 5, -1, -1, false, false, false, "SCIFinder");
+    add(BugId::b22, "b22", "Logical error in l.rori instruction",
+        Category::MA, 5, -1, -1, false, false, false, "SCIFinder");
+    add(BugId::b23, "b23",
+        "EPCR on illegal instruction exception is incorrect", Category::XR,
+        2, -1, -1, false, false, false, "SCIFinder");
+    add(BugId::b24, "b24", "GPR0 can be assigned", Category::MA, 2, 1, 6,
+        false, false, false, "SCIFinder");
+    add(BugId::b25, "b25", "Incorrect instruction fetched after an LSU stall",
+        Category::MA, -1, -1, -1, false, false, true, "SCIFinder");
+    add(BugId::b26, "b26",
+        "l.mtspr to some SPRs in supervisor mode treated as l.nop",
+        Category::IE, 3, -1, -1, false, false, false, "SCIFinder");
+    add(BugId::b27, "b27",
+        "Call return address failure with large displacement", Category::CF,
+        2, 1, 1, false, false, false, "SCIFinder");
+    add(BugId::b28, "b28",
+        "Byte and half-word write to SRAM failure when executing from SDRAM",
+        Category::MA, 1, 1, 1, true, true, false, "SCIFinder");
+    add(BugId::b29, "b29", "Wrong PC stored during FPU exception trap",
+        Category::XR, 2, -1, -1, false, false, false, "SCIFinder");
+    add(BugId::b30, "b30", "Sign/unsign extend of data alignment in LSU",
+        Category::MA, 1, 1, -1, true, false, false, "SCIFinder");
+    add(BugId::b31, "b31",
+        "Overwrite of ldxa-data with subsequent st-data", Category::MA, 1,
+        1, -1, true, false, false, "SCIFinder");
+
+    // Table VI: new bugs.
+    add(BugId::b32, "b32",
+        "Calculation of memory address / data is correct (R0 writable)",
+        Category::MA, 2, -1, -1, false, false, false, "new",
+        Processor::Mor1kxEspresso);
+    add(BugId::b33, "b33", "Privilege escalates correctly (EBREAK epc)",
+        Category::XR, 1, -1, -1, false, false, false, "new",
+        Processor::PulpinoRi5cy);
+    add(BugId::b34, "b34", "Privilege deescalates correctly (MRET pc)",
+        Category::XR, 1, -1, -1, false, false, false, "new",
+        Processor::PulpinoRi5cy);
+    add(BugId::b35, "b35",
+        "Jumps update the target address correctly (JALR lsb)",
+        Category::CF, 1, -1, -1, false, false, false, "new",
+        Processor::PulpinoRi5cy);
+    return r;
+}
+
+} // namespace
+
+const std::vector<BugInfo> &
+bugRegistry()
+{
+    static const std::vector<BugInfo> registry = makeRegistry();
+    return registry;
+}
+
+const BugInfo &
+bugInfo(BugId id)
+{
+    for (const BugInfo &b : bugRegistry()) {
+        if (b.id == id)
+            return b;
+    }
+    panic("bug missing from registry");
+}
+
+std::string
+bugName(BugId id)
+{
+    return bugInfo(id).name;
+}
+
+std::vector<BugId>
+bugsFor(Processor p, bool include_out_of_scope)
+{
+    std::vector<BugId> out;
+    for (const BugInfo &b : bugRegistry()) {
+        if (b.processor != p)
+            continue;
+        if (!include_out_of_scope && b.outOfScope)
+            continue;
+        out.push_back(b.id);
+    }
+    return out;
+}
+
+void
+BugConfig::set(BugId id, BugState state)
+{
+    present_.erase(id);
+    patched_.erase(id);
+    if (state == BugState::Present)
+        present_.insert(id);
+    else if (state == BugState::Patched)
+        patched_.insert(id);
+}
+
+BugState
+BugConfig::get(BugId id) const
+{
+    if (present_.count(id))
+        return BugState::Present;
+    if (patched_.count(id))
+        return BugState::Patched;
+    return BugState::Absent;
+}
+
+} // namespace coppelia::cpu

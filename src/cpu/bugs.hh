@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Registry of the security-critical bugs used in the evaluation: b01–b14
+ * from SPECS, b15–b31 from SCIFinder / the OR1200 Bugzilla (Table II), and
+ * the four new bugs b32–b35 found on Mor1kx-Espresso and PULPino-RI5CY
+ * (Table VI). Each entry records the paper-reported ground truth (who found
+ * it, trigger lengths, replayability) so the benchmark harnesses can print
+ * paper-vs-measured rows.
+ */
+
+#ifndef COPPELIA_CPU_BUGS_HH
+#define COPPELIA_CPU_BUGS_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "props/assertion.hh"
+
+namespace coppelia::cpu
+{
+
+/** Bug identifiers, numbered as in the paper. */
+enum class BugId
+{
+    b01, b02, b03, b04, b05, b06, b07, b08, b09, b10,
+    b11, b12, b13, b14, b15, b16, b17, b18, b19, b20,
+    b21, b22, b23, b24, b25, b26, b27, b28, b29, b30,
+    b31,
+    // New bugs (Table VI).
+    b32, b33, b34, b35,
+};
+
+/** Which processor a bug lives in. */
+enum class Processor
+{
+    OR1200,
+    Mor1kxEspresso,
+    PulpinoRi5cy,
+};
+
+const char *processorName(Processor p);
+
+/** How a bug can be configured in a core build. */
+enum class BugState
+{
+    Absent,  ///< correct logic
+    Present, ///< buggy logic
+    Patched, ///< patch applied; incomplete for a known subset (§IV-G)
+};
+
+/** Ground-truth record for one bug. */
+struct BugInfo
+{
+    BugId id;
+    std::string name;        ///< "b20"
+    std::string description; ///< Table II wording
+    props::Category category;
+    Processor processor;
+    /** Paper-reported instructions generated (-1 = not generated). */
+    int paperInstrsCoppelia;
+    int paperInstrsCadence; ///< -1 = Cadence failed to find/generate
+    int paperInstrsEbmc;    ///< -1 = EBMC failed
+    bool paperCadenceReplayable;
+    bool paperEbmcReplayable;
+    /** True for the two bugs Coppelia cannot handle (b16: no assertion,
+     *  b25: outside the core). */
+    bool outOfScope;
+    /** Source: "SPECS", "SCIFinder", or "new". */
+    std::string source;
+};
+
+/** The full registry, in bug-number order. */
+const std::vector<BugInfo> &bugRegistry();
+
+/** Look up one bug's record. */
+const BugInfo &bugInfo(BugId id);
+
+/** Bug name like "b07". */
+std::string bugName(BugId id);
+
+/** All bugs belonging to a processor (excluding out-of-scope ones if
+ *  requested). */
+std::vector<BugId> bugsFor(Processor p, bool include_out_of_scope = true);
+
+/** Per-bug configuration of a core build. */
+class BugConfig
+{
+  public:
+    BugConfig() = default;
+
+    /** Convenience: single bug present, everything else absent. */
+    static BugConfig
+    with(BugId id)
+    {
+        BugConfig c;
+        c.set(id, BugState::Present);
+        return c;
+    }
+
+    void set(BugId id, BugState state);
+    BugState get(BugId id) const;
+    bool present(BugId id) const { return get(id) == BugState::Present; }
+    bool patched(BugId id) const { return get(id) == BugState::Patched; }
+
+  private:
+    std::set<BugId> present_;
+    std::set<BugId> patched_;
+};
+
+} // namespace coppelia::cpu
+
+#endif // COPPELIA_CPU_BUGS_HH

@@ -1,0 +1,449 @@
+/**
+ * @file
+ * The OR1k security-assertion library: 35 assertions for the OR1200
+ * (collected from SPECS, Security Checkers and SCIFinder per §IV-A — 29
+ * bug-linked, 2 additional true invariants, and 4 deliberately "not true"
+ * assertions for the §IV-G refinement study) and the 30 translated to the
+ * Mor1kx-Espresso (§III-B: the FPU-trap assertion and the four wrong ones
+ * are dropped; everything else carries over because the architectures
+ * match).
+ *
+ * Every assertion is a predicate over registers only: the cores latch
+ * checker shadow registers (wb_*, prev_*) precisely so that SPECS-style
+ * $past references become plain state reads.
+ */
+
+#include "cpu/or1k/core.hh"
+#include "cpu/or1k/isa.hh"
+#include "rtl/builder.hh"
+
+namespace coppelia::cpu::or1k
+{
+
+using props::Assertion;
+using props::Category;
+using rtl::Builder;
+using rtl::Design;
+using rtl::Node;
+
+namespace
+{
+
+constexpr std::uint32_t SrImplMask = (1u << SrSm) | (1u << SrTee) |
+                                     (1u << SrIee) | (1u << SrF) |
+                                     (1u << SrOve) | (1u << SrDsx);
+
+/** Helper bundle of commonly used reads over a built core. */
+struct CoreRefs
+{
+    explicit CoreRefs(Builder &b)
+        : sr(b.read("sr")), prev_sr(b.read("prev_sr")), esr(b.read("esr")),
+          prev_esr(b.read("prev_esr")), epcr(b.read("epcr")),
+          prev_epcr(b.read("prev_epcr")), eear(b.read("eear")),
+          prev_eear(b.read("prev_eear")), pc(b.read("pc")),
+          wb_pc(b.read("wb_pc")), wb_insn(b.read("wb_insn")),
+          wb_ds(b.read("wb_ds")), wb_exception(b.read("wb_exception")),
+          wb_ex_sys(b.read("wb_ex_sys")), wb_ex_ill(b.read("wb_ex_ill")),
+          wb_ex_range(b.read("wb_ex_range")),
+          wb_ex_fpe(b.read("wb_ex_fpe")), wb_we(b.read("wb_we")),
+          wb_rd(b.read("wb_rd")), wb_result(b.read("wb_result")),
+          wb_op_a(b.read("wb_op_a")), wb_op_b(b.read("wb_op_b")),
+          wb_ra_val(b.read("wb_ra_val")), wb_rb_val(b.read("wb_rb_val")),
+          wb_br_taken(b.read("wb_br_taken")),
+          wb_dmem_we(b.read("wb_dmem_we")),
+          wb_dmem_be(b.read("wb_dmem_be")),
+          wb_dmem_addr(b.read("wb_dmem_addr")),
+          wb_load_data(b.read("wb_load_data")),
+          ds_target(b.read("ds_target"))
+    {}
+
+    Node sr, prev_sr, esr, prev_esr, epcr, prev_epcr, eear, prev_eear;
+    Node pc, wb_pc, wb_insn, wb_ds, wb_exception, wb_ex_sys, wb_ex_ill;
+    Node wb_ex_range, wb_ex_fpe, wb_we, wb_rd, wb_result, wb_op_a, wb_op_b;
+    Node wb_ra_val, wb_rb_val, wb_br_taken, wb_dmem_we, wb_dmem_be;
+    Node wb_dmem_addr, wb_load_data, ds_target;
+};
+
+/** gpr[index] as a data-mux chain over the register file. */
+Node
+gprAt(Builder &b, const Node &index)
+{
+    Node result = b.read("gpr0");
+    for (int i = 1; i < NumGprs; ++i)
+        result = b.mux(eq(index, b.lit(5, i)),
+                       b.read("gpr" + std::to_string(i)), result);
+    return result;
+}
+
+/** Decode fields of the retired instruction. */
+Node
+wbOp(Builder &, const CoreRefs &c)
+{
+    return c.wb_insn.bits(31, 26);
+}
+
+Node
+wbIs(Builder &b, const CoreRefs &c, std::uint32_t opcode)
+{
+    return eq(wbOp(b, c), b.lit(6, opcode));
+}
+
+Node
+wbSprSel(Builder &, const CoreRefs &c)
+{
+    return cat(c.wb_insn.bits(25, 21), c.wb_insn.bits(10, 0));
+}
+
+Node
+wbIsMtsprTo(Builder &b, const CoreRefs &c, std::uint32_t spr)
+{
+    return wbIs(b, c, OpMtspr) & eq(wbSprSel(b, c), b.lit(16, spr));
+}
+
+/** implies(p, q) as a Node. */
+Node
+implies(const Node &p, const Node &q)
+{
+    return (~p) | q;
+}
+
+Assertion
+mk(Design &d, const std::string &id, const std::string &desc, Category cat,
+   const Node &cond, const std::string &bug_id, bool true_assertion = true)
+{
+    Assertion a;
+    a.id = id;
+    a.description = desc;
+    a.category = cat;
+    a.cond = cond.ref();
+    a.bugId = bug_id;
+    a.trueAssertion = true_assertion;
+    std::vector<bool> seen(d.numSignals(), false);
+    d.collectSignals(a.cond, seen);
+    for (rtl::SignalId sig = 0; sig < d.numSignals(); ++sig) {
+        if (seen[sig])
+            a.vars.push_back(sig);
+    }
+    return a;
+}
+
+std::vector<Assertion>
+buildAssertions(Design &d, Variant variant)
+{
+    Builder b(d);
+    CoreRefs c(b);
+    std::vector<Assertion> out;
+
+    Node sm = c.sr.bit(SrSm);
+    Node prev_sm = c.prev_sr.bit(SrSm);
+    Node sm_rose = sm & ~prev_sm;
+    Node sm_fell = prev_sm & ~sm;
+    Node iee_fell = c.prev_sr.bit(SrIee) & ~c.sr.bit(SrIee);
+    Node no_exc = ~c.wb_exception;
+
+    // a01 (b01, CR): the SR is only written directly from supervisor mode.
+    out.push_back(mk(
+        d, "a01_spr_priv",
+        "Direct SPR writes require supervisor mode", Category::CR,
+        implies(wbIs(b, c, OpMtspr) & no_exc & ~prev_sm,
+                eq(c.sr, c.prev_sr)),
+        "b01"));
+
+    // a02 (b02, XR): the supervisor bit rises only when an exception is
+    // taken.
+    out.push_back(mk(d, "a02_sm_rise_exc",
+                     "Privilege escalates only on exception entry",
+                     Category::XR, implies(sm_rose, c.wb_exception),
+                     "b02"));
+
+    // a03 (b03, XR): l.rfe restores the full SR from ESR.
+    out.push_back(mk(d, "a03_rfe_restores_sr",
+                     "l.rfe restores SR from ESR", Category::XR,
+                     implies(wbIs(b, c, OpRfe) & no_exc,
+                             eq(c.sr, c.prev_esr)),
+                     "b03"));
+
+    // a04 (b04, CR): a register write lands in the specified target.
+    out.push_back(mk(d, "a04_wb_target",
+                     "GPR writes update the specified target register",
+                     Category::CR,
+                     implies(c.wb_we, eq(gprAt(b, c.wb_rd), c.wb_result)),
+                     "b04"));
+
+    // a05 (b05, CR): operand A comes from the specified source register.
+    out.push_back(mk(d, "a05_src_a",
+                     "Operand A reads the specified source register",
+                     Category::CR,
+                     implies(wbIs(b, c, OpOri) & no_exc,
+                             eq(c.wb_op_a, c.wb_ra_val)),
+                     "b05"));
+
+    // a06 (b06, IE): l.rfe executes only in supervisor mode.
+    out.push_back(mk(d, "a06_rfe_priv",
+                     "l.rfe requires supervisor mode", Category::IE,
+                     implies(wbIs(b, c, OpRfe) & no_exc, prev_sm), "b06"));
+
+    // a07 (b07, XR): interrupt enable falls only via exception entry or an
+    // explicit SR write.
+    out.push_back(mk(
+        d, "a07_iee_fall",
+        "IEE falls only by exception entry or SR write", Category::XR,
+        implies(iee_fell,
+                c.wb_exception | wbIsMtsprTo(b, c, SprSr) |
+                    wbIs(b, c, OpRfe)),
+        "b07"));
+
+    // a08 (b08, XR): EEAR changes only on exception or an explicit write.
+    out.push_back(mk(
+        d, "a08_eear_change",
+        "EEAR updates only on exception or mtspr", Category::XR,
+        implies(ne(c.eear, c.prev_eear),
+                c.wb_exception | wbIsMtsprTo(b, c, SprEear)),
+        "b08"));
+
+    // a09 (b09, XR): EPCR after a (non-delay-slot) syscall is the next pc.
+    out.push_back(mk(d, "a09_epcr_sys",
+                     "EPCR on syscall entry holds the next pc",
+                     Category::XR,
+                     implies(c.wb_ex_sys & ~c.wb_ds,
+                             eq(c.epcr, c.wb_pc + b.lit(32, 4))),
+                     "b09"));
+
+    // a10 (b10, XR): EPCR changes only on exception entry or mtspr.
+    out.push_back(mk(
+        d, "a10_epcr_change",
+        "EPCR updates only on exception entry or mtspr", Category::XR,
+        implies(ne(c.epcr, c.prev_epcr),
+                c.wb_exception | wbIsMtsprTo(b, c, SprEpcr)),
+        "b10"));
+
+    // a11 (b11, XR): exception handlers run in supervisor mode.
+    out.push_back(mk(d, "a11_exc_sm",
+                     "Exception entry raises supervisor mode", Category::XR,
+                     implies(c.wb_exception, sm), "b11"));
+
+    // a12 (b12, IE): l.jal links the return address in r9.
+    out.push_back(mk(d, "a12_jal_link",
+                     "l.jal stores the return address in r9", Category::IE,
+                     implies(wbIs(b, c, OpJal) & no_exc,
+                             eq(b.read("gpr9"), c.wb_pc + b.lit(32, 8))),
+                     "b12"));
+
+    // a13 (b13, CR): operand B comes from the specified source register.
+    Node wb_is_alu_add =
+        wbIs(b, c, OpAlu) & eq(c.wb_insn.bits(3, 0), b.lit(4, AluAdd));
+    out.push_back(mk(d, "a13_src_b",
+                     "Operand B reads the specified source register",
+                     Category::CR,
+                     implies(wb_is_alu_add & no_exc,
+                             eq(c.wb_op_b, c.wb_rb_val)),
+                     "b13"));
+
+    // a14 (b14, XR): ESR captures the pre-exception SR.
+    out.push_back(mk(d, "a14_esr_saves_sr",
+                     "Exception entry saves the pre-exception SR to ESR",
+                     Category::XR,
+                     implies(c.wb_exception, eq(c.esr, c.prev_sr)),
+                     "b14"));
+
+    // a15 (b15, XR): syscall in a delay slot records the branch address.
+    out.push_back(mk(d, "a15_epcr_ds_sys",
+                     "EPCR on delay-slot syscall is the branch address",
+                     Category::XR,
+                     implies(c.wb_ex_sys & c.wb_ds,
+                             eq(c.epcr, c.wb_pc - b.lit(32, 4))),
+                     "b15"));
+
+    // a17 (b17, MA): l.exths sign-extends its operand.
+    Node wb_is_exths = wbIs(b, c, OpAlu) &
+                       eq(c.wb_insn.bits(3, 0), b.lit(4, AluExt)) &
+                       eq(c.wb_insn.bits(7, 6), b.lit(2, 0));
+    out.push_back(mk(d, "a17_exths",
+                     "l.exths sign-extends the low half-word", Category::MA,
+                     implies(wb_is_exths & no_exc,
+                             eq(c.wb_result,
+                                c.wb_op_a.bits(15, 0).sext(32))),
+                     "b17"));
+
+    // a18 (b18, XR): exceptions in a delay slot set SR[DSX].
+    out.push_back(mk(d, "a18_dsx",
+                     "Delay-slot exception sets the DSX bit", Category::XR,
+                     implies(c.wb_exception & c.wb_ds, c.sr.bit(SrDsx)),
+                     "b18"));
+
+    // a19 (b19, XR): EPCR on a range exception is the faulting pc.
+    out.push_back(mk(d, "a19_epcr_range",
+                     "EPCR on range exception holds the faulting pc",
+                     Category::XR,
+                     implies(c.wb_ex_range, eq(c.epcr, c.wb_pc)), "b19"));
+
+    // a20 (b20, CF): the compare flag is correct for unsigned gt/lt.
+    Node wb_sf_sub = c.wb_insn.bits(25, 21);
+    Node wb_is_sf_any = wbIs(b, c, OpSf) | wbIs(b, c, OpSfImm);
+    Node gtu_ok = implies(wb_is_sf_any & no_exc &
+                              eq(wb_sf_sub, b.lit(5, SfGtu)),
+                          eq(c.sr.bit(SrF), ult(c.wb_op_b, c.wb_op_a)));
+    Node ltu_ok = implies(wb_is_sf_any & no_exc &
+                              eq(wb_sf_sub, b.lit(5, SfLtu)),
+                          eq(c.sr.bit(SrF), ult(c.wb_op_a, c.wb_op_b)));
+    out.push_back(mk(d, "a20_sf_unsigned_gt",
+                     "Unsigned gt/lt compares set the flag correctly",
+                     Category::CF, gtu_ok & ltu_ok, "b20"));
+
+    // a21 (b21, CF): the compare flag is correct for unsigned le/ge.
+    Node leu_ok = implies(wb_is_sf_any & no_exc &
+                              eq(wb_sf_sub, b.lit(5, SfLeu)),
+                          eq(c.sr.bit(SrF), ule(c.wb_op_a, c.wb_op_b)));
+    Node geu_ok = implies(wb_is_sf_any & no_exc &
+                              eq(wb_sf_sub, b.lit(5, SfGeu)),
+                          eq(c.sr.bit(SrF), ule(c.wb_op_b, c.wb_op_a)));
+    out.push_back(mk(d, "a21_sf_unsigned_le",
+                     "Unsigned le/ge compares set the flag correctly",
+                     Category::CF, leu_ok & geu_ok, "b21"));
+
+    // a22 (b22, MA): l.rori rotates correctly.
+    Node wb_is_rori = wbIs(b, c, OpShifti) &
+                      eq(c.wb_insn.bits(7, 6), b.lit(2, 3));
+    Node amt = c.wb_insn.bits(4, 0).zext(32);
+    Node inv = (b.lit(32, 32) - amt) & b.lit(32, 31);
+    Node ror_ref = (c.wb_op_a >> amt) | (c.wb_op_a << inv);
+    out.push_back(mk(d, "a22_rori",
+                     "l.rori rotates the operand right correctly",
+                     Category::MA,
+                     implies(wb_is_rori & no_exc,
+                             eq(c.wb_result, ror_ref)),
+                     "b22"));
+
+    // a23 (b23, XR): EPCR on illegal instruction is the faulting pc.
+    out.push_back(mk(d, "a23_epcr_ill",
+                     "EPCR on illegal-instruction exception holds the "
+                     "faulting pc",
+                     Category::XR,
+                     implies(c.wb_ex_ill, eq(c.epcr, c.wb_pc)), "b23"));
+
+    // a24 (b24/b32, MA): GPR0 reads as zero.
+    out.push_back(mk(d, "a24_gpr0_zero", "GPR0 is always zero",
+                     Category::MA, eq(b.read("gpr0"), b.lit(32, 0)),
+                     variant == Variant::Mor1kx ? "b32" : "b24"));
+
+    // a26 (b26, IE): an executed mtspr actually writes the named SPR.
+    out.push_back(mk(d, "a26_mtspr_eear",
+                     "l.mtspr to EEAR writes the register", Category::IE,
+                     implies(wbIsMtsprTo(b, c, SprEear) & no_exc & prev_sm,
+                             eq(c.eear, c.wb_op_b)),
+                     "b26"));
+
+    // a27 (b27, CF): relative jump targets are computed correctly.
+    Node wb_is_rel = wbIs(b, c, OpJ) | wbIs(b, c, OpJal) |
+                     wbIs(b, c, OpBf) | wbIs(b, c, OpBnf);
+    Node wb_disp = cat(c.wb_insn.bits(25, 0).sext(30), b.lit(2, 0));
+    out.push_back(mk(d, "a27_jump_target",
+                     "Taken jumps compute the specified target",
+                     Category::CF,
+                     implies(c.wb_br_taken & wb_is_rel,
+                             eq(c.ds_target, c.wb_pc + wb_disp)),
+                     "b27"));
+
+    // a28 (b28, MA): byte-store byte enables match the address.
+    Node wb_lane = c.wb_dmem_addr.bits(1, 0);
+    Node be_ref = b.mux(eq(wb_lane, b.lit(2, 0)), b.lit(4, 1),
+                        b.mux(eq(wb_lane, b.lit(2, 1)), b.lit(4, 2),
+                              b.mux(eq(wb_lane, b.lit(2, 2)), b.lit(4, 4),
+                                    b.lit(4, 8))));
+    out.push_back(mk(d, "a28_sb_be",
+                     "Byte stores drive the byte enable for the addressed "
+                     "lane",
+                     Category::MA,
+                     implies(c.wb_dmem_we & wbIs(b, c, OpSb),
+                             eq(c.wb_dmem_be, be_ref)),
+                     "b28"));
+
+    // a29 (b29, XR): EPCR on an FPU trap is the faulting pc (OR1200 only;
+    // the Espresso core has no FPU trap path).
+    if (variant == Variant::Or1200) {
+        out.push_back(mk(d, "a29_epcr_fpe",
+                         "EPCR on FPU exception holds the faulting pc",
+                         Category::XR,
+                         implies(c.wb_ex_fpe, eq(c.epcr, c.wb_pc)),
+                         "b29"));
+    }
+
+    // a30 (b30, MA): l.lbs sign-extends the addressed byte.
+    Node lane_sh = cat(b.lit(27, 0), cat(wb_lane, b.lit(3, 0)));
+    Node wb_byte = (c.wb_load_data >> lane_sh).bits(7, 0);
+    out.push_back(mk(d, "a30_lbs_sext",
+                     "l.lbs sign-extends the loaded byte", Category::MA,
+                     implies(wbIs(b, c, OpLbs) & no_exc & c.wb_we,
+                             eq(c.wb_result, wb_byte.sext(32))),
+                     "b30"));
+
+    // a31 (b31, MA): stores do not corrupt the previously loaded register.
+    Node wb_is_store =
+        wbIs(b, c, OpSw) | wbIs(b, c, OpSb) | wbIs(b, c, OpSh);
+    Node chk2_valid = b.read("chk2_ld_valid");
+    Node chk2_rd = b.read("chk2_ld_rd");
+    Node chk2_val = b.read("chk2_ld_val");
+    out.push_back(mk(d, "a31_ld_st_overwrite",
+                     "A store does not overwrite the prior load's result",
+                     Category::MA,
+                     implies(wb_is_store & no_exc & chk2_valid & ~c.wb_we,
+                             eq(gprAt(b, chk2_rd), chk2_val)),
+                     "b31"));
+
+    // a32 (true invariant, IE): only implemented SR bits can be set.
+    out.push_back(mk(d, "a32_sr_impl",
+                     "Reserved SR bits read as zero", Category::IE,
+                     eq(c.sr & b.lit(32, ~SrImplMask), b.lit(32, 0)), ""));
+
+    // a34 (true invariant, IE): an illegal instruction never writes back.
+    out.push_back(mk(d, "a34_ill_no_wb",
+                     "Illegal instructions do not write the register file",
+                     Category::IE, implies(c.wb_ex_ill, ~c.wb_we), ""));
+
+    if (variant == Variant::Or1200) {
+        // The four "not true" assertions of §IV-G: collected from dynamic
+        // simulation, they over-approximate the specification and fire on
+        // legal behaviours of a correct design.
+        out.push_back(mk(d, "aw1_pc_aligned",
+                         "PC stays word aligned (wrong: l.jr may target an "
+                         "unaligned address)",
+                         Category::CF,
+                         eq(c.pc.bits(1, 0), b.lit(2, 0)), "", false));
+        Node flag_changed = ne(c.sr.bit(SrF), c.prev_sr.bit(SrF));
+        out.push_back(mk(d, "aw2_flag_only_sf",
+                         "Flag changes only via set-flag instructions "
+                         "(wrong: mtspr/rfe write SR legally)",
+                         Category::CF,
+                         implies(flag_changed & no_exc, wb_is_sf_any), "",
+                         false));
+        out.push_back(mk(d, "aw3_eear_exc_only",
+                         "EEAR changes only on exception (wrong: mtspr "
+                         "writes it legally)",
+                         Category::XR,
+                         implies(ne(c.eear, c.prev_eear), c.wb_exception),
+                         "", false));
+        out.push_back(mk(d, "aw4_sm_fall_rfe",
+                         "Privilege drops only via l.rfe (wrong: a "
+                         "supervisor SR write may clear SM legally)",
+                         Category::XR,
+                         implies(sm_fell, wbIs(b, c, OpRfe)), "", false));
+    }
+
+    return out;
+}
+
+} // namespace
+
+std::vector<Assertion>
+or1200Assertions(Design &design)
+{
+    return buildAssertions(design, Variant::Or1200);
+}
+
+std::vector<Assertion>
+mor1kxAssertions(Design &design)
+{
+    return buildAssertions(design, Variant::Mor1kx);
+}
+
+} // namespace coppelia::cpu::or1k

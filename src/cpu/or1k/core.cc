@@ -1,0 +1,829 @@
+#include "cpu/or1k/core.hh"
+
+#include "cpu/or1k/isa.hh"
+#include "rtl/builder.hh"
+
+namespace coppelia::cpu::or1k
+{
+
+using rtl::Builder;
+using rtl::Design;
+using rtl::Node;
+
+namespace
+{
+
+/** SR bit mask of implemented bits: SM, TEE, IEE, F, OVE, DSX. */
+constexpr std::uint32_t SrImplMask = (1u << SrSm) | (1u << SrTee) |
+                                     (1u << SrIee) | (1u << SrF) |
+                                     (1u << SrOve) | (1u << SrDsx);
+
+/** Read gpr[index] through a data-mux chain over the named registers. */
+Node
+gprRead(Builder &b, const std::vector<Node> &gpr, const Node &index)
+{
+    Node result = gpr[0];
+    for (int i = 1; i < NumGprs; ++i)
+        result = b.mux(eq(index, b.lit(5, i)), gpr[i], result);
+    return result;
+}
+
+/** 32-bit rotate right by a 5-bit amount. */
+Node
+ror32(Builder &b, const Node &value, const Node &amount)
+{
+    Node amt32 = amount.zext(32);
+    Node inv = (b.lit(32, 32) - amt32) & b.lit(32, 31);
+    return (value >> amt32) | (value << inv);
+}
+
+} // namespace
+
+Design
+buildCore(Variant variant, const BugConfig &bugs)
+{
+    Design d(variant == Variant::Or1200 ? "or1200" : "mor1kx_espresso");
+    Builder b(d);
+    auto bug = [&bugs, variant](BugId id) {
+        // b32 (Table VI) is the R0 bug persisting into the Mor1kx: it is
+        // the same missing write guard as b24, injected into the newer
+        // core.
+        if (id == BugId::b24 && variant == Variant::Mor1kx &&
+            bugs.present(BugId::b32))
+            return true;
+        return bugs.present(id);
+    };
+    auto halfPatched = [&bugs](BugId id) { return bugs.patched(id); };
+
+    // ---- external interface -------------------------------------------------
+    b.process("bus_interface");
+    Node insn = b.input("insn", 32);
+    Node dmem_rdata = b.input("dmem_rdata", 32);
+    Node intr = b.input("intr", 1);
+
+    // ---- architectural state ------------------------------------------------
+    Node pc = b.reg("pc", 32, VecReset);
+    std::vector<Node> gpr;
+    gpr.reserve(NumGprs);
+    for (int i = 0; i < NumGprs; ++i)
+        gpr.push_back(b.reg("gpr" + std::to_string(i), 32, 0));
+    Node sr = b.reg("sr", 32, 1u << SrSm);
+    Node esr = b.reg("esr", 32, 0);
+    Node epcr = b.reg("epcr", 32, 0);
+    Node eear = b.reg("eear", 32, 0);
+    Node ds_pending = b.reg("ds_pending", 1, 0);
+    Node ds_target = b.reg("ds_target", 32, 0);
+
+    // ---- checker shadow state (the $past values assertions reference) -----
+    Node prev_sr = b.reg("prev_sr", 32, 1u << SrSm);
+    Node prev_esr = b.reg("prev_esr", 32, 0);
+    Node prev_epcr = b.reg("prev_epcr", 32, 0);
+    Node prev_eear = b.reg("prev_eear", 32, 0);
+    Node wb_pc = b.reg("wb_pc", 32, VecReset);
+    Node wb_insn = b.reg("wb_insn", 32, encNop());
+    Node wb_ds = b.reg("wb_ds", 1, 0);
+    Node wb_exception = b.reg("wb_exception", 1, 0);
+    Node wb_ex_sys = b.reg("wb_ex_sys", 1, 0);
+    Node wb_ex_ill = b.reg("wb_ex_ill", 1, 0);
+    Node wb_ex_intr = b.reg("wb_ex_intr", 1, 0);
+    Node wb_ex_range = b.reg("wb_ex_range", 1, 0);
+    Node wb_ex_fpe = b.reg("wb_ex_fpe", 1, 0);
+    Node wb_we = b.reg("wb_we", 1, 0);
+    Node wb_rd = b.reg("wb_rd", 5, 0);
+    Node wb_result = b.reg("wb_result", 32, 0);
+    Node wb_op_a = b.reg("wb_op_a", 32, 0);
+    Node wb_op_b = b.reg("wb_op_b", 32, 0);
+    Node wb_ra_val = b.reg("wb_ra_val", 32, 0);
+    Node wb_rb_val = b.reg("wb_rb_val", 32, 0);
+    Node wb_br_taken = b.reg("wb_br_taken", 1, 0);
+    Node wb_dmem_we = b.reg("wb_dmem_we", 1, 0);
+    Node wb_dmem_be = b.reg("wb_dmem_be", 4, 0);
+    Node wb_dmem_addr = b.reg("wb_dmem_addr", 32, 0);
+    Node wb_dmem_wdata = b.reg("wb_dmem_wdata", 32, 0);
+    Node wb_load_data = b.reg("wb_load_data", 32, 0);
+    Node chk_ld_valid = b.reg("chk_ld_valid", 1, 0);
+    Node chk_ld_rd = b.reg("chk_ld_rd", 5, 0);
+    Node chk_ld_val = b.reg("chk_ld_val", 32, 0);
+    Node chk2_ld_valid = b.reg("chk2_ld_valid", 1, 0);
+    Node chk2_ld_rd = b.reg("chk2_ld_rd", 5, 0);
+    Node chk2_ld_val = b.reg("chk2_ld_val", 32, 0);
+
+    // ---- decode -------------------------------------------------------------
+    b.process("decode");
+    Node op = b.wire("dc_op", insn.bits(31, 26));
+    Node rd_field = b.wire("dc_rd", insn.bits(25, 21));
+    Node ra_field = b.wire("dc_ra", insn.bits(20, 16));
+    Node rb_field = b.wire("dc_rb", insn.bits(15, 11));
+    Node imm16s = b.wire("dc_imm16s", insn.bits(15, 0).sext(32));
+    Node imm16z = b.wire("dc_imm16z", insn.bits(15, 0).zext(32));
+    Node store_imm =
+        b.wire("dc_store_imm",
+               cat(insn.bits(25, 21), insn.bits(10, 0)).sext(32));
+    Node spr_sel =
+        b.wire("dc_spr_sel", cat(insn.bits(25, 21), insn.bits(10, 0)));
+    Node disp = b.wire("dc_disp",
+                       cat(insn.bits(25, 0).sext(30), b.lit(2, 0)));
+    Node disp_zext = b.wire("dc_disp_zext",
+                            cat(insn.bits(25, 0).zext(30), b.lit(2, 0)));
+    Node alu_sub = b.wire("dc_alu_sub", insn.bits(3, 0));
+    Node alu_op2 = b.wire("dc_alu_op2", insn.bits(9, 6));
+    Node sf_sub = b.wire("dc_sf_sub", insn.bits(25, 21));
+    Node shift_kind = b.wire("dc_shift_kind", insn.bits(7, 6));
+    Node shift_amt = b.wire("dc_shift_amt", insn.bits(4, 0));
+
+    // The instruction-class selector: the single control-branch fan-out per
+    // cycle (the symbolic executor forks here, one path per opcode — the
+    // analog of KLEE exploring one processor instruction per path).
+    std::vector<std::pair<std::uint64_t, Node>> op_cases;
+    for (std::uint32_t legal : legalOpcodes())
+        op_cases.emplace_back(legal, b.lit(6, legal));
+    Node iclass =
+        b.wire("dc_iclass", b.select(op, op_cases, b.lit(6, 0x3f)));
+
+    auto is = [&](std::uint32_t opcode) {
+        return eq(iclass, b.lit(6, opcode));
+    };
+    Node is_j = b.wire("dc_is_j", is(OpJ));
+    Node is_jal = b.wire("dc_is_jal", is(OpJal));
+    Node is_bf = b.wire("dc_is_bf", is(OpBf));
+    Node is_bnf = b.wire("dc_is_bnf", is(OpBnf));
+    Node is_movhi = b.wire("dc_is_movhi", is(OpMovhi));
+    Node is_sys = b.wire("dc_is_sys", is(OpSys));
+    Node is_rfe = b.wire("dc_is_rfe", is(OpRfe));
+    Node is_jr = b.wire("dc_is_jr", is(OpJr));
+    Node is_jalr = b.wire("dc_is_jalr", is(OpJalr));
+    Node is_lwz = b.wire("dc_is_lwz", is(OpLwz));
+    Node is_lbz = b.wire("dc_is_lbz", is(OpLbz));
+    Node is_lbs = b.wire("dc_is_lbs", is(OpLbs));
+    Node is_lhz = b.wire("dc_is_lhz", is(OpLhz));
+    Node is_lhs = b.wire("dc_is_lhs", is(OpLhs));
+    Node is_addi = b.wire("dc_is_addi", is(OpAddi));
+    Node is_andi = b.wire("dc_is_andi", is(OpAndi));
+    Node is_ori = b.wire("dc_is_ori", is(OpOri));
+    Node is_xori = b.wire("dc_is_xori", is(OpXori));
+    Node is_mfspr = b.wire("dc_is_mfspr", is(OpMfspr));
+    Node is_shifti = b.wire("dc_is_shifti", is(OpShifti));
+    Node is_sfi = b.wire("dc_is_sfi", is(OpSfImm));
+    Node is_mtspr = b.wire("dc_is_mtspr", is(OpMtspr));
+    Node is_fpu = b.wire("dc_is_fpu", is(OpFpu));
+    Node is_sw = b.wire("dc_is_sw", is(OpSw));
+    Node is_sb = b.wire("dc_is_sb", is(OpSb));
+    Node is_sh = b.wire("dc_is_sh", is(OpSh));
+    Node is_alu = b.wire("dc_is_alu", is(OpAlu));
+    Node is_sf = b.wire("dc_is_sf", is(OpSf));
+    Node is_reserved = b.wire("dc_is_reserved", eq(iclass, b.lit(6, 0x3f)));
+
+    // ALU secondary class, guarded so the executor only forks over ALU
+    // subopcodes on paths that decode an ALU instruction.
+    Node alu_class = b.wire(
+        "dc_alu_class",
+        b.branchMux(is_alu,
+                    b.select(alu_sub,
+                             {
+                                 {AluAdd, b.lit(4, AluAdd)},
+                                 {AluSub, b.lit(4, AluSub)},
+                                 {AluAnd, b.lit(4, AluAnd)},
+                                 {AluOr, b.lit(4, AluOr)},
+                                 {AluXor, b.lit(4, AluXor)},
+                                 {AluMul, b.lit(4, AluMul)},
+                                 {AluShift, b.lit(4, AluShift)},
+                                 {AluExt, b.lit(4, AluExt)},
+                             },
+                             b.lit(4, 0xf)),
+                    b.lit(4, 0xf)));
+    auto aluIs = [&](std::uint32_t sub) {
+        return is_alu & eq(alu_class, b.lit(4, sub));
+    };
+    Node is_alu_add = b.wire("dc_is_alu_add", aluIs(AluAdd));
+    Node is_alu_sub = b.wire("dc_is_alu_sub", aluIs(AluSub));
+    Node is_alu_and = b.wire("dc_is_alu_and", aluIs(AluAnd));
+    Node is_alu_or = b.wire("dc_is_alu_or", aluIs(AluOr));
+    Node is_alu_xor = b.wire("dc_is_alu_xor", aluIs(AluXor));
+    Node is_alu_mul = b.wire("dc_is_alu_mul", aluIs(AluMul));
+    Node is_alu_shift = b.wire("dc_is_alu_shift", aluIs(AluShift));
+    Node is_alu_ext = b.wire("dc_is_alu_ext", aluIs(AluExt));
+    // l.div and friends are in the ISA but not implemented by this core:
+    // they raise the illegal-instruction exception.
+    Node is_alu_unimpl =
+        b.wire("dc_is_alu_unimpl", is_alu & eq(alu_class, b.lit(4, 0xf)));
+
+    Node is_load = b.wire("dc_is_load",
+                          is_lwz | is_lbz | is_lbs | is_lhz | is_lhs);
+    Node is_store = b.wire("dc_is_store", is_sw | is_sb | is_sh);
+
+    // ---- operand fetch ------------------------------------------------------
+    b.process("operand_fetch");
+    // b05: register *source* redirection: l.ori reads rA^1.
+    Node ra_eff = bug(BugId::b05)
+                      ? b.wire("of_ra_eff",
+                               b.mux(is_ori, ra_field ^ b.lit(5, 1),
+                                     ra_field))
+                      : b.wire("of_ra_eff", ra_field);
+    // b13: the second source-redirection bug: register-register add reads
+    // rB^1.
+    Node rb_eff = bug(BugId::b13)
+                      ? b.wire("of_rb_eff",
+                               b.mux(is_alu_add, rb_field ^ b.lit(5, 1),
+                                     rb_field))
+                      : b.wire("of_rb_eff", rb_field);
+    Node op_a = b.wire("of_op_a", gprRead(b, gpr, ra_eff));
+    Node op_b_reg = b.wire("of_op_b_reg", gprRead(b, gpr, rb_eff));
+    // Checker taps: what the *specified* source registers hold.
+    Node ra_val = b.wire("of_ra_val", gprRead(b, gpr, ra_field));
+    Node rb_val = b.wire("of_rb_val", gprRead(b, gpr, rb_field));
+
+    Node use_zimm = b.wire("of_use_zimm", is_andi | is_ori | is_xori);
+    Node use_simm =
+        b.wire("of_use_simm", is_addi | is_load | is_sfi | is_mfspr);
+    Node op_b = b.wire(
+        "of_op_b",
+        b.mux(use_zimm, imm16z,
+              b.mux(use_simm, imm16s,
+                    b.mux(is_store | is_mtspr, store_imm, op_b_reg))));
+
+    // ---- ALU / execute ------------------------------------------------------
+    b.process("alu");
+    Node alu_b = b.wire("ex_alu_b",
+                        b.mux(is_alu, op_b_reg,
+                              b.mux(use_zimm, imm16z, imm16s)));
+    Node sum = b.wire("ex_sum", op_a + alu_b);
+    Node add_overflow = b.wire(
+        "ex_add_overflow",
+        (~(op_a.bit(31) ^ alu_b.bit(31))) & (op_a.bit(31) ^ sum.bit(31)));
+
+    Node sh_amt = b.wire("ex_sh_amt",
+                         b.mux(is_shifti, shift_amt, op_b_reg.bits(4, 0)));
+    Node sh_kind = b.wire("ex_sh_kind",
+                          b.mux(is_shifti, shift_kind, alu_op2.bits(1, 0)));
+    Node sh_sll = b.wire("ex_sh_sll", op_a << sh_amt.zext(32));
+    Node sh_srl = b.wire("ex_sh_srl", op_a >> sh_amt.zext(32));
+    Node sh_sra = b.wire("ex_sh_sra", ashr(op_a, sh_amt.zext(32)));
+    Node ror_correct = b.wire("ex_ror_correct", ror32(b, op_a, sh_amt));
+    // b22: logical error in l.rori: the wrap-around shift is off by one.
+    Node ror_buggy = b.wire(
+        "ex_ror_buggy",
+        (op_a >> sh_amt.zext(32)) |
+            (op_a << ((b.lit(32, 33) - sh_amt.zext(32)) & b.lit(32, 31))));
+    // The b22 patch only fixed the immediate-form for amounts < 16; the
+    // wrap bug survives for large rotate amounts (Table VII "bug not
+    // fixed" case).
+    Node ror_patched = b.wire(
+        "ex_ror_patched",
+        b.mux(ult(sh_amt, b.lit(5, 16)), ror_correct, ror_buggy));
+    Node ror_result =
+        bug(BugId::b22)
+            ? ror_buggy
+            : (halfPatched(BugId::b22) ? ror_patched : ror_correct);
+    Node sh_result = b.wire(
+        "ex_sh_result",
+        b.mux(eq(sh_kind, b.lit(2, 0)), sh_sll,
+              b.mux(eq(sh_kind, b.lit(2, 1)), sh_srl,
+                    b.mux(eq(sh_kind, b.lit(2, 2)), sh_sra, ror_result))));
+
+    // Sign/zero extension unit. b17: l.exths behaves as a move (no
+    // extension).
+    Node exths_correct = b.wire("ex_exths_ok", op_a.bits(15, 0).sext(32));
+    Node exths_result = bug(BugId::b17)
+                            ? b.wire("ex_exths", op_a)
+                            : b.wire("ex_exths", exths_correct);
+    Node ext_result = b.wire(
+        "ex_ext_result",
+        b.mux(eq(alu_op2.bits(1, 0), b.lit(2, 0)), exths_result,
+              b.mux(eq(alu_op2.bits(1, 0), b.lit(2, 1)),
+                    op_a.bits(7, 0).sext(32),
+                    b.mux(eq(alu_op2.bits(1, 0), b.lit(2, 2)),
+                          op_a.bits(15, 0).zext(32),
+                          op_a.bits(7, 0).zext(32)))));
+
+    Node alu_result = b.wire(
+        "ex_alu_result",
+        b.mux(is_alu_sub, op_a - op_b_reg,
+              b.mux(is_alu_and, op_a & op_b_reg,
+                    b.mux(is_alu_or, op_a | op_b_reg,
+                          b.mux(is_alu_xor, op_a ^ op_b_reg,
+                                b.mux(is_alu_mul, op_a * op_b_reg,
+                                      b.mux(is_alu_shift, sh_result,
+                                            b.mux(is_alu_ext, ext_result,
+                                                  sum))))))));
+
+    // ---- compare unit (set-flag instructions) -------------------------------
+    b.process("compare");
+    Node cmp_b = b.wire("cm_b", b.mux(is_sfi, imm16s, op_b_reg));
+    Node cmp_sub = b.wire("cm_sub", op_a - cmp_b);
+    Node ltu_correct = b.wire("cm_ltu_ok", ult(op_a, cmp_b));
+    // b20 (Bugzilla #51, Listing 1): unsigned compare uses the subtraction
+    // MSB, which is wrong when operand MSBs differ.
+    Node ltu_buggy = b.wire("cm_ltu_bug", cmp_sub.bit(31));
+    // The b20 patch fixed the mixed-MSB cases but broke the both-MSBs-set
+    // case (incomplete fix, §IV-G).
+    Node ltu_patched = b.wire(
+        "cm_ltu_patch",
+        b.mux(op_a.bit(31) & cmp_b.bit(31), b.zero(),
+              b.mux(op_a.bit(31) ^ cmp_b.bit(31),
+                    (~op_a.bit(31)) & cmp_b.bit(31), cmp_sub.bit(31))));
+    Node ltu = bug(BugId::b20)
+                   ? ltu_buggy
+                   : (halfPatched(BugId::b20) ? ltu_patched : ltu_correct);
+    Node gtu = b.wire("cm_gtu",
+                      bug(BugId::b20)
+                          ? (cmp_b - op_a).bit(31)
+                          : (halfPatched(BugId::b20)
+                                 ? b.mux(op_a.bit(31) & cmp_b.bit(31),
+                                         b.zero(), ult(cmp_b, op_a))
+                                 : ult(cmp_b, op_a)));
+    // b21: l.sfleu / l.sfgeu computed with *signed* comparison.
+    Node leu = bug(BugId::b21) ? b.wire("cm_leu", sle(op_a, cmp_b))
+                               : b.wire("cm_leu", ule(op_a, cmp_b));
+    Node geu = bug(BugId::b21) ? b.wire("cm_geu", sle(cmp_b, op_a))
+                               : b.wire("cm_geu", ule(cmp_b, op_a));
+    Node flag_next_val = b.wire(
+        "cm_flag",
+        b.mux(eq(sf_sub, b.lit(5, SfEq)), eq(op_a, cmp_b),
+          b.mux(eq(sf_sub, b.lit(5, SfNe)), ne(op_a, cmp_b),
+            b.mux(eq(sf_sub, b.lit(5, SfGtu)), gtu,
+              b.mux(eq(sf_sub, b.lit(5, SfGeu)), geu,
+                b.mux(eq(sf_sub, b.lit(5, SfLtu)), ltu,
+                  b.mux(eq(sf_sub, b.lit(5, SfLeu)), leu,
+                    b.mux(eq(sf_sub, b.lit(5, SfGts)), slt(cmp_b, op_a),
+                      b.mux(eq(sf_sub, b.lit(5, SfGes)), sle(cmp_b, op_a),
+                        b.mux(eq(sf_sub, b.lit(5, SfLts)), slt(op_a, cmp_b),
+                              sle(op_a, cmp_b)))))))))));
+    Node flag_we = b.wire("cm_flag_we", is_sf | is_sfi);
+
+    // ---- load/store unit ----------------------------------------------------
+    b.process("lsu");
+    Node lsu_addr = b.wire(
+        "ls_addr", op_a + b.mux(is_store, store_imm, imm16s));
+    Node lane = b.wire("ls_lane", lsu_addr.bits(1, 0));
+    Node lane_sh = b.wire("ls_lane_sh", cat(b.lit(27, 0), cat(lane, b.lit(3, 0))));
+    Node load_byte = b.wire("ls_load_byte",
+                            (dmem_rdata >> lane_sh).bits(7, 0));
+    Node half_sh = b.wire("ls_half_sh",
+                          cat(b.lit(27, 0),
+                              cat(lane.bit(1), b.lit(4, 0))));
+    Node load_half = b.wire("ls_load_half",
+                            (dmem_rdata >> half_sh).bits(15, 0));
+    // b30: l.lbs zero-extends instead of sign-extending.
+    Node lbs_result = bug(BugId::b30)
+                          ? b.wire("ls_lbs", load_byte.zext(32))
+                          : b.wire("ls_lbs", load_byte.sext(32));
+    Node load_result = b.wire(
+        "ls_load_result",
+        b.mux(is_lwz, dmem_rdata,
+              b.mux(is_lbz, load_byte.zext(32),
+                    b.mux(is_lbs, lbs_result,
+                          b.mux(is_lhz, load_half.zext(32),
+                                load_half.sext(32))))));
+
+    Node be_sb_correct = b.wire(
+        "ls_be_sb_ok",
+        b.mux(eq(lane, b.lit(2, 0)), b.lit(4, 1),
+              b.mux(eq(lane, b.lit(2, 1)), b.lit(4, 2),
+                    b.mux(eq(lane, b.lit(2, 2)), b.lit(4, 4),
+                          b.lit(4, 8)))));
+    // b28: byte stores always drive byte-enable 0001 regardless of the
+    // address alignment.
+    Node be_sb = bug(BugId::b28) ? b.lit(4, 1) : be_sb_correct;
+    Node be_sh = b.wire("ls_be_sh",
+                        b.mux(lane.bit(1), b.lit(4, 0xc), b.lit(4, 3)));
+    Node dmem_be = b.wire(
+        "ls_dmem_be",
+        b.mux(is_sw, b.lit(4, 0xf), b.mux(is_sb, be_sb, be_sh)));
+    Node store_data = b.wire(
+        "ls_store_data",
+        b.mux(is_sb, (op_b_reg.bits(7, 0).zext(32) << lane_sh),
+              b.mux(is_sh,
+                    (op_b_reg.bits(15, 0).zext(32) << half_sh),
+                    op_b_reg)));
+
+    // ---- privilege / exception unit ----------------------------------------
+    b.process("exceptions");
+    Node sm = b.wire("xp_sm", sr.bit(SrSm));
+    Node iee = b.wire("xp_iee", sr.bit(SrIee));
+    Node ove = b.wire("xp_ove", sr.bit(SrOve));
+
+    // Privileged-instruction legality. b01 lets user mode write SPRs
+    // directly; b06 lets user mode execute l.rfe.
+    Node spr_priv_ok =
+        bug(BugId::b01) ? b.one() : b.wire("xp_spr_priv_ok", sm);
+    Node rfe_priv_ok =
+        bug(BugId::b06) ? b.one() : b.wire("xp_rfe_priv_ok", sm);
+    Node spr_insn = b.wire("xp_spr_insn", is_mtspr | is_mfspr);
+
+    // An enabled external interrupt squashes the incoming instruction and
+    // takes priority over its own exceptions (both the RTL and the golden
+    // ISS implement this ordering).
+    Node exc_intr = b.wire("xp_exc_intr", intr & iee);
+    Node exc_ill = b.wire("xp_exc_ill",
+                          (is_reserved | is_alu_unimpl |
+                           (spr_insn & ~spr_priv_ok) |
+                           (is_rfe & ~rfe_priv_ok) |
+                           (variant == Variant::Mor1kx ? is_fpu
+                                                       : b.zero())) &
+                              ~exc_intr);
+    Node exc_fpe = variant == Variant::Or1200
+                       ? b.wire("xp_exc_fpe", is_fpu & ~exc_intr)
+                       : b.wire("xp_exc_fpe", b.zero());
+    Node exc_sys = b.wire("xp_exc_sys", is_sys & ~exc_ill & ~exc_intr);
+    Node exc_range = b.wire(
+        "xp_exc_range",
+        ove & add_overflow & (is_addi | is_alu_add) & ~exc_ill &
+            ~exc_intr);
+    Node any_exc = b.wire("xp_any_exc", exc_ill | exc_fpe | exc_sys |
+                                            exc_range | exc_intr);
+
+    Node rfe_exec = b.wire("xp_rfe_exec", is_rfe & rfe_priv_ok);
+    Node mtspr_exec = b.wire("xp_mtspr_exec", is_mtspr & spr_priv_ok);
+    Node mtspr_sr =
+        b.wire("xp_mtspr_sr", mtspr_exec & eq(spr_sel, b.lit(16, SprSr)));
+    Node mtspr_epcr = b.wire("xp_mtspr_epcr",
+                             mtspr_exec & eq(spr_sel, b.lit(16, SprEpcr)));
+    Node mtspr_eear = b.wire("xp_mtspr_eear",
+                             mtspr_exec & eq(spr_sel, b.lit(16, SprEear)));
+    Node mtspr_esr =
+        b.wire("xp_mtspr_esr", mtspr_exec & eq(spr_sel, b.lit(16, SprEsr)));
+    Node spr_wdata = b.wire("xp_spr_wdata", op_b_reg);
+
+    // Exception vector, priority intr > ill > fpe > sys > range.
+    Node vector = b.wire(
+        "xp_vector",
+        b.mux(exc_intr, b.lit(32, VecInterrupt),
+              b.mux(exc_ill, b.lit(32, VecIllegal),
+                    b.mux(exc_fpe, b.lit(32, VecFpu),
+                          b.mux(exc_sys, b.lit(32, VecSyscall),
+                                b.lit(32, VecRange))))));
+
+    // EPCR on exception entry, with the per-bug corruptions.
+    Node epcr_sys_normal = bug(BugId::b09)
+                               ? pc /* b09: faulting pc, not next pc */
+                               : b.wire("xp_epcr_sys_n", pc + b.lit(32, 4));
+    Node epcr_sys_ds = bug(BugId::b15)
+                           ? b.wire("xp_epcr_sys_ds", pc + b.lit(32, 4))
+                           : b.wire("xp_epcr_sys_ds2", pc - b.lit(32, 4));
+    Node epcr_sys =
+        b.wire("xp_epcr_sys", b.mux(ds_pending, epcr_sys_ds,
+                                    epcr_sys_normal));
+    Node epcr_ill = bug(BugId::b23)
+                        ? b.wire("xp_epcr_ill", pc + b.lit(32, 4))
+                        : pc;
+    Node epcr_fpe = bug(BugId::b29) ? b.lit(32, 0) : pc;
+    Node epcr_range = bug(BugId::b19)
+                          ? b.wire("xp_epcr_range", pc + b.lit(32, 4))
+                          : pc;
+    Node epcr_exc = b.wire(
+        "xp_epcr_exc",
+        b.mux(exc_ill, epcr_ill,
+              b.mux(exc_fpe, epcr_fpe,
+                    b.mux(exc_sys, epcr_sys,
+                          b.mux(exc_range, epcr_range, pc)))));
+
+    // ---- next-state: special registers --------------------------------------
+    b.process("spr_update");
+    // SR after a set-flag instruction.
+    Node sr_flag = b.wire(
+        "sp_sr_flag",
+        b.mux(flag_we,
+              (sr & b.lit(32, ~(1u << SrF))) |
+                  (flag_next_val.zext(32) << b.lit(32, SrF)),
+              sr));
+    // SR write via l.mtspr (masked to implemented bits).
+    Node sr_mtspr = b.wire(
+        "sp_sr_mtspr",
+        b.mux(mtspr_sr, spr_wdata & b.lit(32, SrImplMask), sr_flag));
+    // b07: an executed mtspr to any *other* SPR contaminates SR by
+    // clearing the interrupt-enable bit.
+    Node sr_contam =
+        bug(BugId::b07)
+            ? b.wire("sp_sr_contam",
+                     b.mux(mtspr_exec & ~mtspr_sr,
+                           sr_mtspr & b.lit(32, ~(1u << SrIee)), sr_mtspr))
+            : sr_mtspr;
+    // l.rfe restores SR from ESR. b03: the supervisor bit sticks at 1.
+    Node sr_rfe_val = bug(BugId::b03)
+                          ? b.wire("sp_sr_rfe", esr | b.lit(32, 1u << SrSm))
+                          : esr;
+    Node sr_after_rfe =
+        b.wire("sp_sr_after_rfe", b.mux(rfe_exec, sr_rfe_val, sr_contam));
+    // Exception entry: SM=1, IEE/TEE=0, DSX records the delay slot.
+    // b11: the supervisor bit is NOT set on entry (handler runs with the
+    // caller's privilege: kernel code injection).
+    // b18: DSX is never implemented.
+    Node sr_exc_base = b.wire(
+        "sp_sr_exc_base",
+        (sr & b.lit(32, ~((1u << SrIee) | (1u << SrTee) | (1u << SrDsx)))));
+    Node sr_exc_sm = bug(BugId::b11)
+                         ? sr_exc_base
+                         : b.wire("sp_sr_exc_sm",
+                                  sr_exc_base | b.lit(32, 1u << SrSm));
+    Node sr_exc = bug(BugId::b18)
+                      ? sr_exc_sm
+                      : b.wire("sp_sr_exc",
+                               sr_exc_sm |
+                                   (ds_pending.zext(32)
+                                    << b.lit(32, SrDsx)));
+    Node sr_next_main =
+        b.wire("sp_sr_next_main", b.mux(any_exc, sr_exc, sr_after_rfe));
+    // b02: a masked external interrupt still escalates privilege (without
+    // taking the exception).
+    Node sr_next =
+        bug(BugId::b02)
+            ? b.wire("sp_sr_next",
+                     b.mux(intr & ~iee & ~any_exc,
+                           sr_next_main | b.lit(32, 1u << SrSm),
+                           sr_next_main))
+            : sr_next_main;
+    b.next(sr, sr_next);
+
+    // ESR: exception entry saves SR. b14 saves the post-clear value, so a
+    // later l.rfe returns with interrupts disabled.
+    Node esr_exc_val = bug(BugId::b14)
+                           ? b.wire("sp_esr_exc",
+                                    sr & b.lit(32, ~(1u << SrIee)))
+                           : sr;
+    b.next(esr, b.mux(any_exc, esr_exc_val,
+                      b.mux(mtspr_esr, spr_wdata & b.lit(32, SrImplMask),
+                            esr)));
+
+    // EPCR. b10: l.rfe corrupts EPCR on the way out.
+    Node epcr_hold =
+        bug(BugId::b10)
+            ? b.wire("sp_epcr_hold",
+                     b.mux(rfe_exec, pc + b.lit(32, 4), epcr))
+            : epcr;
+    b.next(epcr, b.mux(any_exc, epcr_exc,
+                       b.mux(mtspr_epcr, spr_wdata, epcr_hold)));
+
+    // EEAR: faulting-instruction address on illegal/FPE. b08: every load
+    // contaminates it with the effective address. b26: the mtspr write is
+    // dropped (treated as l.nop).
+    Node eear_mtspr = bug(BugId::b26)
+                          ? eear
+                          : b.wire("sp_eear_mtspr",
+                                   b.mux(mtspr_eear, spr_wdata, eear));
+    Node eear_contam =
+        bug(BugId::b08)
+            ? b.wire("sp_eear_contam",
+                     b.mux(is_load & ~any_exc, lsu_addr, eear_mtspr))
+            : eear_mtspr;
+    b.next(eear, b.mux(exc_ill | exc_fpe, pc, eear_contam));
+
+    // ---- next-state: control flow -------------------------------------------
+    b.process("ctrl");
+    Node flag_now = b.wire("ct_flag_now", sr.bit(SrF));
+    Node br_rel = b.wire("ct_br_rel", is_j | is_jal | (is_bf & flag_now) |
+                                          (is_bnf & ~flag_now));
+    Node br_reg = b.wire("ct_br_reg", is_jr | is_jalr);
+    Node br_taken = b.wire("ct_br_taken", (br_rel | br_reg) & ~any_exc);
+    // b27: large (negative) displacements are zero-extended, so backward
+    // calls land at a bogus target.
+    Node rel_target =
+        bug(BugId::b27)
+            ? b.wire("ct_rel_target", pc + disp_zext)
+            : b.wire("ct_rel_target", pc + disp);
+    Node br_target =
+        b.wire("ct_br_target", b.mux(br_reg, rb_val, rel_target));
+
+    Node seq_pc = b.wire("ct_seq_pc", pc + b.lit(32, 4));
+    Node pc_next = b.wire(
+        "ct_pc_next",
+        b.mux(any_exc, vector,
+              b.mux(rfe_exec, epcr,
+                    b.mux(ds_pending, ds_target, seq_pc))));
+    b.next(pc, pc_next);
+    b.next(ds_pending, br_taken & ~any_exc);
+    b.next(ds_target, b.mux(br_taken, br_target, ds_target));
+
+    // ---- next-state: register file ------------------------------------------
+    b.process("regfile_write");
+    Node rd_spec = b.wire("rf_rd_spec",
+                          b.mux(is_jal | is_jalr, b.lit(5, 9), rd_field));
+    // b04: register *target* redirection: l.addi writes rD^1.
+    Node rd_eff = bug(BugId::b04)
+                      ? b.wire("rf_rd_eff",
+                               b.mux(is_addi, rd_spec ^ b.lit(5, 1),
+                                     rd_spec))
+                      : rd_spec;
+    Node link_val = b.wire("rf_link_val", pc + b.lit(32, 8));
+    Node mfspr_val = b.wire(
+        "rf_mfspr_val",
+        b.mux(eq(spr_sel, b.lit(16, SprSr)), sr,
+              b.mux(eq(spr_sel, b.lit(16, SprEpcr)), epcr,
+                    b.mux(eq(spr_sel, b.lit(16, SprEear)), eear,
+                          b.mux(eq(spr_sel, b.lit(16, SprEsr)), esr,
+                                b.lit(32, 0))))));
+    Node movhi_val =
+        b.wire("rf_movhi_val", cat(insn.bits(15, 0), b.lit(16, 0)));
+    Node imm_alu_result = b.wire(
+        "rf_imm_alu",
+        b.mux(is_addi, sum,
+              b.mux(is_andi, op_a & imm16z,
+                    b.mux(is_ori, op_a | imm16z,
+                          b.mux(is_xori, op_a ^ imm16z, sum)))));
+    Node wdata = b.wire(
+        "rf_wdata",
+        b.mux(is_load, load_result,
+              b.mux(is_movhi, movhi_val,
+                    b.mux(is_mfspr, mfspr_val,
+                          b.mux(is_jal | is_jalr, link_val,
+                                b.mux(is_shifti, sh_result,
+                                      b.mux(is_alu, alu_result,
+                                            imm_alu_result)))))));
+    Node we_base = b.wire(
+        "rf_we_base",
+        (is_addi | is_andi | is_ori | is_xori | is_movhi | is_load |
+         is_shifti | (is_mfspr & spr_priv_ok) |
+         (is_alu & ~is_alu_unimpl) | is_jal | is_jalr) &
+            ~any_exc);
+    // b12: l.jal with a negative displacement skips the link write.
+    Node we_jal_bugged =
+        bug(BugId::b12)
+            ? b.wire("rf_we_jal_bug",
+                     we_base & ~(is_jal & insn.bit(25)))
+            : we_base;
+    // b24: the GPR0-stays-zero write guard is missing.
+    Node we_final =
+        bug(BugId::b24)
+            ? we_jal_bugged
+            : b.wire("rf_we_final",
+                     we_jal_bugged & ne(rd_eff, b.lit(5, 0)));
+
+    // b31: a store immediately after a load overwrites the loaded register
+    // with the store data.
+    Node st_corrupt = bug(BugId::b31)
+                          ? b.wire("rf_st_corrupt",
+                                   is_store & chk_ld_valid & ~any_exc)
+                          : b.zero();
+    for (int i = 0; i < NumGprs; ++i) {
+        Node write_here = we_final & eq(rd_eff, b.lit(5, i));
+        Node corrupt_here = st_corrupt & eq(chk_ld_rd, b.lit(5, i));
+        b.next(gpr[i], b.mux(write_here, wdata,
+                             b.mux(corrupt_here, op_b_reg, gpr[i])));
+    }
+
+    // ---- checker shadow updates ---------------------------------------------
+    b.process("checker_shadow");
+    b.next(prev_sr, sr);
+    b.next(prev_esr, esr);
+    b.next(prev_epcr, epcr);
+    b.next(prev_eear, eear);
+    b.next(wb_pc, pc);
+    b.next(wb_insn, insn);
+    b.next(wb_ds, ds_pending);
+    b.next(wb_exception, any_exc);
+    b.next(wb_ex_sys, exc_sys);
+    b.next(wb_ex_ill, exc_ill);
+    b.next(wb_ex_intr, exc_intr);
+    b.next(wb_ex_range, exc_range);
+    b.next(wb_ex_fpe, exc_fpe);
+    b.next(wb_we, we_final);
+    b.next(wb_rd, rd_spec);
+    b.next(wb_result, wdata);
+    b.next(wb_op_a, op_a);
+    // wb_op_b records the value operand: the compare operand for set-flag
+    // instructions and the rB register value for stores/mtspr (their
+    // immediate field is an address/SPR selector, not a value operand).
+    b.next(wb_op_b, b.mux(is_sf | is_sfi, cmp_b,
+                          b.mux(is_mtspr | is_store, op_b_reg, op_b)));
+    b.next(wb_ra_val, ra_val);
+    b.next(wb_rb_val, rb_val);
+    b.next(wb_br_taken, br_taken);
+    Node dmem_we = b.wire("ls_dmem_we", is_store & ~any_exc);
+    b.next(wb_dmem_we, dmem_we);
+    b.next(wb_dmem_be, dmem_be);
+    b.next(wb_dmem_addr, lsu_addr);
+    b.next(wb_dmem_wdata, store_data);
+    b.next(wb_load_data, dmem_rdata);
+    Node ld_commit = b.wire("ck_ld_commit",
+                            is_load & ~any_exc & ne(rd_eff, b.lit(5, 0)) &
+                                we_final);
+    b.next(chk_ld_valid, ld_commit);
+    b.next(chk_ld_rd, b.mux(ld_commit, rd_eff, chk_ld_rd));
+    b.next(chk_ld_val, b.mux(ld_commit, load_result, chk_ld_val));
+    b.next(chk2_ld_valid, chk_ld_valid);
+    b.next(chk2_ld_rd, chk_ld_rd);
+    b.next(chk2_ld_val, chk_ld_val);
+
+    // ---- external outputs ---------------------------------------------------
+    b.process("bus_outputs");
+    b.wire("dmem_addr_o", lsu_addr);
+    b.wire("dmem_wdata_o", store_data);
+    Node dmem_we_o = b.wire("dmem_we_o", dmem_we);
+    Node dmem_be_o = b.wire("dmem_be_o", dmem_be);
+    b.output("dmem_addr_o");
+    b.output("dmem_wdata_o");
+    b.output("dmem_we_o");
+    b.output("dmem_be_o");
+    (void)dmem_we_o;
+    (void)dmem_be_o;
+    (void)prev_epcr;
+    (void)prev_eear;
+    (void)wb_dmem_wdata;
+    (void)chk2_ld_valid;
+    (void)chk2_ld_rd;
+    (void)chk2_ld_val;
+    (void)wb_ex_intr;
+    (void)wb_op_a;
+    (void)wb_ra_val;
+    (void)wb_rb_val;
+    (void)wb_op_b;
+    (void)wb_br_taken;
+    (void)wb_dmem_be;
+    (void)wb_dmem_addr;
+    (void)wb_load_data;
+    (void)wb_ex_fpe;
+    (void)wb_ex_range;
+    (void)wb_rd;
+    (void)wb_result;
+    (void)wb_we;
+    (void)wb_exception;
+    (void)wb_ds;
+    (void)wb_ex_ill;
+    (void)wb_ex_sys;
+    (void)prev_sr;
+    (void)prev_esr;
+    (void)wb_dmem_we;
+
+    return d;
+}
+
+std::vector<smt::TermRef>
+stateAssumptions(
+    smt::TermManager &tm, const rtl::Design &design,
+    const std::unordered_map<rtl::SignalId, smt::TermRef> &reg_vars)
+{
+    auto var_of = [&](const char *name) -> smt::TermRef {
+        rtl::SignalId sig = design.findSignal(name);
+        if (sig == rtl::NoSignal)
+            return smt::NoTerm;
+        auto it = reg_vars.find(sig);
+        return it == reg_vars.end() ? smt::NoTerm : it->second;
+    };
+
+    std::vector<smt::TermRef> out;
+    // The load-tracking checker pair only records committed loads, whose
+    // target is never r0: valid -> rd != 0.
+    for (auto [valid_name, rd_name] :
+         {std::pair{"chk_ld_valid", "chk_ld_rd"},
+          std::pair{"chk2_ld_valid", "chk2_ld_rd"}}) {
+        smt::TermRef valid = var_of(valid_name);
+        smt::TermRef rd = var_of(rd_name);
+        if (valid != smt::NoTerm && rd != smt::NoTerm) {
+            out.push_back(tm.mkImplies(
+                valid, tm.mkNot(tm.mkEq(rd, tm.mkConst(5, 0)))));
+        }
+    }
+    // A just-committed load's target register still holds the loaded
+    // value one cycle later (nothing has executed in between):
+    // chk_ld_valid -> gpr[chk_ld_rd] == chk_ld_val.
+    {
+        smt::TermRef valid = var_of("chk_ld_valid");
+        smt::TermRef rd = var_of("chk_ld_rd");
+        smt::TermRef val = var_of("chk_ld_val");
+        smt::TermRef g0 = var_of("gpr0");
+        if (valid != smt::NoTerm && rd != smt::NoTerm &&
+            val != smt::NoTerm && g0 != smt::NoTerm) {
+            smt::TermRef selected = g0;
+            bool complete = true;
+            for (int i = 1; i < NumGprs; ++i) {
+                smt::TermRef gi =
+                    var_of(("gpr" + std::to_string(i)).c_str());
+                if (gi == smt::NoTerm) {
+                    complete = false;
+                    break;
+                }
+                selected = tm.mkIte(tm.mkEq(rd, tm.mkConst(5, i)), gi,
+                                    selected);
+            }
+            if (complete) {
+                out.push_back(
+                    tm.mkImplies(valid, tm.mkEq(selected, val)));
+            }
+        }
+    }
+
+    // Only implemented SR/ESR bits can be set (write paths mask them).
+    constexpr std::uint32_t impl = SrImplMask;
+    for (const char *name : {"sr", "esr", "prev_sr", "prev_esr"}) {
+        smt::TermRef v = var_of(name);
+        if (v != smt::NoTerm) {
+            out.push_back(tm.mkEq(
+                tm.mkAnd(v, tm.mkConst(32, ~impl)), tm.mkConst(32, 0)));
+        }
+    }
+    // r0 reads as zero on a correct (and on every evaluated buggy) reset
+    // path only when never written; the symbolic window must not assume
+    // that, so no constraint on gpr0 here.
+    return out;
+}
+
+smt::TermRef
+legalInsnConstraint(smt::TermManager &tm, smt::TermRef insn_var)
+{
+    smt::TermRef opcode = tm.mkExtract(insn_var, 31, 26);
+    smt::TermRef any = tm.mkFalse();
+    for (std::uint32_t legal : legalOpcodes())
+        any = tm.mkOr(any, tm.mkEq(opcode, tm.mkConst(6, legal)));
+    return any;
+}
+
+} // namespace coppelia::cpu::or1k

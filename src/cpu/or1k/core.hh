@@ -1,0 +1,101 @@
+/**
+ * @file
+ * RTL models of the two OR1k cores the paper evaluates: a model of the
+ * OR1200 (32-bit OR1k, the paper's primary target, Harvard-style with the
+ * memories removed so the instruction bus and data-read bus are inputs —
+ * matching §IV-C(4) where the tools run on the processor core only) and the
+ * Mor1kx-Espresso (2-stage implementation of the same architecture).
+ *
+ * The model executes one instruction per clock: the instruction word
+ * arrives on the `insn` input, the architectural state (PC, 32 GPRs, SR,
+ * ESR, EPCR, EEAR, delay-slot state) updates at the edge, and a set of
+ * *checker shadow registers* (wb_insn, wb_pc, wb_exception causes, operand
+ * and memory-port records) latch what the instruction did, mirroring how
+ * SPECS-style assertions reference $past values. Every security assertion
+ * is a predicate over registers only.
+ *
+ * All 31 known OR1200 bugs (minus the two out-of-scope ones) and the
+ * Mor1kx b32 are injectable through BugConfig; a Patched state applies the
+ * fix, which is deliberately incomplete for b20 and b22 (the two "bugs not
+ * fixed" rows of Table VII).
+ */
+
+#ifndef COPPELIA_CPU_OR1K_CORE_HH
+#define COPPELIA_CPU_OR1K_CORE_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/bugs.hh"
+#include "props/assertion.hh"
+#include "rtl/design.hh"
+#include "solver/term.hh"
+
+namespace coppelia::cpu::or1k
+{
+
+/** Which OR1k implementation to build. */
+enum class Variant
+{
+    Or1200, ///< 5-stage OR1200-like core with FPU trap path
+    Mor1kx, ///< 2-stage Espresso-like core (no FPU opcode; lf.* is illegal)
+};
+
+/** Number of general-purpose registers (the full OR1k file). */
+constexpr int NumGprs = 32;
+
+/** Build the core model. The returned design owns all signals. */
+rtl::Design buildCore(Variant variant, const BugConfig &bugs);
+
+/** Convenience wrappers. */
+inline rtl::Design
+buildOr1200(const BugConfig &bugs = {})
+{
+    return buildCore(Variant::Or1200, bugs);
+}
+inline rtl::Design
+buildMor1kx(const BugConfig &bugs = {})
+{
+    return buildCore(Variant::Mor1kx, bugs);
+}
+
+/**
+ * The 35 security-critical assertions collected for the OR1200 (from
+ * SPECS, Security Checkers and SCIFinder per §IV-A), instantiated against
+ * a design built by buildCore. Four of them are deliberately "not true
+ * assertions" (§IV-G).
+ */
+std::vector<props::Assertion> or1200Assertions(rtl::Design &design);
+
+/**
+ * The 30 assertions manually translated to the Mor1kx (§III-B): the five
+ * OR1200-specific ones (FPU trap path and the four collected-but-wrong
+ * assertions) are dropped.
+ */
+std::vector<props::Assertion> mor1kxAssertions(rtl::Design &design);
+
+/**
+ * Preconditioned-symbolic-execution constraint (§II-E1): restrict a
+ * symbolic instruction word to legal OR1k opcodes.
+ */
+smt::TermRef legalInsnConstraint(smt::TermManager &tm,
+                                 smt::TermRef insn_var);
+
+/**
+ * Assume-properties over symbolic *state* for the backward search: machine
+ * invariants of the core that a single-cycle window cannot infer (e.g. the
+ * load-tracking checker only records non-r0 targets). These play the role
+ * of the assumption constraints verification engineers supply to
+ * commercial tools; without them the engine wastes its feedback budget on
+ * forged unreachable states.
+ *
+ * @param reg_vars map from signal name to the symbolic variable bound to
+ *        that register this cycle (absent names are skipped).
+ */
+std::vector<smt::TermRef> stateAssumptions(
+    smt::TermManager &tm, const rtl::Design &design,
+    const std::unordered_map<rtl::SignalId, smt::TermRef> &reg_vars);
+
+} // namespace coppelia::cpu::or1k
+
+#endif // COPPELIA_CPU_OR1K_CORE_HH

@@ -1,0 +1,401 @@
+#include "cpu/or1k/isa.hh"
+
+#include <cstdio>
+
+namespace coppelia::cpu::or1k
+{
+
+namespace
+{
+
+std::uint32_t
+rtype(std::uint32_t op, int rd, int ra, int rb, std::uint32_t low)
+{
+    return (op << 26) | (static_cast<std::uint32_t>(rd & 0x1f) << 21) |
+           (static_cast<std::uint32_t>(ra & 0x1f) << 16) |
+           (static_cast<std::uint32_t>(rb & 0x1f) << 11) | (low & 0x7ff);
+}
+
+std::uint32_t
+itype(std::uint32_t op, int rd, int ra, std::uint32_t imm16)
+{
+    return (op << 26) | (static_cast<std::uint32_t>(rd & 0x1f) << 21) |
+           (static_cast<std::uint32_t>(ra & 0x1f) << 16) | (imm16 & 0xffff);
+}
+
+std::uint32_t
+jtype(std::uint32_t op, std::int32_t disp26)
+{
+    return (op << 26) | (static_cast<std::uint32_t>(disp26) & 0x3ffffff);
+}
+
+std::uint32_t
+stype(std::uint32_t op, int ra, int rb, std::int32_t imm16)
+{
+    const std::uint32_t imm = static_cast<std::uint32_t>(imm16) & 0xffff;
+    return (op << 26) | ((imm >> 11) << 21) |
+           (static_cast<std::uint32_t>(ra & 0x1f) << 16) |
+           (static_cast<std::uint32_t>(rb & 0x1f) << 11) | (imm & 0x7ff);
+}
+
+} // namespace
+
+std::uint32_t encJ(std::int32_t d) { return jtype(OpJ, d); }
+std::uint32_t encJal(std::int32_t d) { return jtype(OpJal, d); }
+std::uint32_t encBf(std::int32_t d) { return jtype(OpBf, d); }
+std::uint32_t encBnf(std::int32_t d) { return jtype(OpBnf, d); }
+std::uint32_t encNop() { return jtype(OpNop, 0); }
+
+std::uint32_t
+encMovhi(int rd, std::uint32_t imm16)
+{
+    return itype(OpMovhi, rd, 0, imm16);
+}
+
+std::uint32_t encSys() { return jtype(OpSys, 1); }
+std::uint32_t encRfe() { return jtype(OpRfe, 0); }
+std::uint32_t encJr(int rb) { return rtype(OpJr, 0, 0, rb, 0); }
+std::uint32_t encJalr(int rb) { return rtype(OpJalr, 0, 0, rb, 0); }
+
+std::uint32_t
+encLwz(int rd, int ra, std::int32_t imm)
+{
+    return itype(OpLwz, rd, ra, static_cast<std::uint32_t>(imm));
+}
+std::uint32_t
+encLbz(int rd, int ra, std::int32_t imm)
+{
+    return itype(OpLbz, rd, ra, static_cast<std::uint32_t>(imm));
+}
+std::uint32_t
+encLbs(int rd, int ra, std::int32_t imm)
+{
+    return itype(OpLbs, rd, ra, static_cast<std::uint32_t>(imm));
+}
+std::uint32_t
+encLhz(int rd, int ra, std::int32_t imm)
+{
+    return itype(OpLhz, rd, ra, static_cast<std::uint32_t>(imm));
+}
+std::uint32_t
+encLhs(int rd, int ra, std::int32_t imm)
+{
+    return itype(OpLhs, rd, ra, static_cast<std::uint32_t>(imm));
+}
+std::uint32_t
+encAddi(int rd, int ra, std::int32_t imm)
+{
+    return itype(OpAddi, rd, ra, static_cast<std::uint32_t>(imm));
+}
+std::uint32_t
+encAndi(int rd, int ra, std::uint32_t imm)
+{
+    return itype(OpAndi, rd, ra, imm);
+}
+std::uint32_t
+encOri(int rd, int ra, std::uint32_t imm)
+{
+    return itype(OpOri, rd, ra, imm);
+}
+std::uint32_t
+encXori(int rd, int ra, std::uint32_t imm)
+{
+    return itype(OpXori, rd, ra, imm);
+}
+
+std::uint32_t
+encMfspr(int rd, int ra, std::uint32_t spr)
+{
+    return itype(OpMfspr, rd, ra, spr);
+}
+
+std::uint32_t
+encMtspr(int ra, int rb, std::uint32_t spr)
+{
+    // Split-immediate form like a store.
+    return stype(OpMtspr, ra, rb, static_cast<std::int32_t>(spr));
+}
+
+std::uint32_t
+encSw(int ra, int rb, std::int32_t imm)
+{
+    return stype(OpSw, ra, rb, imm);
+}
+std::uint32_t
+encSb(int ra, int rb, std::int32_t imm)
+{
+    return stype(OpSb, ra, rb, imm);
+}
+std::uint32_t
+encSh(int ra, int rb, std::int32_t imm)
+{
+    return stype(OpSh, ra, rb, imm);
+}
+
+std::uint32_t
+encAlu(int rd, int ra, int rb, AluOp op, std::uint32_t op2)
+{
+    return rtype(OpAlu, rd, ra, rb, (op2 << 6) | static_cast<std::uint32_t>(op));
+}
+
+std::uint32_t encAdd(int rd, int ra, int rb) { return encAlu(rd, ra, rb, AluAdd); }
+std::uint32_t encSub(int rd, int ra, int rb) { return encAlu(rd, ra, rb, AluSub); }
+std::uint32_t encAnd(int rd, int ra, int rb) { return encAlu(rd, ra, rb, AluAnd); }
+std::uint32_t encOr(int rd, int ra, int rb) { return encAlu(rd, ra, rb, AluOr); }
+std::uint32_t encXor(int rd, int ra, int rb) { return encAlu(rd, ra, rb, AluXor); }
+std::uint32_t encMul(int rd, int ra, int rb) { return encAlu(rd, ra, rb, AluMul); }
+std::uint32_t encSll(int rd, int ra, int rb) { return encAlu(rd, ra, rb, AluShift, 0); }
+std::uint32_t encSrl(int rd, int ra, int rb) { return encAlu(rd, ra, rb, AluShift, 1); }
+std::uint32_t encSra(int rd, int ra, int rb) { return encAlu(rd, ra, rb, AluShift, 2); }
+std::uint32_t encRor(int rd, int ra, int rb) { return encAlu(rd, ra, rb, AluShift, 3); }
+std::uint32_t encExths(int rd, int ra) { return encAlu(rd, ra, 0, AluExt, 0); }
+std::uint32_t encExtbs(int rd, int ra) { return encAlu(rd, ra, 0, AluExt, 1); }
+std::uint32_t encExthz(int rd, int ra) { return encAlu(rd, ra, 0, AluExt, 2); }
+std::uint32_t encExtbz(int rd, int ra) { return encAlu(rd, ra, 0, AluExt, 3); }
+
+namespace
+{
+
+std::uint32_t
+shiftImm(int rd, int ra, int amount, std::uint32_t kind)
+{
+    return itype(OpShifti, rd, ra,
+                 (kind << 6) | (static_cast<std::uint32_t>(amount) & 0x1f));
+}
+
+} // namespace
+
+std::uint32_t encSlli(int rd, int ra, int a) { return shiftImm(rd, ra, a, 0); }
+std::uint32_t encSrli(int rd, int ra, int a) { return shiftImm(rd, ra, a, 1); }
+std::uint32_t encSrai(int rd, int ra, int a) { return shiftImm(rd, ra, a, 2); }
+std::uint32_t encRori(int rd, int ra, int a) { return shiftImm(rd, ra, a, 3); }
+
+std::uint32_t
+encSf(SfOp op, int ra, int rb)
+{
+    return rtype(OpSf, static_cast<int>(op), ra, rb, 0);
+}
+
+std::uint32_t
+encSfi(SfOp op, int ra, std::int32_t imm)
+{
+    return itype(OpSfImm, static_cast<int>(op), ra,
+                 static_cast<std::uint32_t>(imm));
+}
+
+std::int32_t
+imm16Of(std::uint32_t insn)
+{
+    return static_cast<std::int16_t>(insn & 0xffff);
+}
+
+std::int32_t
+storeImmOf(std::uint32_t insn)
+{
+    const std::uint32_t imm = ((insn >> 21) & 0x1f) << 11 | (insn & 0x7ff);
+    return static_cast<std::int16_t>(imm);
+}
+
+std::int32_t
+disp26Of(std::uint32_t insn)
+{
+    std::uint32_t d = insn & 0x3ffffff;
+    if (d & 0x2000000)
+        d |= 0xfc000000;
+    return static_cast<std::int32_t>(d);
+}
+
+bool
+isLegalOpcode(std::uint32_t opcode)
+{
+    for (std::uint32_t legal : legalOpcodes()) {
+        if (legal == opcode)
+            return true;
+    }
+    return false;
+}
+
+const std::vector<std::uint32_t> &
+legalOpcodes()
+{
+    static const std::vector<std::uint32_t> ops{
+        OpJ,    OpJal,  OpBnf,   OpBf,    OpNop,   OpMovhi, OpSys,
+        OpRfe,  OpJr,   OpJalr,  OpLwz,   OpLbz,   OpLbs,   OpLhz,
+        OpLhs,  OpAddi, OpAndi,  OpOri,   OpXori,  OpMfspr, OpShifti,
+        OpSfImm, OpMtspr, OpFpu, OpSw,    OpSb,    OpSh,    OpAlu,
+        OpSf,
+    };
+    return ops;
+}
+
+namespace
+{
+
+const char *
+sfName(std::uint32_t sub)
+{
+    switch (sub) {
+      case SfEq: return "sfeq";
+      case SfNe: return "sfne";
+      case SfGtu: return "sfgtu";
+      case SfGeu: return "sfgeu";
+      case SfLtu: return "sfltu";
+      case SfLeu: return "sfleu";
+      case SfGts: return "sfgts";
+      case SfGes: return "sfges";
+      case SfLts: return "sflts";
+      case SfLes: return "sfles";
+      default: return "sf?";
+    }
+}
+
+} // namespace
+
+std::string
+disassemble(std::uint32_t insn)
+{
+    char buf[96];
+    const std::uint32_t op = opcodeOf(insn);
+    const int rd = rdOf(insn);
+    const int ra = raOf(insn);
+    const int rb = rbOf(insn);
+    switch (op) {
+      case OpJ:
+        std::snprintf(buf, sizeof(buf), "l.j %d", disp26Of(insn));
+        break;
+      case OpJal:
+        std::snprintf(buf, sizeof(buf), "l.jal %d", disp26Of(insn));
+        break;
+      case OpBnf:
+        std::snprintf(buf, sizeof(buf), "l.bnf %d", disp26Of(insn));
+        break;
+      case OpBf:
+        std::snprintf(buf, sizeof(buf), "l.bf %d", disp26Of(insn));
+        break;
+      case OpNop:
+        std::snprintf(buf, sizeof(buf), "l.nop");
+        break;
+      case OpMovhi:
+        std::snprintf(buf, sizeof(buf), "l.movhi r%d, 0x%x", rd,
+                      insn & 0xffff);
+        break;
+      case OpSys:
+        std::snprintf(buf, sizeof(buf), "l.sys %d", insn & 0xffff);
+        break;
+      case OpRfe:
+        std::snprintf(buf, sizeof(buf), "l.rfe");
+        break;
+      case OpJr:
+        std::snprintf(buf, sizeof(buf), "l.jr r%d", rb);
+        break;
+      case OpJalr:
+        std::snprintf(buf, sizeof(buf), "l.jalr r%d", rb);
+        break;
+      case OpLwz:
+        std::snprintf(buf, sizeof(buf), "l.lwz r%d, %d(r%d)", rd,
+                      imm16Of(insn), ra);
+        break;
+      case OpLbz:
+        std::snprintf(buf, sizeof(buf), "l.lbz r%d, %d(r%d)", rd,
+                      imm16Of(insn), ra);
+        break;
+      case OpLbs:
+        std::snprintf(buf, sizeof(buf), "l.lbs r%d, %d(r%d)", rd,
+                      imm16Of(insn), ra);
+        break;
+      case OpLhz:
+        std::snprintf(buf, sizeof(buf), "l.lhz r%d, %d(r%d)", rd,
+                      imm16Of(insn), ra);
+        break;
+      case OpLhs:
+        std::snprintf(buf, sizeof(buf), "l.lhs r%d, %d(r%d)", rd,
+                      imm16Of(insn), ra);
+        break;
+      case OpAddi:
+        std::snprintf(buf, sizeof(buf), "l.addi r%d, r%d, %d", rd, ra,
+                      imm16Of(insn));
+        break;
+      case OpAndi:
+        std::snprintf(buf, sizeof(buf), "l.andi r%d, r%d, 0x%x", rd, ra,
+                      insn & 0xffff);
+        break;
+      case OpOri:
+        std::snprintf(buf, sizeof(buf), "l.ori r%d, r%d, 0x%x", rd, ra,
+                      insn & 0xffff);
+        break;
+      case OpXori:
+        std::snprintf(buf, sizeof(buf), "l.xori r%d, r%d, 0x%x", rd, ra,
+                      insn & 0xffff);
+        break;
+      case OpMfspr:
+        std::snprintf(buf, sizeof(buf), "l.mfspr r%d, r%d, 0x%x", rd, ra,
+                      insn & 0xffff);
+        break;
+      case OpShifti: {
+        const char *names[] = {"slli", "srli", "srai", "rori"};
+        std::snprintf(buf, sizeof(buf), "l.%s r%d, r%d, %d",
+                      names[(insn >> 6) & 3], rd, ra, insn & 0x1f);
+        break;
+      }
+      case OpSfImm:
+        std::snprintf(buf, sizeof(buf), "l.%si r%d, %d", sfName(rd), ra,
+                      imm16Of(insn));
+        break;
+      case OpMtspr:
+        std::snprintf(buf, sizeof(buf), "l.mtspr r%d, r%d, 0x%x", ra, rb,
+                      storeImmOf(insn) & 0xffff);
+        break;
+      case OpFpu:
+        std::snprintf(buf, sizeof(buf), "lf.add.s r%d, r%d, r%d", rd, ra,
+                      rb);
+        break;
+      case OpSw:
+        std::snprintf(buf, sizeof(buf), "l.sw %d(r%d), r%d",
+                      storeImmOf(insn), ra, rb);
+        break;
+      case OpSb:
+        std::snprintf(buf, sizeof(buf), "l.sb %d(r%d), r%d",
+                      storeImmOf(insn), ra, rb);
+        break;
+      case OpSh:
+        std::snprintf(buf, sizeof(buf), "l.sh %d(r%d), r%d",
+                      storeImmOf(insn), ra, rb);
+        break;
+      case OpAlu: {
+        const std::uint32_t sub = insn & 0xf;
+        const std::uint32_t op2 = (insn >> 6) & 0xf;
+        const char *name = "alu?";
+        switch (sub) {
+          case AluAdd: name = "add"; break;
+          case AluSub: name = "sub"; break;
+          case AluAnd: name = "and"; break;
+          case AluOr: name = "or"; break;
+          case AluXor: name = "xor"; break;
+          case AluMul: name = "mul"; break;
+          case AluShift: {
+            const char *shifts[] = {"sll", "srl", "sra", "ror"};
+            name = shifts[op2 & 3];
+            break;
+          }
+          case AluExt: {
+            const char *exts[] = {"exths", "extbs", "exthz", "extbz"};
+            name = exts[op2 & 3];
+            break;
+          }
+        }
+        std::snprintf(buf, sizeof(buf), "l.%s r%d, r%d, r%d", name, rd, ra,
+                      rb);
+        break;
+      }
+      case OpSf:
+        std::snprintf(buf, sizeof(buf), "l.%s r%d, r%d", sfName(rd), ra,
+                      rb);
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), ".word 0x%08x", insn);
+        break;
+    }
+    return buf;
+}
+
+} // namespace coppelia::cpu::or1k

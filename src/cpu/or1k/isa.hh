@@ -1,0 +1,191 @@
+/**
+ * @file
+ * OR1k instruction-set subset: opcode constants, instruction encoders used
+ * by the exploit generator and the tests, a decoder for the golden ISS, and
+ * a disassembler for exploit listings. Encodings follow the OpenRISC 1000
+ * architecture manual for the subset the evaluation exercises.
+ */
+
+#ifndef COPPELIA_CPU_OR1K_ISA_HH
+#define COPPELIA_CPU_OR1K_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coppelia::cpu::or1k
+{
+
+/** Primary opcodes (insn[31:26]). */
+enum Opcode : std::uint32_t
+{
+    OpJ = 0x00,
+    OpJal = 0x01,
+    OpBnf = 0x03,
+    OpBf = 0x04,
+    OpNop = 0x05,
+    OpMovhi = 0x06,
+    OpSys = 0x08,
+    OpRfe = 0x09,
+    OpJr = 0x11,
+    OpJalr = 0x12,
+    OpLwz = 0x21,
+    OpLbz = 0x23,
+    OpLbs = 0x24,
+    OpLhz = 0x25,
+    OpLhs = 0x26,
+    OpAddi = 0x27,
+    OpAndi = 0x29,
+    OpOri = 0x2a,
+    OpXori = 0x2b,
+    OpMfspr = 0x2d,
+    OpShifti = 0x2e, ///< l.slli / l.srli / l.srai / l.rori
+    OpSfImm = 0x2f,  ///< l.sf*i
+    OpMtspr = 0x30,
+    OpFpu = 0x32,    ///< lf.* (unimplemented: raises FP exception)
+    OpSw = 0x35,
+    OpSb = 0x36,
+    OpSh = 0x37,
+    OpAlu = 0x38,
+    OpSf = 0x39,     ///< l.sf* register forms
+};
+
+/** ALU secondary opcodes (insn[3:0] for OpAlu). */
+enum AluOp : std::uint32_t
+{
+    AluAdd = 0x0,
+    AluSub = 0x2,
+    AluAnd = 0x3,
+    AluOr = 0x4,
+    AluXor = 0x5,
+    AluMul = 0x6,
+    AluShift = 0x8, ///< insn[7:6]: 0 sll, 1 srl, 2 sra, 3 ror
+    AluExt = 0xc,   ///< insn[9:6]: 0 exths, 1 extbs, 2 exthz, 3 extbz
+};
+
+/** Set-flag subopcodes (insn[25:21] for OpSf / OpSfImm). */
+enum SfOp : std::uint32_t
+{
+    SfEq = 0x0,
+    SfNe = 0x1,
+    SfGtu = 0x2,
+    SfGeu = 0x3,
+    SfLtu = 0x4,
+    SfLeu = 0x5,
+    SfGts = 0xa,
+    SfGes = 0xb,
+    SfLts = 0xc,
+    SfLes = 0xd,
+};
+
+/** Special-purpose register numbers (group 0). */
+enum Spr : std::uint32_t
+{
+    SprSr = 0x11,
+    SprEpcr = 0x20,
+    SprEear = 0x30,
+    SprEsr = 0x40,
+};
+
+/** SR bit positions. */
+enum SrBit : int
+{
+    SrSm = 0,   ///< supervisor mode
+    SrTee = 1,  ///< tick timer exception enable
+    SrIee = 2,  ///< interrupt exception enable
+    SrF = 9,    ///< compare flag
+    SrOve = 12, ///< overflow (range) exception enable
+    SrDsx = 13, ///< delay-slot exception
+};
+
+/** Exception vector addresses. */
+enum Vector : std::uint32_t
+{
+    VecReset = 0x100,
+    VecIllegal = 0x700,
+    VecInterrupt = 0x800,
+    VecRange = 0xb00,
+    VecSyscall = 0xc00,
+    VecFpu = 0xd00,
+};
+
+// --- encoders ----------------------------------------------------------------
+
+std::uint32_t encJ(std::int32_t disp26);
+std::uint32_t encJal(std::int32_t disp26);
+std::uint32_t encBf(std::int32_t disp26);
+std::uint32_t encBnf(std::int32_t disp26);
+std::uint32_t encNop();
+std::uint32_t encMovhi(int rd, std::uint32_t imm16);
+std::uint32_t encSys();
+std::uint32_t encRfe();
+std::uint32_t encJr(int rb);
+std::uint32_t encJalr(int rb);
+std::uint32_t encLwz(int rd, int ra, std::int32_t imm16);
+std::uint32_t encLbz(int rd, int ra, std::int32_t imm16);
+std::uint32_t encLbs(int rd, int ra, std::int32_t imm16);
+std::uint32_t encLhz(int rd, int ra, std::int32_t imm16);
+std::uint32_t encLhs(int rd, int ra, std::int32_t imm16);
+std::uint32_t encAddi(int rd, int ra, std::int32_t imm16);
+std::uint32_t encAndi(int rd, int ra, std::uint32_t imm16);
+std::uint32_t encOri(int rd, int ra, std::uint32_t imm16);
+std::uint32_t encXori(int rd, int ra, std::uint32_t imm16);
+std::uint32_t encMfspr(int rd, int ra, std::uint32_t spr);
+std::uint32_t encMtspr(int ra, int rb, std::uint32_t spr);
+std::uint32_t encSw(int ra, int rb, std::int32_t imm16);
+std::uint32_t encSb(int ra, int rb, std::int32_t imm16);
+std::uint32_t encSh(int ra, int rb, std::int32_t imm16);
+std::uint32_t encAlu(int rd, int ra, int rb, AluOp op,
+                     std::uint32_t op2 = 0);
+std::uint32_t encAdd(int rd, int ra, int rb);
+std::uint32_t encSub(int rd, int ra, int rb);
+std::uint32_t encAnd(int rd, int ra, int rb);
+std::uint32_t encOr(int rd, int ra, int rb);
+std::uint32_t encXor(int rd, int ra, int rb);
+std::uint32_t encMul(int rd, int ra, int rb);
+std::uint32_t encSll(int rd, int ra, int rb);
+std::uint32_t encSrl(int rd, int ra, int rb);
+std::uint32_t encSra(int rd, int ra, int rb);
+std::uint32_t encRor(int rd, int ra, int rb);
+std::uint32_t encExths(int rd, int ra);
+std::uint32_t encExtbs(int rd, int ra);
+std::uint32_t encExthz(int rd, int ra);
+std::uint32_t encExtbz(int rd, int ra);
+std::uint32_t encSlli(int rd, int ra, int amount);
+std::uint32_t encSrli(int rd, int ra, int amount);
+std::uint32_t encSrai(int rd, int ra, int amount);
+std::uint32_t encRori(int rd, int ra, int amount);
+std::uint32_t encSf(SfOp op, int ra, int rb);
+std::uint32_t encSfi(SfOp op, int ra, std::int32_t imm16);
+
+// --- decode helpers ------------------------------------------------------------
+
+/** Primary opcode field. */
+inline std::uint32_t opcodeOf(std::uint32_t insn) { return insn >> 26; }
+
+/** Register fields. */
+inline int rdOf(std::uint32_t insn) { return (insn >> 21) & 0x1f; }
+inline int raOf(std::uint32_t insn) { return (insn >> 16) & 0x1f; }
+inline int rbOf(std::uint32_t insn) { return (insn >> 11) & 0x1f; }
+
+/** Sign-extended 16-bit immediate. */
+std::int32_t imm16Of(std::uint32_t insn);
+
+/** Store-form immediate (split across insn[25:21] and insn[10:0]). */
+std::int32_t storeImmOf(std::uint32_t insn);
+
+/** Sign-extended 26-bit jump displacement. */
+std::int32_t disp26Of(std::uint32_t insn);
+
+/** True if the opcode is in the implemented (legal) subset. */
+bool isLegalOpcode(std::uint32_t opcode);
+
+/** All legal primary opcodes, for preconditioned symbolic execution. */
+const std::vector<std::uint32_t> &legalOpcodes();
+
+/** Disassemble one instruction (best effort). */
+std::string disassemble(std::uint32_t insn);
+
+} // namespace coppelia::cpu::or1k
+
+#endif // COPPELIA_CPU_OR1K_ISA_HH

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * The 26 security assertions translated to the PULPino-RI5CY core
+ * (§III-B, §IV-A). Translation from the OR1200 set required checking each
+ * property against the RISC-V privileged specification and re-binding to
+ * RI5CY state: SR becomes mstatus/priv, EPCR becomes mepc, the exception
+ * machinery becomes the trap/mret pair, and the OR1k-specific properties
+ * (delay slots, EEAR, the FPU trap, set-flag semantics) are replaced by
+ * their RISC-V counterparts (branch/JALR target computation, SLT results,
+ * mcause validity). Three of them are the Table VI discoveries: mepc on
+ * EBREAK (b33), the MRET target (b34), and the JALR LSB (b35).
+ */
+
+#include "cpu/riscv/core.hh"
+
+#include "cpu/riscv/isa.hh"
+#include "rtl/builder.hh"
+
+namespace coppelia::cpu::riscv
+{
+
+using props::Assertion;
+using props::Category;
+using rtl::Builder;
+using rtl::Design;
+using rtl::Node;
+
+namespace
+{
+
+constexpr std::uint32_t MstatusImplMask =
+    (1u << MsMie) | (1u << MsMpie) | (1u << MsMpp);
+
+Node
+xAt(Builder &b, const Node &index)
+{
+    Node result = b.read("x0");
+    for (int i = 1; i < 32; ++i)
+        result = b.mux(eq(index, b.lit(5, i)),
+                       b.read("x" + std::to_string(i)), result);
+    return result;
+}
+
+Node
+implies(const Node &p, const Node &q)
+{
+    return (~p) | q;
+}
+
+Assertion
+mk(Design &d, const std::string &id, const std::string &desc, Category cat,
+   const Node &cond, const std::string &bug_id)
+{
+    Assertion a;
+    a.id = id;
+    a.description = desc;
+    a.category = cat;
+    a.cond = cond.ref();
+    a.bugId = bug_id;
+    a.trueAssertion = true;
+    std::vector<bool> seen(d.numSignals(), false);
+    d.collectSignals(a.cond, seen);
+    for (rtl::SignalId sig = 0; sig < d.numSignals(); ++sig) {
+        if (seen[sig])
+            a.vars.push_back(sig);
+    }
+    return a;
+}
+
+} // namespace
+
+std::vector<Assertion>
+ri5cyAssertions(Design &d)
+{
+    Builder b(d);
+    std::vector<Assertion> out;
+
+    Node pc = b.read("pc");
+    Node priv = b.read("priv");
+    Node prev_priv = b.read("prev_priv");
+    Node mstatus = b.read("mstatus");
+    Node prev_mstatus = b.read("prev_mstatus");
+    Node mepc = b.read("mepc");
+    Node prev_mepc = b.read("prev_mepc");
+    Node mcause = b.read("mcause");
+    Node wb_pc = b.read("wb_pc");
+    Node wb_insn = b.read("wb_insn");
+    Node wb_trap = b.read("wb_trap");
+    Node wb_cause = b.read("wb_cause");
+    Node wb_we = b.read("wb_we");
+    Node wb_rd = b.read("wb_rd");
+    Node wb_result = b.read("wb_result");
+    Node wb_op_a = b.read("wb_op_a");
+    Node wb_op_b = b.read("wb_op_b");
+    Node wb_rs1_val = b.read("wb_rs1_val");
+    Node wb_rs2_val = b.read("wb_rs2_val");
+    Node wb_br_taken = b.read("wb_br_taken");
+    Node wb_dmem_we = b.read("wb_dmem_we");
+    Node wb_dmem_be = b.read("wb_dmem_be");
+    Node wb_dmem_addr = b.read("wb_dmem_addr");
+    Node wb_load_data = b.read("wb_load_data");
+
+    Node wop = wb_insn.bits(6, 0);
+    auto wbIs = [&](std::uint32_t code) {
+        return eq(wop, b.lit(7, code));
+    };
+    Node wf3 = wb_insn.bits(14, 12);
+    Node wf7 = wb_insn.bits(31, 25);
+    Node wb_sysimm = wb_insn.bits(31, 20);
+    Node wb_is_csr = wbIs(OpSystem) &
+                     (eq(wf3, b.lit(3, 1)) | eq(wf3, b.lit(3, 2)));
+    Node wb_is_mret = wbIs(OpSystem) & eq(wf3, b.lit(3, 0)) &
+                      eq(wb_sysimm, b.lit(12, 0x302));
+    Node wb_csr_addr = wb_insn.bits(31, 20);
+    Node no_trap = ~wb_trap;
+
+    // r01 (CR): CSR access requires machine mode.
+    out.push_back(mk(d, "r01_csr_priv",
+                     "CSR instructions execute only in machine mode",
+                     Category::CR,
+                     implies(wb_is_csr & no_trap, prev_priv), ""));
+
+    // r02 (XR): privilege rises only on trap entry.
+    out.push_back(mk(d, "r02_priv_rise_trap",
+                     "Privilege escalates only on trap entry",
+                     Category::XR, implies(priv & ~prev_priv, wb_trap),
+                     ""));
+
+    // r03 (XR): mret restores the interrupt enable from MPIE.
+    out.push_back(mk(d, "r03_mret_restore",
+                     "MRET restores MIE from MPIE", Category::XR,
+                     implies(wb_is_mret & no_trap,
+                             eq(mstatus.bit(MsMie),
+                                prev_mstatus.bit(MsMpie))),
+                     ""));
+
+    // r04 (CR): register writes land in the specified target.
+    out.push_back(mk(d, "r04_wb_target",
+                     "GPR writes update the specified target register",
+                     Category::CR,
+                     implies(wb_we, eq(xAt(b, wb_rd), wb_result)), ""));
+
+    // r05 (CR): operand A reads rs1.
+    out.push_back(mk(d, "r05_src_a",
+                     "Operand A reads the specified rs1", Category::CR,
+                     implies(wbIs(OpImm) & no_trap,
+                             eq(wb_op_a, wb_rs1_val)),
+                     ""));
+
+    // r06 (IE): mret executes only in machine mode.
+    out.push_back(mk(d, "r06_mret_priv",
+                     "MRET requires machine mode", Category::IE,
+                     implies(wb_is_mret & no_trap, prev_priv), ""));
+
+    // r07 (XR): MIE falls only via trap entry or an mstatus write.
+    Node mie_fell = prev_mstatus.bit(MsMie) & ~mstatus.bit(MsMie);
+    Node wb_csr_mstatus =
+        wb_is_csr & eq(wb_csr_addr, b.lit(12, CsrMstatus));
+    out.push_back(mk(d, "r07_mie_fall",
+                     "MIE falls only by trap entry or mstatus write",
+                     Category::XR,
+                     implies(mie_fell,
+                             wb_trap | wb_csr_mstatus | wb_is_mret),
+                     ""));
+
+    // r08 (XR): mepc on ECALL holds the faulting pc.
+    Node wb_is_ecall_trap = wb_trap & (eq(wb_cause, b.lit(4, CauseEcallM)) |
+                                       eq(wb_cause, b.lit(4, CauseEcallU)));
+    out.push_back(mk(d, "r08_mepc_ecall",
+                     "mepc on ECALL holds the ECALL's address",
+                     Category::XR,
+                     implies(wb_is_ecall_trap, eq(mepc, wb_pc)), ""));
+
+    // r09 (XR, b33 — Table VI): mepc on EBREAK holds the EBREAK's address.
+    out.push_back(mk(d, "r09_mepc_ebreak",
+                     "Privilege escalates correctly: mepc on EBREAK is "
+                     "the EBREAK's address",
+                     Category::XR,
+                     implies(wb_trap &
+                                 eq(wb_cause, b.lit(4, CauseBreakpoint)),
+                             eq(mepc, wb_pc)),
+                     "b33"));
+
+    // r10 (XR): mepc changes only on trap or an explicit write.
+    Node wb_csr_mepc = wb_is_csr & eq(wb_csr_addr, b.lit(12, CsrMepc));
+    out.push_back(mk(d, "r10_mepc_change",
+                     "mepc updates only on trap entry or CSR write",
+                     Category::XR,
+                     implies(ne(mepc, prev_mepc), wb_trap | wb_csr_mepc),
+                     ""));
+
+    // r11 (XR): trap handlers run in machine mode.
+    out.push_back(mk(d, "r11_trap_priv",
+                     "Trap entry raises machine mode", Category::XR,
+                     implies(wb_trap, priv), ""));
+
+    // r12 (IE): jal links pc+4.
+    out.push_back(mk(d, "r12_jal_link",
+                     "JAL links the return address", Category::IE,
+                     implies(wbIs(OpJal) & no_trap & wb_we,
+                             eq(xAt(b, wb_rd), wb_pc + b.lit(32, 4))),
+                     ""));
+
+    // r13 (CR): operand B reads rs2 for register ops.
+    out.push_back(mk(d, "r13_src_b",
+                     "Operand B reads the specified rs2", Category::CR,
+                     implies(wbIs(OpReg) & no_trap,
+                             eq(wb_op_b, wb_rs2_val)),
+                     ""));
+
+    // r14 (XR): trap entry saves MIE into MPIE and priv into MPP.
+    out.push_back(mk(d, "r14_mstatus_save",
+                     "Trap entry saves MIE to MPIE and priv to MPP",
+                     Category::XR,
+                     implies(wb_trap,
+                             eq(mstatus.bit(MsMpie),
+                                prev_mstatus.bit(MsMie)) &
+                                 eq(mstatus.bit(MsMpp), prev_priv)),
+                     ""));
+
+    // r15 (MA): x0 is hardwired to zero.
+    out.push_back(mk(d, "r15_x0_zero", "x0 is always zero", Category::MA,
+                     eq(b.read("x0"), b.lit(32, 0)), ""));
+
+    // r16 (CF): taken conditional branches land on pc + B-immediate.
+    Node wb_imm_b =
+        cat(cat(cat(cat(wb_insn.bit(31), wb_insn.bit(7)),
+                    wb_insn.bits(30, 25)),
+                wb_insn.bits(11, 8)),
+            b.lit(1, 0))
+            .sext(32);
+    out.push_back(mk(d, "r16_branch_target",
+                     "Taken branches compute the specified target",
+                     Category::CF,
+                     implies(wb_br_taken & wbIs(OpBranch),
+                             eq(pc, wb_pc + wb_imm_b)),
+                     ""));
+
+    // r17 (CF, b35 — Table VI): JALR clears the target LSB.
+    Node wb_imm_i = wb_insn.bits(31, 20).sext(32);
+    out.push_back(mk(d, "r17_jalr_lsb",
+                     "Jumps update the target address correctly: JALR "
+                     "clears the LSB",
+                     Category::CF,
+                     implies(wbIs(OpJalr) & no_trap,
+                             eq(pc, (wb_rs1_val + wb_imm_i) &
+                                        b.lit(32, ~1u))),
+                     "b35"));
+
+    // r18 (XR, b34 — Table VI): MRET returns to mepc.
+    out.push_back(mk(d, "r18_mret_target",
+                     "Privilege deescalates correctly: MRET sets pc from "
+                     "mepc",
+                     Category::XR,
+                     implies(wb_is_mret & no_trap, eq(pc, prev_mepc)),
+                     "b34"));
+
+    // r19 (MA): byte-store byte enables match the address.
+    Node wb_lane = wb_dmem_addr.bits(1, 0);
+    Node be_ref = b.mux(eq(wb_lane, b.lit(2, 0)), b.lit(4, 1),
+                        b.mux(eq(wb_lane, b.lit(2, 1)), b.lit(4, 2),
+                              b.mux(eq(wb_lane, b.lit(2, 2)), b.lit(4, 4),
+                                    b.lit(4, 8))));
+    out.push_back(mk(d, "r19_sb_be",
+                     "Byte stores drive the addressed lane's byte enable",
+                     Category::MA,
+                     implies(wb_dmem_we & wbIs(OpStore) &
+                                 eq(wf3, b.lit(3, 0)),
+                             eq(wb_dmem_be, be_ref)),
+                     ""));
+
+    // r20 (MA): lb sign-extends the addressed byte.
+    Node lane_sh = cat(b.lit(27, 0), cat(wb_lane, b.lit(3, 0)));
+    Node wb_byte = (wb_load_data >> lane_sh).bits(7, 0);
+    out.push_back(mk(d, "r20_lb_sext",
+                     "LB sign-extends the loaded byte", Category::MA,
+                     implies(wbIs(OpLoad) & eq(wf3, b.lit(3, LdB)) &
+                                 no_trap & wb_we,
+                             eq(wb_result, wb_byte.sext(32))),
+                     ""));
+
+    // r21 (CF): SLT computes the signed comparison.
+    out.push_back(mk(d, "r21_slt",
+                     "SLT computes the signed less-than", Category::CF,
+                     implies(wbIs(OpReg) & eq(wf3, b.lit(3, 2)) & no_trap,
+                             eq(wb_result,
+                                slt(wb_op_a, wb_op_b).zext(32))),
+                     ""));
+
+    // r22 (CF): SLTU computes the unsigned comparison.
+    out.push_back(mk(d, "r22_sltu",
+                     "SLTU computes the unsigned less-than", Category::CF,
+                     implies(wbIs(OpReg) & eq(wf3, b.lit(3, 3)) & no_trap,
+                             eq(wb_result,
+                                ult(wb_op_a, wb_op_b).zext(32))),
+                     ""));
+
+    // r23 (MA): SRA shifts arithmetically.
+    out.push_back(mk(d, "r23_sra",
+                     "SRA shifts arithmetically", Category::MA,
+                     implies(wbIs(OpReg) & eq(wf3, b.lit(3, 5)) &
+                                 wf7.bit(5) & no_trap,
+                             eq(wb_result,
+                                ashr(wb_op_a, wb_op_b.bits(4, 0).zext(32)))),
+                     ""));
+
+    // r24 (IE): trapped instructions never write back.
+    out.push_back(mk(d, "r24_trap_no_wb",
+                     "Trapped instructions do not write the register file",
+                     Category::IE, implies(wb_trap, ~wb_we), ""));
+
+    // r25 (IE): reserved mstatus bits stay zero.
+    out.push_back(mk(d, "r25_mstatus_impl",
+                     "Reserved mstatus bits read as zero", Category::IE,
+                     eq(mstatus & b.lit(32, ~MstatusImplMask),
+                        b.lit(32, 0)),
+                     ""));
+
+    // r26 (MA): stores never write the register file, and mcause stays a
+    // valid code after a trap.
+    Node cause_ok = eq(mcause, b.lit(32, CauseIllegal)) |
+                    eq(mcause, b.lit(32, CauseBreakpoint)) |
+                    eq(mcause, b.lit(32, CauseEcallU)) |
+                    eq(mcause, b.lit(32, CauseEcallM));
+    out.push_back(mk(d, "r26_store_no_wb",
+                     "Stores do not write the register file; trap causes "
+                     "are valid",
+                     Category::MA,
+                     implies(wbIs(OpStore) & no_trap, ~wb_we) &
+                         implies(wb_trap, cause_ok),
+                     ""));
+
+    return out;
+}
+
+} // namespace coppelia::cpu::riscv

@@ -1,0 +1,443 @@
+#include "cpu/riscv/core.hh"
+
+#include "cpu/riscv/isa.hh"
+#include "rtl/builder.hh"
+
+namespace coppelia::cpu::riscv
+{
+
+using rtl::Builder;
+using rtl::Design;
+using rtl::Node;
+
+namespace
+{
+
+constexpr int NumX = 32;
+constexpr std::uint32_t MstatusImplMask =
+    (1u << MsMie) | (1u << MsMpie) | (1u << MsMpp);
+
+Node
+xRead(Builder &b, const std::vector<Node> &x, const Node &index)
+{
+    Node result = x[0];
+    for (int i = 1; i < NumX; ++i)
+        result = b.mux(eq(index, b.lit(5, i)), x[i], result);
+    return result;
+}
+
+/** Sign-extended B-type immediate of an instruction word node. */
+Node
+immB(Builder &b, const Node &insn)
+{
+    Node hi = insn.bit(31);                 // imm[12]
+    Node b11 = insn.bit(7);                 // imm[11]
+    Node mid = insn.bits(30, 25);           // imm[10:5]
+    Node lo = insn.bits(11, 8);             // imm[4:1]
+    return cat(cat(cat(cat(hi, b11), mid), lo), b.lit(1, 0)).sext(32);
+}
+
+/** Sign-extended J-type immediate. */
+Node
+immJ(Builder &b, const Node &insn)
+{
+    Node hi = insn.bit(31);       // imm[20]
+    Node b19 = insn.bits(19, 12); // imm[19:12]
+    Node b11 = insn.bit(20);      // imm[11]
+    Node lo = insn.bits(30, 21);  // imm[10:1]
+    return cat(cat(cat(cat(hi, b19), b11), lo), b.lit(1, 0)).sext(32);
+}
+
+/** Sign-extended S-type immediate. */
+Node
+immS(const Node &insn)
+{
+    return cat(insn.bits(31, 25), insn.bits(11, 7)).sext(32);
+}
+
+} // namespace
+
+Design
+buildRi5cy(const BugConfig &bugs)
+{
+    Design d("pulpino_ri5cy");
+    Builder b(d);
+    auto bug = [&bugs](BugId id) { return bugs.present(id); };
+
+    // ---- external interface -------------------------------------------------
+    b.process("bus_interface");
+    Node insn = b.input("insn", 32);
+    Node dmem_rdata = b.input("dmem_rdata", 32);
+    Node intr = b.input("intr", 1);
+    (void)intr; // the RI5CY evaluation runs with interrupts tied off
+
+    // ---- architectural state ------------------------------------------------
+    Node pc = b.reg("pc", 32, RvResetPc);
+    std::vector<Node> x;
+    for (int i = 0; i < NumX; ++i)
+        x.push_back(b.reg("x" + std::to_string(i), 32, 0));
+    Node priv = b.reg("priv", 1, 1); // machine mode at reset
+    Node mstatus = b.reg("mstatus", 32, 1u << MsMpp);
+    Node mepc = b.reg("mepc", 32, 0);
+    Node mcause = b.reg("mcause", 32, 0);
+    Node mtvec = b.reg("mtvec", 32, RvDefaultMtvec);
+
+    // ---- checker shadow state ----------------------------------------------
+    Node prev_mstatus = b.reg("prev_mstatus", 32, 1u << MsMpp);
+    Node prev_mepc = b.reg("prev_mepc", 32, 0);
+    Node prev_priv = b.reg("prev_priv", 1, 1);
+    Node wb_pc = b.reg("wb_pc", 32, RvResetPc);
+    Node wb_insn = b.reg("wb_insn", 32, 0x13); // nop = addi x0,x0,0
+    Node wb_trap = b.reg("wb_trap", 1, 0);
+    Node wb_cause = b.reg("wb_cause", 4, 0);
+    Node wb_we = b.reg("wb_we", 1, 0);
+    Node wb_rd = b.reg("wb_rd", 5, 0);
+    Node wb_result = b.reg("wb_result", 32, 0);
+    Node wb_op_a = b.reg("wb_op_a", 32, 0);
+    Node wb_op_b = b.reg("wb_op_b", 32, 0);
+    Node wb_rs1_val = b.reg("wb_rs1_val", 32, 0);
+    Node wb_rs2_val = b.reg("wb_rs2_val", 32, 0);
+    Node wb_br_taken = b.reg("wb_br_taken", 1, 0);
+    Node wb_dmem_we = b.reg("wb_dmem_we", 1, 0);
+    Node wb_dmem_be = b.reg("wb_dmem_be", 4, 0);
+    Node wb_dmem_addr = b.reg("wb_dmem_addr", 32, 0);
+    Node wb_load_data = b.reg("wb_load_data", 32, 0);
+
+    // ---- decode -------------------------------------------------------------
+    b.process("decode");
+    Node opc = b.wire("dc_opc", insn.bits(6, 0));
+    Node rd_f = b.wire("dc_rd", insn.bits(11, 7));
+    Node rs1_f = b.wire("dc_rs1", insn.bits(19, 15));
+    Node rs2_f = b.wire("dc_rs2", insn.bits(24, 20));
+    Node f3 = b.wire("dc_f3", insn.bits(14, 12));
+    Node f7 = b.wire("dc_f7", insn.bits(31, 25));
+    Node imm_i = b.wire("dc_imm_i", insn.bits(31, 20).sext(32));
+    Node imm_s = b.wire("dc_imm_s", immS(insn));
+    Node imm_b = b.wire("dc_imm_b", immB(b, insn));
+    Node imm_j = b.wire("dc_imm_j", immJ(b, insn));
+    Node imm_u = b.wire("dc_imm_u", cat(insn.bits(31, 12), b.lit(12, 0)));
+    Node csr_addr = b.wire("dc_csr", insn.bits(31, 20));
+
+    std::vector<std::pair<std::uint64_t, Node>> cases;
+    for (std::uint32_t legal : rvLegalOpcodes())
+        cases.emplace_back(legal, b.lit(7, legal));
+    Node iclass = b.wire("dc_iclass", b.select(opc, cases, b.lit(7, 0)));
+    auto is = [&](std::uint32_t code) {
+        return eq(iclass, b.lit(7, code));
+    };
+    Node is_lui = b.wire("dc_is_lui", is(OpLui));
+    Node is_auipc = b.wire("dc_is_auipc", is(OpAuipc));
+    Node is_jal = b.wire("dc_is_jal", is(OpJal));
+    Node is_jalr = b.wire("dc_is_jalr", is(OpJalr));
+    Node is_branch = b.wire("dc_is_branch", is(OpBranch));
+    Node is_load = b.wire("dc_is_load", is(OpLoad));
+    Node is_store = b.wire("dc_is_store", is(OpStore));
+    Node is_imm = b.wire("dc_is_imm", is(OpImm));
+    Node is_reg = b.wire("dc_is_reg", is(OpReg));
+    Node is_system = b.wire("dc_is_system", is(OpSystem));
+    Node is_reserved = b.wire("dc_is_reserved", eq(iclass, b.lit(7, 0)));
+
+    // System sub-decode (guarded control fork).
+    // 0=ecall, 1=ebreak, 2=mret, 3=csrrw, 4=csrrs, 7=illegal.
+    Node sys_class = b.wire(
+        "dc_sys_class",
+        b.branchMux(
+            is_system,
+            b.branchMux(
+                eq(f3, b.lit(3, 0)),
+                b.select(insn.bits(31, 20),
+                         {
+                             {0x000, b.lit(3, 0)}, // ecall
+                             {0x001, b.lit(3, 1)}, // ebreak
+                             {0x302, b.lit(3, 2)}, // mret
+                         },
+                         b.lit(3, 7)),
+                b.branchMux(eq(f3, b.lit(3, 1)), b.lit(3, 3),
+                            b.branchMux(eq(f3, b.lit(3, 2)), b.lit(3, 4),
+                                        b.lit(3, 7)))),
+            b.lit(3, 7)));
+    Node is_ecall = b.wire("dc_is_ecall",
+                           is_system & eq(sys_class, b.lit(3, 0)));
+    Node is_ebreak = b.wire("dc_is_ebreak",
+                            is_system & eq(sys_class, b.lit(3, 1)));
+    Node is_mret = b.wire("dc_is_mret",
+                          is_system & eq(sys_class, b.lit(3, 2)));
+    Node is_csrrw = b.wire("dc_is_csrrw",
+                           is_system & eq(sys_class, b.lit(3, 3)));
+    Node is_csrrs = b.wire("dc_is_csrrs",
+                           is_system & eq(sys_class, b.lit(3, 4)));
+    Node is_csr = b.wire("dc_is_csr", is_csrrw | is_csrrs);
+    Node is_sys_bad = b.wire("dc_is_sys_bad",
+                             is_system & eq(sys_class, b.lit(3, 7)));
+
+    // Bad funct3 encodings in the load/store classes are illegal.
+    Node bad_load = b.wire("dc_bad_load",
+                           is_load & (eq(f3, b.lit(3, 3)) |
+                                      eq(f3, b.lit(3, 6)) |
+                                      eq(f3, b.lit(3, 7))));
+    Node bad_store = b.wire("dc_bad_store",
+                            is_store & ~(eq(f3, b.lit(3, 0)) |
+                                         eq(f3, b.lit(3, 1)) |
+                                         eq(f3, b.lit(3, 2))));
+
+    // ---- operands -----------------------------------------------------------
+    b.process("operand_fetch");
+    Node rs1_val = b.wire("of_rs1_val", xRead(b, x, rs1_f));
+    Node rs2_val = b.wire("of_rs2_val", xRead(b, x, rs2_f));
+    Node op_a = b.wire("of_op_a", rs1_val);
+    Node op_b = b.wire("of_op_b",
+                       b.mux(is_reg | is_branch, rs2_val,
+                             b.mux(is_store, imm_s, imm_i)));
+
+    // ---- ALU ----------------------------------------------------------------
+    b.process("alu");
+    Node shamt = b.wire("ex_shamt", op_b.bits(4, 0).zext(32));
+    Node is_sub = b.wire("ex_is_sub", is_reg & f7.bit(5));
+    Node is_sra_mod = b.wire("ex_is_sra_mod",
+                             (is_reg | is_imm) & f7.bit(5));
+    Node alu_out = b.wire(
+        "ex_alu_out",
+        b.mux(eq(f3, b.lit(3, 0)),
+              b.mux(is_sub, op_a - op_b, op_a + op_b),
+          b.mux(eq(f3, b.lit(3, 1)), op_a << shamt,
+            b.mux(eq(f3, b.lit(3, 2)), slt(op_a, op_b).zext(32),
+              b.mux(eq(f3, b.lit(3, 3)), ult(op_a, op_b).zext(32),
+                b.mux(eq(f3, b.lit(3, 4)), op_a ^ op_b,
+                  b.mux(eq(f3, b.lit(3, 5)),
+                        b.mux(is_sra_mod, ashr(op_a, shamt),
+                              op_a >> shamt),
+                    b.mux(eq(f3, b.lit(3, 6)), op_a | op_b,
+                          op_a & op_b))))))));
+
+    // ---- branch unit ---------------------------------------------------------
+    b.process("branch_unit");
+    Node br_cond = b.wire(
+        "br_cond",
+        b.mux(eq(f3, b.lit(3, BrEq)), eq(op_a, rs2_val),
+          b.mux(eq(f3, b.lit(3, BrNe)), ne(op_a, rs2_val),
+            b.mux(eq(f3, b.lit(3, BrLt)), slt(op_a, rs2_val),
+              b.mux(eq(f3, b.lit(3, BrGe)), ~slt(op_a, rs2_val),
+                b.mux(eq(f3, b.lit(3, BrLtu)), ult(op_a, rs2_val),
+                  b.mux(eq(f3, b.lit(3, BrGeu)), ~ult(op_a, rs2_val),
+                        b.zero())))))));
+    Node jalr_raw = b.wire("br_jalr_raw", rs1_val + imm_i);
+    // b35: the spec requires clearing the least-significant bit of the
+    // JALR target; the buggy implementation keeps it.
+    Node jalr_target =
+        bug(BugId::b35)
+            ? jalr_raw
+            : b.wire("br_jalr_target", jalr_raw & b.lit(32, ~1u));
+    Node br_taken = b.wire("br_taken",
+                           is_jal | is_jalr | (is_branch & br_cond));
+    Node br_target = b.wire(
+        "br_target",
+        b.mux(is_jal, pc + imm_j,
+              b.mux(is_jalr, jalr_target, pc + imm_b)));
+
+    // ---- traps ----------------------------------------------------------------
+    b.process("traps");
+    Node exc_ill = b.wire("tp_exc_ill",
+                          is_reserved | is_sys_bad | bad_load | bad_store |
+                              (is_csr & ~priv) | (is_mret & ~priv));
+    Node trap_ecall = b.wire("tp_ecall", is_ecall & ~exc_ill);
+    Node trap_break = b.wire("tp_break", is_ebreak & ~exc_ill);
+    Node any_trap = b.wire("tp_any", exc_ill | trap_ecall | trap_break);
+    Node cause = b.wire(
+        "tp_cause",
+        b.mux(exc_ill, b.lit(4, CauseIllegal),
+              b.mux(trap_break, b.lit(4, CauseBreakpoint),
+                    b.mux(priv, b.lit(4, CauseEcallM),
+                          b.lit(4, CauseEcallU)))));
+
+    Node mret_exec = b.wire("tp_mret_exec", is_mret & priv);
+    Node csr_exec = b.wire("tp_csr_exec", is_csr & priv);
+    Node csr_mstatus = b.wire(
+        "tp_csr_mstatus", csr_exec & eq(csr_addr, b.lit(12, CsrMstatus)));
+    Node csr_mepc = b.wire("tp_csr_mepc",
+                           csr_exec & eq(csr_addr, b.lit(12, CsrMepc)));
+    Node csr_mtvec = b.wire("tp_csr_mtvec",
+                            csr_exec & eq(csr_addr, b.lit(12, CsrMtvec)));
+    Node csr_mcause = b.wire(
+        "tp_csr_mcause", csr_exec & eq(csr_addr, b.lit(12, CsrMcause)));
+    Node csr_old = b.wire(
+        "tp_csr_old",
+        b.mux(eq(csr_addr, b.lit(12, CsrMstatus)), mstatus,
+              b.mux(eq(csr_addr, b.lit(12, CsrMepc)), mepc,
+                    b.mux(eq(csr_addr, b.lit(12, CsrMtvec)), mtvec,
+                          b.mux(eq(csr_addr, b.lit(12, CsrMcause)),
+                                mcause, b.lit(32, 0))))));
+    Node csr_wdata = b.wire("tp_csr_wdata",
+                            b.mux(is_csrrs, csr_old | rs1_val, rs1_val));
+    // csrrs with rs1=x0 is a pure read.
+    Node csr_write = b.wire(
+        "tp_csr_write",
+        csr_exec & ~(is_csrrs & eq(rs1_f, b.lit(5, 0))) & ~any_trap);
+
+    // ---- next state: CSRs and privilege --------------------------------------
+    b.process("csr_update");
+    Node mie = b.wire("cs_mie", mstatus.bit(MsMie));
+    Node mpie = b.wire("cs_mpie", mstatus.bit(MsMpie));
+    Node mpp = b.wire("cs_mpp", mstatus.bit(MsMpp));
+    // Trap entry: MPIE <= MIE, MIE <= 0, MPP <= priv.
+    Node mstatus_trap = b.wire(
+        "cs_mstatus_trap",
+        (mie.zext(32) << b.lit(32, MsMpie)) |
+            (priv.zext(32) << b.lit(32, MsMpp)));
+    // MRET: MIE <= MPIE, MPIE <= 1, MPP <= 0 (user).
+    Node mstatus_mret = b.wire(
+        "cs_mstatus_mret",
+        (mpie.zext(32) << b.lit(32, MsMie)) | b.lit(32, 1u << MsMpie));
+    Node mstatus_csr = b.wire(
+        "cs_mstatus_csr",
+        b.mux(csr_write & csr_mstatus,
+              csr_wdata & b.lit(32, MstatusImplMask), mstatus));
+    b.next(mstatus, b.mux(any_trap, mstatus_trap,
+                          b.mux(mret_exec, mstatus_mret, mstatus_csr)));
+    b.next(priv, b.mux(any_trap, b.one(),
+                       b.mux(mret_exec, mpp, priv)));
+    // b33: EBREAK fails to record the faulting pc in mepc.
+    Node mepc_trap_val = bug(BugId::b33)
+                             ? b.wire("cs_mepc_trap", b.mux(trap_break,
+                                                            mepc, pc))
+                             : pc;
+    b.next(mepc, b.mux(any_trap, mepc_trap_val,
+                       b.mux(csr_write & csr_mepc, csr_wdata, mepc)));
+    b.next(mcause, b.mux(any_trap, cause.zext(32),
+                         b.mux(csr_write & csr_mcause, csr_wdata,
+                               mcause)));
+    b.next(mtvec, b.mux(csr_write & csr_mtvec, csr_wdata, mtvec));
+
+    // ---- next state: control flow ---------------------------------------------
+    b.process("ctrl");
+    // b34: MRET fails to load pc from mepc (falls through sequentially).
+    Node mret_target = bug(BugId::b34)
+                           ? b.wire("ct_mret_target", pc + b.lit(32, 4))
+                           : mepc;
+    Node pc_next = b.wire(
+        "ct_pc_next",
+        b.mux(any_trap, mtvec,
+              b.mux(mret_exec, mret_target,
+                    b.mux(br_taken, br_target, pc + b.lit(32, 4)))));
+    b.next(pc, pc_next);
+
+    // ---- load/store unit -------------------------------------------------------
+    b.process("lsu");
+    Node lsu_addr = b.wire("ls_addr",
+                           rs1_val + b.mux(is_store, imm_s, imm_i));
+    Node lane = b.wire("ls_lane", lsu_addr.bits(1, 0));
+    Node lane_sh = b.wire("ls_lane_sh",
+                          cat(b.lit(27, 0), cat(lane, b.lit(3, 0))));
+    Node half_sh = b.wire(
+        "ls_half_sh", cat(b.lit(27, 0), cat(lane.bit(1), b.lit(4, 0))));
+    Node load_byte = b.wire("ls_load_byte",
+                            (dmem_rdata >> lane_sh).bits(7, 0));
+    Node load_half = b.wire("ls_load_half",
+                            (dmem_rdata >> half_sh).bits(15, 0));
+    Node load_result = b.wire(
+        "ls_load_result",
+        b.mux(eq(f3, b.lit(3, LdB)), load_byte.sext(32),
+          b.mux(eq(f3, b.lit(3, LdH)), load_half.sext(32),
+            b.mux(eq(f3, b.lit(3, LdW)), dmem_rdata,
+              b.mux(eq(f3, b.lit(3, LdBu)), load_byte.zext(32),
+                    load_half.zext(32))))));
+    Node be_sb = b.wire(
+        "ls_be_sb",
+        b.mux(eq(lane, b.lit(2, 0)), b.lit(4, 1),
+              b.mux(eq(lane, b.lit(2, 1)), b.lit(4, 2),
+                    b.mux(eq(lane, b.lit(2, 2)), b.lit(4, 4),
+                          b.lit(4, 8)))));
+    Node be_sh = b.wire("ls_be_sh",
+                        b.mux(lane.bit(1), b.lit(4, 0xc), b.lit(4, 3)));
+    Node dmem_be = b.wire(
+        "ls_dmem_be",
+        b.mux(eq(f3, b.lit(3, 0)), be_sb,
+              b.mux(eq(f3, b.lit(3, 1)), be_sh, b.lit(4, 0xf))));
+    Node store_data = b.wire(
+        "ls_store_data",
+        b.mux(eq(f3, b.lit(3, 0)),
+              rs2_val.bits(7, 0).zext(32) << lane_sh,
+              b.mux(eq(f3, b.lit(3, 1)),
+                    rs2_val.bits(15, 0).zext(32) << half_sh, rs2_val)));
+    Node dmem_we = b.wire("ls_dmem_we", is_store & ~any_trap);
+
+    // ---- register file write -----------------------------------------------
+    b.process("regfile_write");
+    Node wdata = b.wire(
+        "rf_wdata",
+        b.mux(is_lui, imm_u,
+          b.mux(is_auipc, pc + imm_u,
+            b.mux(is_jal | is_jalr, pc + b.lit(32, 4),
+              b.mux(is_load, load_result,
+                b.mux(is_csr, csr_old, alu_out))))));
+    Node we = b.wire("rf_we",
+                     (is_lui | is_auipc | is_jal | is_jalr | is_load |
+                      is_imm | is_reg | csr_exec) &
+                         ~any_trap & ne(rd_f, b.lit(5, 0)));
+    for (int i = 0; i < NumX; ++i) {
+        Node write_here = we & eq(rd_f, b.lit(5, i));
+        b.next(x[i], b.mux(write_here, wdata, x[i]));
+    }
+
+    // ---- checker shadow updates -----------------------------------------------
+    b.process("checker_shadow");
+    b.next(prev_mstatus, mstatus);
+    b.next(prev_mepc, mepc);
+    b.next(prev_priv, priv);
+    b.next(wb_pc, pc);
+    b.next(wb_insn, insn);
+    b.next(wb_trap, any_trap);
+    b.next(wb_cause, b.mux(any_trap, cause, b.lit(4, 0)));
+    b.next(wb_we, we);
+    b.next(wb_rd, rd_f);
+    b.next(wb_result, wdata);
+    b.next(wb_op_a, op_a);
+    b.next(wb_op_b, op_b);
+    b.next(wb_rs1_val, rs1_val);
+    b.next(wb_rs2_val, rs2_val);
+    b.next(wb_br_taken, br_taken & ~any_trap);
+    b.next(wb_dmem_we, dmem_we);
+    b.next(wb_dmem_be, dmem_be);
+    b.next(wb_dmem_addr, lsu_addr);
+    b.next(wb_load_data, dmem_rdata);
+
+    // ---- external outputs --------------------------------------------------
+    b.process("bus_outputs");
+    b.wire("dmem_addr_o", lsu_addr);
+    b.wire("dmem_wdata_o", store_data);
+    b.wire("dmem_we_o", dmem_we);
+    b.wire("dmem_be_o", dmem_be);
+    for (const char *o :
+         {"dmem_addr_o", "dmem_wdata_o", "dmem_we_o", "dmem_be_o"})
+        b.output(o);
+
+    (void)wb_dmem_addr;
+    (void)wb_load_data;
+    (void)wb_dmem_be;
+    (void)wb_dmem_we;
+    (void)wb_br_taken;
+    (void)wb_rs2_val;
+    (void)wb_rs1_val;
+    (void)wb_op_b;
+    (void)wb_op_a;
+    (void)wb_result;
+    (void)wb_rd;
+    (void)wb_we;
+    (void)wb_cause;
+    (void)wb_trap;
+    (void)prev_mepc;
+    (void)prev_mstatus;
+    (void)prev_priv;
+    return d;
+}
+
+smt::TermRef
+rvLegalInsnConstraint(smt::TermManager &tm, smt::TermRef insn_var)
+{
+    smt::TermRef opcode = tm.mkExtract(insn_var, 6, 0);
+    smt::TermRef any = tm.mkFalse();
+    for (std::uint32_t legal : rvLegalOpcodes())
+        any = tm.mkOr(any, tm.mkEq(opcode, tm.mkConst(7, legal)));
+    return any;
+}
+
+} // namespace coppelia::cpu::riscv

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * RTL model of the PULPino-RI5CY evaluation target: an in-order RV32I core
+ * with a simplified machine/user privilege model (priv bit + mstatus
+ * MIE/MPIE/MPP, mepc, mcause, mtvec CSRs). Structured like the OR1k cores:
+ * one instruction per clock from the `insn` input bus, with checker shadow
+ * registers so every security assertion is a register-only predicate.
+ *
+ * The three new PULPino bugs of Table VI are injectable:
+ *   b33 — EBREAK does not update mepc (privilege escalation handling),
+ *   b34 — MRET does not load pc from mepc (privilege de-escalation),
+ *   b35 — JALR does not clear the target LSB (silent pc redirection).
+ */
+
+#ifndef COPPELIA_CPU_RISCV_CORE_HH
+#define COPPELIA_CPU_RISCV_CORE_HH
+
+#include <vector>
+
+#include "cpu/bugs.hh"
+#include "props/assertion.hh"
+#include "rtl/design.hh"
+#include "solver/term.hh"
+
+namespace coppelia::cpu::riscv
+{
+
+/** Build the RI5CY core model. */
+rtl::Design buildRi5cy(const BugConfig &bugs = {});
+
+/**
+ * The 26 security assertions translated to the PULPino-RI5CY (§III-B):
+ * the OR1200 properties were checked against the RISC-V and PULPino
+ * specifications for applicability and re-bound to this core's state.
+ */
+std::vector<props::Assertion> ri5cyAssertions(rtl::Design &design);
+
+/** Preconditioned-symbolic-execution constraint: legal RV32I opcodes. */
+smt::TermRef rvLegalInsnConstraint(smt::TermManager &tm,
+                                   smt::TermRef insn_var);
+
+} // namespace coppelia::cpu::riscv
+
+#endif // COPPELIA_CPU_RISCV_CORE_HH

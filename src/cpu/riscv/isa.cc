@@ -1,0 +1,316 @@
+#include "cpu/riscv/isa.hh"
+
+#include <cstdio>
+
+namespace coppelia::cpu::riscv
+{
+
+namespace
+{
+
+std::uint32_t
+rtype(std::uint32_t funct7, int rs2, int rs1, std::uint32_t funct3, int rd,
+      std::uint32_t opcode)
+{
+    return (funct7 << 25) | (static_cast<std::uint32_t>(rs2 & 0x1f) << 20) |
+           (static_cast<std::uint32_t>(rs1 & 0x1f) << 15) | (funct3 << 12) |
+           (static_cast<std::uint32_t>(rd & 0x1f) << 7) | opcode;
+}
+
+std::uint32_t
+itype(std::int32_t imm, int rs1, std::uint32_t funct3, int rd,
+      std::uint32_t opcode)
+{
+    return ((static_cast<std::uint32_t>(imm) & 0xfff) << 20) |
+           (static_cast<std::uint32_t>(rs1 & 0x1f) << 15) | (funct3 << 12) |
+           (static_cast<std::uint32_t>(rd & 0x1f) << 7) | opcode;
+}
+
+std::uint32_t
+stype(std::int32_t imm, int rs2, int rs1, std::uint32_t funct3,
+      std::uint32_t opcode)
+{
+    const std::uint32_t u = static_cast<std::uint32_t>(imm) & 0xfff;
+    return ((u >> 5) << 25) |
+           (static_cast<std::uint32_t>(rs2 & 0x1f) << 20) |
+           (static_cast<std::uint32_t>(rs1 & 0x1f) << 15) | (funct3 << 12) |
+           ((u & 0x1f) << 7) | opcode;
+}
+
+std::uint32_t
+btype(std::int32_t off, int rs2, int rs1, std::uint32_t funct3)
+{
+    const std::uint32_t u = static_cast<std::uint32_t>(off);
+    return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3f) << 25) |
+           (static_cast<std::uint32_t>(rs2 & 0x1f) << 20) |
+           (static_cast<std::uint32_t>(rs1 & 0x1f) << 15) | (funct3 << 12) |
+           (((u >> 1) & 0xf) << 8) | (((u >> 11) & 1) << 7) | OpBranch;
+}
+
+} // namespace
+
+std::uint32_t
+encLui(int rd, std::uint32_t imm20)
+{
+    return (imm20 << 12) | (static_cast<std::uint32_t>(rd & 0x1f) << 7) |
+           OpLui;
+}
+
+std::uint32_t
+encAuipc(int rd, std::uint32_t imm20)
+{
+    return (imm20 << 12) | (static_cast<std::uint32_t>(rd & 0x1f) << 7) |
+           OpAuipc;
+}
+
+std::uint32_t
+encJal(int rd, std::int32_t off)
+{
+    const std::uint32_t u = static_cast<std::uint32_t>(off);
+    return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3ff) << 21) |
+           (((u >> 11) & 1) << 20) | (((u >> 12) & 0xff) << 12) |
+           (static_cast<std::uint32_t>(rd & 0x1f) << 7) | OpJal;
+}
+
+std::uint32_t
+encJalr(int rd, int rs1, std::int32_t imm)
+{
+    return itype(imm, rs1, 0, rd, OpJalr);
+}
+
+std::uint32_t
+encBranch(RvBranch kind, int rs1, int rs2, std::int32_t off)
+{
+    return btype(off, rs2, rs1, kind);
+}
+
+std::uint32_t
+encLoad(RvLoad kind, int rd, int rs1, std::int32_t imm)
+{
+    return itype(imm, rs1, kind, rd, OpLoad);
+}
+
+std::uint32_t
+encStoreW(int rs1, int rs2, std::int32_t imm)
+{
+    return stype(imm, rs2, rs1, 2, OpStore);
+}
+std::uint32_t
+encStoreH(int rs1, int rs2, std::int32_t imm)
+{
+    return stype(imm, rs2, rs1, 1, OpStore);
+}
+std::uint32_t
+encStoreB(int rs1, int rs2, std::int32_t imm)
+{
+    return stype(imm, rs2, rs1, 0, OpStore);
+}
+
+std::uint32_t
+encAddi(int rd, int rs1, std::int32_t imm)
+{
+    return itype(imm, rs1, 0, rd, OpImm);
+}
+std::uint32_t
+encSlti(int rd, int rs1, std::int32_t imm)
+{
+    return itype(imm, rs1, 2, rd, OpImm);
+}
+std::uint32_t
+encSltiu(int rd, int rs1, std::int32_t imm)
+{
+    return itype(imm, rs1, 3, rd, OpImm);
+}
+std::uint32_t
+encXori(int rd, int rs1, std::int32_t imm)
+{
+    return itype(imm, rs1, 4, rd, OpImm);
+}
+std::uint32_t
+encOri(int rd, int rs1, std::int32_t imm)
+{
+    return itype(imm, rs1, 6, rd, OpImm);
+}
+std::uint32_t
+encAndi(int rd, int rs1, std::int32_t imm)
+{
+    return itype(imm, rs1, 7, rd, OpImm);
+}
+std::uint32_t
+encSlli(int rd, int rs1, int sh)
+{
+    return itype(sh & 0x1f, rs1, 1, rd, OpImm);
+}
+std::uint32_t
+encSrli(int rd, int rs1, int sh)
+{
+    return itype(sh & 0x1f, rs1, 5, rd, OpImm);
+}
+std::uint32_t
+encSrai(int rd, int rs1, int sh)
+{
+    return itype((sh & 0x1f) | 0x400, rs1, 5, rd, OpImm);
+}
+
+std::uint32_t encAdd(int rd, int a, int b2) { return rtype(0, b2, a, 0, rd, OpReg); }
+std::uint32_t encSub(int rd, int a, int b2) { return rtype(0x20, b2, a, 0, rd, OpReg); }
+std::uint32_t encSll(int rd, int a, int b2) { return rtype(0, b2, a, 1, rd, OpReg); }
+std::uint32_t encSlt(int rd, int a, int b2) { return rtype(0, b2, a, 2, rd, OpReg); }
+std::uint32_t encSltu(int rd, int a, int b2) { return rtype(0, b2, a, 3, rd, OpReg); }
+std::uint32_t encXor(int rd, int a, int b2) { return rtype(0, b2, a, 4, rd, OpReg); }
+std::uint32_t encSrl(int rd, int a, int b2) { return rtype(0, b2, a, 5, rd, OpReg); }
+std::uint32_t encSra(int rd, int a, int b2) { return rtype(0x20, b2, a, 5, rd, OpReg); }
+std::uint32_t encOr(int rd, int a, int b2) { return rtype(0, b2, a, 6, rd, OpReg); }
+std::uint32_t encAnd(int rd, int a, int b2) { return rtype(0, b2, a, 7, rd, OpReg); }
+
+std::uint32_t encEcall() { return 0x00000073; }
+std::uint32_t encEbreak() { return 0x00100073; }
+std::uint32_t encMret() { return 0x30200073; }
+
+std::uint32_t
+encCsrrw(int rd, std::uint32_t csr, int rs1)
+{
+    return itype(static_cast<std::int32_t>(csr), rs1, 1, rd, OpSystem);
+}
+
+std::uint32_t
+encCsrrs(int rd, std::uint32_t csr, int rs1)
+{
+    return itype(static_cast<std::int32_t>(csr), rs1, 2, rd, OpSystem);
+}
+
+std::int32_t
+rvImmI(std::uint32_t insn)
+{
+    return static_cast<std::int32_t>(insn) >> 20;
+}
+
+std::int32_t
+rvImmS(std::uint32_t insn)
+{
+    return ((static_cast<std::int32_t>(insn) >> 25) << 5) |
+           static_cast<std::int32_t>((insn >> 7) & 0x1f);
+}
+
+std::int32_t
+rvImmB(std::uint32_t insn)
+{
+    std::uint32_t u = (((insn >> 31) & 1) << 12) |
+                      (((insn >> 7) & 1) << 11) |
+                      (((insn >> 25) & 0x3f) << 5) |
+                      (((insn >> 8) & 0xf) << 1);
+    if (u & 0x1000)
+        u |= 0xffffe000;
+    return static_cast<std::int32_t>(u);
+}
+
+std::int32_t
+rvImmJ(std::uint32_t insn)
+{
+    std::uint32_t u = (((insn >> 31) & 1) << 20) |
+                      (((insn >> 12) & 0xff) << 12) |
+                      (((insn >> 20) & 1) << 11) |
+                      (((insn >> 21) & 0x3ff) << 1);
+    if (u & 0x100000)
+        u |= 0xffe00000;
+    return static_cast<std::int32_t>(u);
+}
+
+std::uint32_t
+rvImmU(std::uint32_t insn)
+{
+    return insn & 0xfffff000;
+}
+
+const std::vector<std::uint32_t> &
+rvLegalOpcodes()
+{
+    static const std::vector<std::uint32_t> ops{
+        OpLui, OpAuipc, OpJal,  OpJalr, OpBranch,
+        OpLoad, OpStore, OpImm, OpReg,  OpSystem,
+    };
+    return ops;
+}
+
+std::string
+rvDisassemble(std::uint32_t insn)
+{
+    char buf[96];
+    const int rd = rvRd(insn);
+    const int rs1 = rvRs1(insn);
+    const int rs2 = rvRs2(insn);
+    const std::uint32_t f3 = rvFunct3(insn);
+    switch (rvOpcode(insn)) {
+      case OpLui:
+        std::snprintf(buf, sizeof(buf), "lui x%d, 0x%x", rd, insn >> 12);
+        break;
+      case OpAuipc:
+        std::snprintf(buf, sizeof(buf), "auipc x%d, 0x%x", rd, insn >> 12);
+        break;
+      case OpJal:
+        std::snprintf(buf, sizeof(buf), "jal x%d, %d", rd, rvImmJ(insn));
+        break;
+      case OpJalr:
+        std::snprintf(buf, sizeof(buf), "jalr x%d, %d(x%d)", rd,
+                      rvImmI(insn), rs1);
+        break;
+      case OpBranch: {
+        const char *names[] = {"beq", "bne", "b?", "b?",
+                               "blt", "bge", "bltu", "bgeu"};
+        std::snprintf(buf, sizeof(buf), "%s x%d, x%d, %d", names[f3], rs1,
+                      rs2, rvImmB(insn));
+        break;
+      }
+      case OpLoad: {
+        const char *names[] = {"lb", "lh", "lw", "l?", "lbu", "lhu"};
+        std::snprintf(buf, sizeof(buf), "%s x%d, %d(x%d)",
+                      names[f3 < 6 ? f3 : 3], rd, rvImmI(insn), rs1);
+        break;
+      }
+      case OpStore: {
+        const char *names[] = {"sb", "sh", "sw"};
+        std::snprintf(buf, sizeof(buf), "%s x%d, %d(x%d)",
+                      names[f3 < 3 ? f3 : 2], rs2, rvImmS(insn), rs1);
+        break;
+      }
+      case OpImm: {
+        const char *names[] = {"addi", "slli", "slti", "sltiu",
+                               "xori", "srli", "ori", "andi"};
+        const char *name = names[f3];
+        if (f3 == 5 && (insn >> 30) & 1)
+            name = "srai";
+        std::snprintf(buf, sizeof(buf), "%s x%d, x%d, %d", name, rd, rs1,
+                      f3 == 1 || f3 == 5 ? (rvImmI(insn) & 0x1f)
+                                         : rvImmI(insn));
+        break;
+      }
+      case OpReg: {
+        const char *names[] = {"add", "sll", "slt", "sltu",
+                               "xor", "srl", "or", "and"};
+        const char *name = names[f3];
+        if (f3 == 0 && rvFunct7(insn) == 0x20)
+            name = "sub";
+        if (f3 == 5 && rvFunct7(insn) == 0x20)
+            name = "sra";
+        std::snprintf(buf, sizeof(buf), "%s x%d, x%d, x%d", name, rd, rs1,
+                      rs2);
+        break;
+      }
+      case OpSystem:
+        if (insn == encEcall())
+            return "ecall";
+        if (insn == encEbreak())
+            return "ebreak";
+        if (insn == encMret())
+            return "mret";
+        std::snprintf(buf, sizeof(buf), "csrr%c x%d, 0x%x, x%d",
+                      f3 == 1 ? 'w' : 's', rd, insn >> 20, rs1);
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), ".word 0x%08x", insn);
+        break;
+    }
+    return buf;
+}
+
+} // namespace coppelia::cpu::riscv

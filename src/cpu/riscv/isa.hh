@@ -1,0 +1,147 @@
+/**
+ * @file
+ * RV32I(+privileged subset) instruction encodings for the PULPino-RI5CY
+ * evaluation target: encoders for the exploit generator and tests, field
+ * decoders for the golden ISS, and a disassembler for exploit listings.
+ */
+
+#ifndef COPPELIA_CPU_RISCV_ISA_HH
+#define COPPELIA_CPU_RISCV_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coppelia::cpu::riscv
+{
+
+/** Major opcodes (insn[6:0]). */
+enum RvOpcode : std::uint32_t
+{
+    OpLui = 0x37,
+    OpAuipc = 0x17,
+    OpJal = 0x6f,
+    OpJalr = 0x67,
+    OpBranch = 0x63,
+    OpLoad = 0x03,
+    OpStore = 0x23,
+    OpImm = 0x13,
+    OpReg = 0x33,
+    OpSystem = 0x73,
+};
+
+/** funct3 values for branches. */
+enum RvBranch : std::uint32_t
+{
+    BrEq = 0,
+    BrNe = 1,
+    BrLt = 4,
+    BrGe = 5,
+    BrLtu = 6,
+    BrGeu = 7,
+};
+
+/** funct3 values for loads. */
+enum RvLoad : std::uint32_t
+{
+    LdB = 0,
+    LdH = 1,
+    LdW = 2,
+    LdBu = 4,
+    LdHu = 5,
+};
+
+/** CSR addresses (subset). */
+enum RvCsr : std::uint32_t
+{
+    CsrMstatus = 0x300,
+    CsrMtvec = 0x305,
+    CsrMepc = 0x341,
+    CsrMcause = 0x342,
+};
+
+/** mstatus bit positions. */
+enum MstatusBit : int
+{
+    MsMie = 3,
+    MsMpie = 7,
+    MsMpp = 11, ///< single-bit MPP (1 = machine) in this simplified model
+};
+
+/** Trap cause codes. */
+enum RvCause : std::uint32_t
+{
+    CauseIllegal = 2,
+    CauseBreakpoint = 3,
+    CauseEcallU = 8,
+    CauseEcallM = 11,
+};
+
+/** Reset and trap-vector addresses. */
+constexpr std::uint32_t RvResetPc = 0x80;
+constexpr std::uint32_t RvDefaultMtvec = 0x1c;
+
+// --- encoders ----------------------------------------------------------------
+
+std::uint32_t encLui(int rd, std::uint32_t imm20);
+std::uint32_t encAuipc(int rd, std::uint32_t imm20);
+std::uint32_t encJal(int rd, std::int32_t offset);
+std::uint32_t encJalr(int rd, int rs1, std::int32_t imm12);
+std::uint32_t encBranch(RvBranch kind, int rs1, int rs2,
+                        std::int32_t offset);
+std::uint32_t encLoad(RvLoad kind, int rd, int rs1, std::int32_t imm12);
+std::uint32_t encStoreW(int rs1, int rs2, std::int32_t imm12);
+std::uint32_t encStoreH(int rs1, int rs2, std::int32_t imm12);
+std::uint32_t encStoreB(int rs1, int rs2, std::int32_t imm12);
+std::uint32_t encAddi(int rd, int rs1, std::int32_t imm12);
+std::uint32_t encSlti(int rd, int rs1, std::int32_t imm12);
+std::uint32_t encSltiu(int rd, int rs1, std::int32_t imm12);
+std::uint32_t encXori(int rd, int rs1, std::int32_t imm12);
+std::uint32_t encOri(int rd, int rs1, std::int32_t imm12);
+std::uint32_t encAndi(int rd, int rs1, std::int32_t imm12);
+std::uint32_t encSlli(int rd, int rs1, int shamt);
+std::uint32_t encSrli(int rd, int rs1, int shamt);
+std::uint32_t encSrai(int rd, int rs1, int shamt);
+std::uint32_t encAdd(int rd, int rs1, int rs2);
+std::uint32_t encSub(int rd, int rs1, int rs2);
+std::uint32_t encSll(int rd, int rs1, int rs2);
+std::uint32_t encSlt(int rd, int rs1, int rs2);
+std::uint32_t encSltu(int rd, int rs1, int rs2);
+std::uint32_t encXor(int rd, int rs1, int rs2);
+std::uint32_t encSrl(int rd, int rs1, int rs2);
+std::uint32_t encSra(int rd, int rs1, int rs2);
+std::uint32_t encOr(int rd, int rs1, int rs2);
+std::uint32_t encAnd(int rd, int rs1, int rs2);
+std::uint32_t encEcall();
+std::uint32_t encEbreak();
+std::uint32_t encMret();
+std::uint32_t encCsrrw(int rd, std::uint32_t csr, int rs1);
+std::uint32_t encCsrrs(int rd, std::uint32_t csr, int rs1);
+
+// --- field decoders -----------------------------------------------------------
+
+inline std::uint32_t rvOpcode(std::uint32_t insn) { return insn & 0x7f; }
+inline int rvRd(std::uint32_t insn) { return (insn >> 7) & 0x1f; }
+inline int rvRs1(std::uint32_t insn) { return (insn >> 15) & 0x1f; }
+inline int rvRs2(std::uint32_t insn) { return (insn >> 20) & 0x1f; }
+inline std::uint32_t rvFunct3(std::uint32_t insn)
+{
+    return (insn >> 12) & 7;
+}
+inline std::uint32_t rvFunct7(std::uint32_t insn) { return insn >> 25; }
+
+std::int32_t rvImmI(std::uint32_t insn);
+std::int32_t rvImmS(std::uint32_t insn);
+std::int32_t rvImmB(std::uint32_t insn);
+std::int32_t rvImmJ(std::uint32_t insn);
+std::uint32_t rvImmU(std::uint32_t insn);
+
+/** All legal major opcodes (preconditioned symbolic execution). */
+const std::vector<std::uint32_t> &rvLegalOpcodes();
+
+/** Best-effort disassembly. */
+std::string rvDisassemble(std::uint32_t insn);
+
+} // namespace coppelia::cpu::riscv
+
+#endif // COPPELIA_CPU_RISCV_ISA_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Mini-Verilog frontend — the transcompilation phase of the reproduction
+ * (paper §II-B, where Verilator translates RTL Verilog to C++). This
+ * frontend parses a synthesizable single-module subset of Verilog and
+ * elaborates it onto the rtl::Design IR, from which the rest of the tool
+ * chain (simulator, symbolic executor, backward engine) operates.
+ *
+ * Supported subset:
+ *   - one module with a port list; `input`/`output`/`wire`/`reg`
+ *     declarations with `[msb:lsb]` ranges; `reg [7:0] r = 8'h12;`
+ *     initializers give reset values;
+ *   - `assign name = expr;` continuous assignments;
+ *   - one or more `always @(posedge clk) begin ... end` blocks containing
+ *     non-blocking assignments (`r <= expr;`), `if`/`else if`/`else`, and
+ *     `case`/`default` statements (lowered to control-branch muxes, the
+ *     fork points of the symbolic executor);
+ *   - expressions: `~ ! - & | ^` (unary/reduction), `* + - << >> >>>`,
+ *     comparisons, `&& ||`, ternary `?:`, bit and part selects,
+ *     concatenation `{a, b}`, sized literals (`8'hff`, `4'b1010`),
+ *     decimal literals.
+ *
+ * Not supported (documented substitution): module hierarchies (the paper's
+ * designs are inlined by Verilator anyway), tasks/functions, X/Z values
+ * (Verilator replaces don't-cares with concrete values), and multiple
+ * clock domains.
+ */
+
+#ifndef COPPELIA_HDL_HDL_HH
+#define COPPELIA_HDL_HDL_HH
+
+#include <string>
+
+#include "rtl/design.hh"
+
+namespace coppelia::hdl
+{
+
+/** A parse/elaboration diagnostic. */
+struct HdlError
+{
+    int line = 0;
+    std::string message;
+};
+
+/**
+ * Parse and elaborate a mini-Verilog module.
+ * @throws never — calls fatal() on malformed input with a line number.
+ */
+rtl::Design parseVerilog(const std::string &source);
+
+/**
+ * Validating variant: returns false and fills @p error instead of dying.
+ */
+bool tryParseVerilog(const std::string &source, rtl::Design &out,
+                     HdlError &error);
+
+} // namespace coppelia::hdl
+
+#endif // COPPELIA_HDL_HDL_HH

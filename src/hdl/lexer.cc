@@ -1,0 +1,187 @@
+#include "hdl/lexer.hh"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace coppelia::hdl
+{
+
+bool
+isKeyword(const std::string &word)
+{
+    static const std::unordered_set<std::string> keywords{
+        "module", "endmodule", "input",  "output", "wire",
+        "reg",    "assign",    "always", "posedge", "negedge",
+        "begin",  "end",       "if",     "else",    "case",
+        "endcase", "default",  "initial",
+    };
+    return keywords.count(word) != 0;
+}
+
+Lexer::Lexer(const std::string &source) : src_(source) {}
+
+bool
+Lexer::fail(const std::string &message)
+{
+    error_ = message;
+    errorLine_ = line_;
+    return false;
+}
+
+void
+Lexer::skipWhitespaceAndComments()
+{
+    while (pos_ < src_.size()) {
+        const char c = src_[pos_];
+        if (c == '\n') {
+            ++line_;
+            ++pos_;
+        } else if (std::isspace(static_cast<unsigned char>(c))) {
+            ++pos_;
+        } else if (c == '/' && pos_ + 1 < src_.size() &&
+                   src_[pos_ + 1] == '/') {
+            while (pos_ < src_.size() && src_[pos_] != '\n')
+                ++pos_;
+        } else if (c == '/' && pos_ + 1 < src_.size() &&
+                   src_[pos_ + 1] == '*') {
+            pos_ += 2;
+            while (pos_ + 1 < src_.size() &&
+                   !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+                if (src_[pos_] == '\n')
+                    ++line_;
+                ++pos_;
+            }
+            pos_ += 2;
+        } else {
+            break;
+        }
+    }
+}
+
+bool
+Lexer::lexNumber()
+{
+    Token t;
+    t.kind = Tok::Number;
+    t.line = line_;
+
+    // Optional decimal prefix (size or plain decimal literal).
+    std::uint64_t dec = 0;
+    bool have_dec = false;
+    while (pos_ < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        dec = dec * 10 + (src_[pos_] - '0');
+        have_dec = true;
+        ++pos_;
+    }
+
+    if (pos_ < src_.size() && src_[pos_] == '\'') {
+        ++pos_;
+        if (pos_ >= src_.size())
+            return fail("truncated sized literal");
+        const char base = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(src_[pos_++])));
+        int radix = 0;
+        switch (base) {
+          case 'h': radix = 16; break;
+          case 'd': radix = 10; break;
+          case 'b': radix = 2; break;
+          case 'o': radix = 8; break;
+          default:
+            return fail(std::string("bad literal base '") + base + "'");
+        }
+        std::uint64_t value = 0;
+        bool any = false;
+        while (pos_ < src_.size()) {
+            const char c = static_cast<char>(std::tolower(
+                static_cast<unsigned char>(src_[pos_])));
+            int digit = -1;
+            if (c >= '0' && c <= '9')
+                digit = c - '0';
+            else if (c >= 'a' && c <= 'f')
+                digit = 10 + (c - 'a');
+            else if (c == '_') {
+                ++pos_;
+                continue;
+            }
+            if (digit < 0 || digit >= radix)
+                break;
+            value = value * radix + static_cast<std::uint64_t>(digit);
+            any = true;
+            ++pos_;
+        }
+        if (!any)
+            return fail("sized literal with no digits");
+        if (!have_dec || dec == 0 || dec > 64)
+            return fail("literal width must be 1..64");
+        t.value = value;
+        t.width = static_cast<int>(dec);
+    } else {
+        if (!have_dec)
+            return fail("expected a number");
+        t.value = dec;
+        t.width = 0; // unsized
+    }
+    tokens_.push_back(t);
+    return true;
+}
+
+bool
+Lexer::run()
+{
+    while (true) {
+        skipWhitespaceAndComments();
+        if (pos_ >= src_.size())
+            break;
+        const char c = src_[pos_];
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            Token t;
+            t.line = line_;
+            while (pos_ < src_.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                    src_[pos_] == '_')) {
+                t.text.push_back(src_[pos_++]);
+            }
+            t.kind = isKeyword(t.text) ? Tok::Keyword : Tok::Identifier;
+            tokens_.push_back(std::move(t));
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '\'') {
+            if (!lexNumber())
+                return false;
+            continue;
+        }
+        // Punctuation, longest match first (">>>" before ">>").
+        static const char *multi[] = {">>>", "<<", ">>", "<=", ">=",
+                                      "==",  "!=", "&&", "||"};
+        Token t;
+        t.kind = Tok::Punct;
+        t.line = line_;
+        bool matched = false;
+        for (const char *op : multi) {
+            const std::size_t n = std::char_traits<char>::length(op);
+            if (src_.compare(pos_, n, op) == 0) {
+                t.text = op;
+                pos_ += n;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            static const std::string singles = "()[]{}:;,=+-*&|^~!?<>@.";
+            if (singles.find(c) == std::string::npos)
+                return fail(std::string("unexpected character '") + c +
+                            "'");
+            t.text = std::string(1, c);
+            ++pos_;
+        }
+        tokens_.push_back(std::move(t));
+    }
+    Token end;
+    end.kind = Tok::End;
+    end.line = line_;
+    tokens_.push_back(end);
+    return true;
+}
+
+} // namespace coppelia::hdl

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tokenizer for the mini-Verilog subset. Handles identifiers, keywords,
+ * sized and unsized literals, operators (including multi-character ones),
+ * and both comment styles.
+ */
+
+#ifndef COPPELIA_HDL_LEXER_HH
+#define COPPELIA_HDL_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coppelia::hdl
+{
+
+/** Token kinds. */
+enum class Tok
+{
+    Identifier,
+    Keyword,
+    Number,   ///< value + optional explicit width
+    Punct,    ///< operators and punctuation, stored as text
+    End,
+};
+
+/** One token. */
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;
+    std::uint64_t value = 0; ///< numbers
+    int width = 0;           ///< 0 = unsized literal
+    int line = 1;
+};
+
+/** Exception-free lexer; reports errors through a flag + message. */
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &source);
+
+    /** Tokenize the whole input. Returns false on a bad character or
+     *  malformed literal. */
+    bool run();
+
+    const std::vector<Token> &tokens() const { return tokens_; }
+    const std::string &error() const { return error_; }
+    int errorLine() const { return errorLine_; }
+
+  private:
+    bool lexNumber();
+    void skipWhitespaceAndComments();
+    bool fail(const std::string &message);
+
+    std::string src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    std::vector<Token> tokens_;
+    std::string error_;
+    int errorLine_ = 0;
+};
+
+/** True if @p word is a reserved keyword of the subset. */
+bool isKeyword(const std::string &word);
+
+} // namespace coppelia::hdl
+
+#endif // COPPELIA_HDL_LEXER_HH

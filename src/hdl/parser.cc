@@ -1,0 +1,823 @@
+/**
+ * @file
+ * Recursive-descent parser and elaborator for the mini-Verilog subset.
+ * Parsing builds a small AST; elaboration lowers it onto rtl::Design via
+ * the Builder, turning `if`/`case` statements into control-branch muxes
+ * (the symbolic executor's fork points, mirroring how Verilator lowers
+ * them to C++ branches) and non-blocking assignments into register
+ * next-state expressions with last-assignment-wins merge semantics.
+ */
+
+#include "hdl/hdl.hh"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "hdl/lexer.hh"
+#include "rtl/builder.hh"
+#include "util/logging.hh"
+
+namespace coppelia::hdl
+{
+
+namespace
+{
+
+using rtl::Builder;
+using rtl::Design;
+using rtl::ExprRef;
+using rtl::Node;
+
+struct ParseError
+{
+    int line;
+    std::string message;
+};
+
+[[noreturn]] void
+bail(int line, const std::string &message)
+{
+    throw ParseError{line, message};
+}
+
+// --- AST ---------------------------------------------------------------------
+
+struct Ast;
+using AstP = std::unique_ptr<Ast>;
+
+struct Ast
+{
+    enum Kind
+    {
+        Num,
+        Id,
+        Unary,   ///< op in {~, -, !, &, |, ^}
+        Binary,  ///< op text
+        Ternary,
+        Select,  ///< a[hi:lo] or a[bit]
+        Concat,
+    };
+
+    Kind kind = Num;
+    int line = 0;
+    std::uint64_t value = 0;
+    int width = 0; ///< literal width (0 = unsized)
+    std::string name;
+    std::string op;
+    AstP a, b, c;
+    std::vector<AstP> items;
+    int hi = 0, lo = 0;
+};
+
+struct Stmt;
+using StmtP = std::unique_ptr<Stmt>;
+
+struct Stmt
+{
+    enum Kind
+    {
+        NonBlocking,
+        If,
+        Case,
+    };
+
+    Kind kind = NonBlocking;
+    int line = 0;
+    std::string lhs;
+    AstP rhs;
+    AstP cond;
+    std::vector<StmtP> thenBody, elseBody;
+    AstP sel;
+    std::vector<std::pair<AstP, std::vector<StmtP>>> cases;
+    std::vector<StmtP> defaultBody;
+};
+
+/** Signal declaration collected in the first pass. */
+struct Decl
+{
+    enum Kind
+    {
+        Input,
+        Output,
+        Wire,
+        Reg,
+    };
+    Kind kind = Wire;
+    std::string name;
+    int width = 1;
+    std::uint64_t reset = 0;
+    int line = 0;
+};
+
+// --- parser -----------------------------------------------------------------
+
+class Parser
+{
+  public:
+    explicit Parser(const std::vector<Token> &tokens) : toks_(tokens) {}
+
+    Design parseModule();
+
+  private:
+    const Token &peek(int ahead = 0) const
+    {
+        const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+    const Token &
+    next()
+    {
+        const Token &t = peek();
+        if (t.kind != Tok::End)
+            ++pos_;
+        return t;
+    }
+    bool
+    accept(const std::string &text)
+    {
+        if (peek().text == text && (peek().kind == Tok::Punct ||
+                                    peek().kind == Tok::Keyword)) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+    void
+    expect(const std::string &text)
+    {
+        if (!accept(text))
+            bail(peek().line, "expected '" + text + "', found '" +
+                                  peek().text + "'");
+    }
+    std::string
+    expectIdent()
+    {
+        if (peek().kind != Tok::Identifier)
+            bail(peek().line, "expected identifier, found '" +
+                                  peek().text + "'");
+        return next().text;
+    }
+
+    // Declarations.
+    void parseDeclaration(Decl::Kind kind);
+    std::optional<int> parseRange(); ///< [msb:lsb] -> width
+
+    // Statements.
+    std::vector<StmtP> parseStatementBlock();
+    StmtP parseStatement();
+
+    // Expressions (precedence climbing).
+    AstP parseExpr() { return parseTernary(); }
+    AstP parseTernary();
+    AstP parseBinary(int min_prec);
+    AstP parseUnary();
+    AstP parsePrimary();
+
+    // Elaboration.
+    void elaborate(Design &design);
+    Node elabExpr(Builder &b, const Ast &ast);
+    Node toWidth(Builder &b, Node n, int width, int line);
+    Node toBool(Builder &b, Node n);
+    void elabStmts(Builder &b, const std::vector<StmtP> &stmts,
+                   std::map<std::string, Node> &env);
+
+    const std::vector<Token> &toks_;
+    std::size_t pos_ = 0;
+
+    std::string moduleName_;
+    std::vector<Decl> decls_;
+    std::vector<std::pair<std::string, AstP>> assigns_;
+    std::vector<std::pair<int, std::vector<StmtP>>> alwaysBlocks_;
+    std::vector<std::string> clockNames_;
+    std::map<std::string, Node> signals_; ///< name -> read node
+    std::map<std::string, int> widths_;
+};
+
+std::optional<int>
+Parser::parseRange()
+{
+    if (!accept("["))
+        return std::nullopt;
+    const Token &msb = next();
+    if (msb.kind != Tok::Number)
+        bail(msb.line, "expected msb in range");
+    expect(":");
+    const Token &lsb = next();
+    if (lsb.kind != Tok::Number)
+        bail(lsb.line, "expected lsb in range");
+    expect("]");
+    if (lsb.value != 0)
+        bail(lsb.line, "ranges must be [msb:0]");
+    return static_cast<int>(msb.value) + 1;
+}
+
+void
+Parser::parseDeclaration(Decl::Kind kind)
+{
+    const int width = parseRange().value_or(1);
+    while (true) {
+        Decl d;
+        d.kind = kind;
+        d.width = width;
+        d.line = peek().line;
+        d.name = expectIdent();
+        if (accept("=")) {
+            const Token &v = next();
+            if (v.kind != Tok::Number)
+                bail(v.line, "reset value must be a literal");
+            d.reset = v.value;
+        }
+        decls_.push_back(std::move(d));
+        if (!accept(","))
+            break;
+    }
+    expect(";");
+}
+
+AstP
+Parser::parsePrimary()
+{
+    const Token &t = peek();
+    if (t.kind == Tok::Number) {
+        next();
+        auto ast = std::make_unique<Ast>();
+        ast->kind = Ast::Num;
+        ast->value = t.value;
+        ast->width = t.width;
+        ast->line = t.line;
+        return ast;
+    }
+    if (t.kind == Tok::Identifier) {
+        next();
+        auto ast = std::make_unique<Ast>();
+        ast->kind = Ast::Id;
+        ast->name = t.text;
+        ast->line = t.line;
+        // Optional bit/part select.
+        if (accept("[")) {
+            const Token &hi = next();
+            if (hi.kind != Tok::Number)
+                bail(hi.line, "bit select must be a literal");
+            auto sel = std::make_unique<Ast>();
+            sel->kind = Ast::Select;
+            sel->line = hi.line;
+            sel->a = std::move(ast);
+            sel->hi = static_cast<int>(hi.value);
+            sel->lo = sel->hi;
+            if (accept(":")) {
+                const Token &lo = next();
+                if (lo.kind != Tok::Number)
+                    bail(lo.line, "part select must be a literal");
+                sel->lo = static_cast<int>(lo.value);
+            }
+            expect("]");
+            return sel;
+        }
+        return ast;
+    }
+    if (accept("(")) {
+        AstP inner = parseExpr();
+        expect(")");
+        return inner;
+    }
+    if (accept("{")) {
+        auto ast = std::make_unique<Ast>();
+        ast->kind = Ast::Concat;
+        ast->line = t.line;
+        ast->items.push_back(parseExpr());
+        while (accept(","))
+            ast->items.push_back(parseExpr());
+        expect("}");
+        return ast;
+    }
+    bail(t.line, "expected expression, found '" + t.text + "'");
+}
+
+AstP
+Parser::parseUnary()
+{
+    const Token &t = peek();
+    if (t.kind == Tok::Punct &&
+        (t.text == "~" || t.text == "-" || t.text == "!" ||
+         t.text == "&" || t.text == "|" || t.text == "^")) {
+        next();
+        auto ast = std::make_unique<Ast>();
+        ast->kind = Ast::Unary;
+        ast->op = t.text;
+        ast->line = t.line;
+        ast->a = parseUnary();
+        return ast;
+    }
+    return parsePrimary();
+}
+
+namespace
+{
+
+int
+precedenceOf(const std::string &op)
+{
+    if (op == "*")
+        return 7;
+    if (op == "+" || op == "-")
+        return 6;
+    if (op == "<<" || op == ">>" || op == ">>>")
+        return 5;
+    if (op == "<" || op == "<=" || op == ">" || op == ">=")
+        return 4;
+    if (op == "==" || op == "!=")
+        return 3;
+    if (op == "&" || op == "^" || op == "|")
+        return 2;
+    if (op == "&&" || op == "||")
+        return 1;
+    return -1;
+}
+
+} // namespace
+
+AstP
+Parser::parseBinary(int min_prec)
+{
+    AstP lhs = parseUnary();
+    while (true) {
+        const Token &t = peek();
+        if (t.kind != Tok::Punct)
+            break;
+        const int prec = precedenceOf(t.text);
+        if (prec < min_prec)
+            break;
+        next();
+        AstP rhs = parseBinary(prec + 1);
+        auto ast = std::make_unique<Ast>();
+        ast->kind = Ast::Binary;
+        ast->op = t.text;
+        ast->line = t.line;
+        ast->a = std::move(lhs);
+        ast->b = std::move(rhs);
+        lhs = std::move(ast);
+    }
+    return lhs;
+}
+
+AstP
+Parser::parseTernary()
+{
+    AstP cond = parseBinary(1);
+    if (!accept("?"))
+        return cond;
+    auto ast = std::make_unique<Ast>();
+    ast->kind = Ast::Ternary;
+    ast->line = peek().line;
+    ast->a = std::move(cond);
+    ast->b = parseExpr();
+    expect(":");
+    ast->c = parseExpr();
+    return ast;
+}
+
+StmtP
+Parser::parseStatement()
+{
+    if (accept("if")) {
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::If;
+        s->line = peek().line;
+        expect("(");
+        s->cond = parseExpr();
+        expect(")");
+        s->thenBody = parseStatementBlock();
+        if (accept("else")) {
+            if (peek().text == "if") {
+                s->elseBody.push_back(parseStatement());
+            } else {
+                s->elseBody = parseStatementBlock();
+            }
+        }
+        return s;
+    }
+    if (accept("case")) {
+        auto s = std::make_unique<Stmt>();
+        s->kind = Stmt::Case;
+        s->line = peek().line;
+        expect("(");
+        s->sel = parseExpr();
+        expect(")");
+        while (!accept("endcase")) {
+            if (accept("default")) {
+                expect(":");
+                s->defaultBody = parseStatementBlock();
+                continue;
+            }
+            AstP label = parseExpr();
+            expect(":");
+            s->cases.emplace_back(std::move(label),
+                                  parseStatementBlock());
+        }
+        return s;
+    }
+    // Non-blocking assignment: name <= expr ;
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::NonBlocking;
+    s->line = peek().line;
+    s->lhs = expectIdent();
+    expect("<=");
+    s->rhs = parseExpr();
+    expect(";");
+    return s;
+}
+
+std::vector<StmtP>
+Parser::parseStatementBlock()
+{
+    std::vector<StmtP> out;
+    if (accept("begin")) {
+        while (!accept("end"))
+            out.push_back(parseStatement());
+    } else {
+        out.push_back(parseStatement());
+    }
+    return out;
+}
+
+Design
+Parser::parseModule()
+{
+    expect("module");
+    moduleName_ = expectIdent();
+    if (accept("(")) {
+        if (!accept(")")) {
+            do {
+                expectIdent();
+            } while (accept(","));
+            expect(")");
+        }
+    }
+    expect(";");
+
+    std::vector<std::pair<std::string, std::uint64_t>> initials;
+    std::vector<std::string> outputs;
+
+    while (!accept("endmodule")) {
+        const Token &t = peek();
+        if (accept("input")) {
+            parseDeclaration(Decl::Input);
+        } else if (accept("output")) {
+            // `output` may combine with an implicit wire; record both.
+            std::size_t first = decls_.size();
+            parseDeclaration(Decl::Wire);
+            for (std::size_t i = first; i < decls_.size(); ++i)
+                outputs.push_back(decls_[i].name);
+        } else if (accept("wire")) {
+            parseDeclaration(Decl::Wire);
+        } else if (accept("reg")) {
+            parseDeclaration(Decl::Reg);
+        } else if (accept("assign")) {
+            std::string name = expectIdent();
+            expect("=");
+            assigns_.emplace_back(std::move(name), parseExpr());
+            expect(";");
+        } else if (accept("initial")) {
+            std::string name = expectIdent();
+            expect("=");
+            const Token &v = next();
+            if (v.kind != Tok::Number)
+                bail(v.line, "initial value must be a literal");
+            initials.emplace_back(name, v.value);
+            expect(";");
+        } else if (accept("always")) {
+            expect("@");
+            expect("(");
+            do {
+                if (accept("posedge") || accept("negedge"))
+                    clockNames_.push_back(expectIdent());
+                else
+                    bail(peek().line,
+                         "always blocks must use edge sensitivity");
+            } while (accept(","));
+            expect(")");
+            alwaysBlocks_.emplace_back(t.line, parseStatementBlock());
+        } else if (t.kind == Tok::End) {
+            bail(t.line, "unexpected end of input (missing endmodule?)");
+        } else {
+            bail(t.line, "unexpected token '" + t.text + "'");
+        }
+    }
+
+    // Apply initial values to the declarations.
+    for (const auto &[name, value] : initials) {
+        bool found = false;
+        for (Decl &d : decls_) {
+            if (d.name == name) {
+                d.reset = value;
+                found = true;
+            }
+        }
+        if (!found)
+            bail(1, "initial for undeclared signal " + name);
+    }
+
+    Design design(moduleName_);
+    elaborate(design);
+    for (const std::string &name : outputs)
+        design.markOutput(design.signalIdOf(name));
+    return design;
+}
+
+// --- elaboration ---------------------------------------------------------------
+
+Node
+Parser::toWidth(Builder &b, Node n, int width, int line)
+{
+    (void)b;
+    if (n.width() == width)
+        return n;
+    if (n.width() > width)
+        return n.bits(width - 1, 0);
+    (void)line;
+    return n.zext(width);
+}
+
+Node
+Parser::toBool(Builder &b, Node n)
+{
+    (void)b;
+    return n.width() == 1 ? n : n.orR();
+}
+
+Node
+Parser::elabExpr(Builder &b, const Ast &ast)
+{
+    switch (ast.kind) {
+      case Ast::Num:
+        return b.lit(ast.width ? ast.width : 32, ast.value);
+      case Ast::Id: {
+        auto it = signals_.find(ast.name);
+        if (it == signals_.end())
+            bail(ast.line, "use of undeclared signal " + ast.name);
+        return it->second;
+      }
+      case Ast::Unary: {
+        Node a = elabExpr(b, *ast.a);
+        if (ast.op == "~")
+            return ~a;
+        if (ast.op == "-")
+            return -a;
+        if (ast.op == "!")
+            return ~toBool(b, a);
+        if (ast.op == "&")
+            return a.andR();
+        if (ast.op == "|")
+            return a.orR();
+        if (ast.op == "^")
+            return a.xorR();
+        bail(ast.line, "bad unary operator " + ast.op);
+      }
+      case Ast::Binary: {
+        Node a = elabExpr(b, *ast.a);
+        Node c = elabExpr(b, *ast.b);
+        if (ast.op == "&&")
+            return toBool(b, a) & toBool(b, c);
+        if (ast.op == "||")
+            return toBool(b, a) | toBool(b, c);
+        if (ast.op == "<<" || ast.op == ">>" || ast.op == ">>>") {
+            if (ast.op == "<<")
+                return a << c;
+            if (ast.op == ">>")
+                return a >> c;
+            return ashr(a, c);
+        }
+        const int w = std::max(a.width(), c.width());
+        a = toWidth(b, a, w, ast.line);
+        c = toWidth(b, c, w, ast.line);
+        if (ast.op == "+")
+            return a + c;
+        if (ast.op == "-")
+            return a - c;
+        if (ast.op == "*")
+            return a * c;
+        if (ast.op == "&")
+            return a & c;
+        if (ast.op == "|")
+            return a | c;
+        if (ast.op == "^")
+            return a ^ c;
+        if (ast.op == "==")
+            return eq(a, c);
+        if (ast.op == "!=")
+            return ne(a, c);
+        if (ast.op == "<")
+            return ult(a, c);
+        if (ast.op == "<=")
+            return ule(a, c);
+        if (ast.op == ">")
+            return ult(c, a);
+        if (ast.op == ">=")
+            return ule(c, a);
+        bail(ast.line, "bad binary operator " + ast.op);
+      }
+      case Ast::Ternary: {
+        Node cond = toBool(b, elabExpr(b, *ast.a));
+        Node t = elabExpr(b, *ast.b);
+        Node e = elabExpr(b, *ast.c);
+        const int w = std::max(t.width(), e.width());
+        return b.mux(cond, toWidth(b, t, w, ast.line),
+                     toWidth(b, e, w, ast.line));
+      }
+      case Ast::Select: {
+        Node a = elabExpr(b, *ast.a);
+        if (ast.hi >= a.width() || ast.lo < 0 || ast.hi < ast.lo)
+            bail(ast.line, "bit select out of range");
+        return a.bits(ast.hi, ast.lo);
+      }
+      case Ast::Concat: {
+        Node acc = elabExpr(b, *ast.items[0]);
+        for (std::size_t i = 1; i < ast.items.size(); ++i)
+            acc = cat(acc, elabExpr(b, *ast.items[i]));
+        return acc;
+      }
+    }
+    bail(ast.line, "unreachable expression kind");
+}
+
+void
+Parser::elabStmts(Builder &b, const std::vector<StmtP> &stmts,
+                  std::map<std::string, Node> &env)
+{
+    for (const StmtP &stmt : stmts) {
+        switch (stmt->kind) {
+          case Stmt::NonBlocking: {
+            auto wit = widths_.find(stmt->lhs);
+            if (wit == widths_.end())
+                bail(stmt->line,
+                     "assignment to undeclared register " + stmt->lhs);
+            Node rhs = toWidth(b, elabExpr(b, *stmt->rhs), wit->second,
+                               stmt->line);
+            env[stmt->lhs] = rhs;
+            break;
+          }
+          case Stmt::If: {
+            Node cond = toBool(b, elabExpr(b, *stmt->cond));
+            std::map<std::string, Node> env_then = env;
+            std::map<std::string, Node> env_else = env;
+            elabStmts(b, stmt->thenBody, env_then);
+            elabStmts(b, stmt->elseBody, env_else);
+            for (const auto &[name, then_node] : env_then) {
+                auto eit = env_else.find(name);
+                Node else_node =
+                    eit != env_else.end() ? eit->second : signals_[name];
+                if (then_node.ref() == else_node.ref()) {
+                    env[name] = then_node;
+                    continue;
+                }
+                env[name] = b.branchMux(cond, then_node, else_node);
+            }
+            for (const auto &[name, else_node] : env_else) {
+                if (env_then.count(name))
+                    continue;
+                env[name] =
+                    b.branchMux(cond, signals_[name], else_node);
+            }
+            break;
+          }
+          case Stmt::Case: {
+            Node sel = elabExpr(b, *stmt->sel);
+            // Default arm first, then each label wraps around it in
+            // reverse so the first label has priority.
+            std::map<std::string, Node> env_result = env;
+            elabStmts(b, stmt->defaultBody, env_result);
+            for (auto it = stmt->cases.rbegin(); it != stmt->cases.rend();
+                 ++it) {
+                Node label = toWidth(b, elabExpr(b, *it->first),
+                                     sel.width(), stmt->line);
+                std::map<std::string, Node> env_arm = env;
+                elabStmts(b, it->second, env_arm);
+                Node cond = eq(sel, label);
+                std::map<std::string, Node> merged = env_result;
+                for (const auto &[name, arm_node] : env_arm) {
+                    auto rit = env_result.find(name);
+                    Node fallback = rit != env_result.end()
+                                        ? rit->second
+                                        : signals_[name];
+                    merged[name] =
+                        b.branchMux(cond, arm_node, fallback);
+                }
+                for (auto &[name, res_node] : env_result) {
+                    if (env_arm.count(name))
+                        continue;
+                    Node held = env.count(name) ? env[name]
+                                                : signals_[name];
+                    merged[name] = b.branchMux(cond, held, res_node);
+                }
+                env_result = std::move(merged);
+            }
+            env = std::move(env_result);
+            break;
+          }
+        }
+    }
+}
+
+void
+Parser::elaborate(Design &design)
+{
+    Builder b(design);
+
+    // Clock inputs drive the implicit clock; they are not data inputs.
+    auto isClock = [this](const std::string &name) {
+        for (const std::string &clk : clockNames_) {
+            if (clk == name)
+                return true;
+        }
+        return false;
+    };
+
+    b.process("declarations");
+    for (const Decl &d : decls_) {
+        if (isClock(d.name))
+            continue;
+        Node n;
+        switch (d.kind) {
+          case Decl::Input:
+            n = b.input(d.name, d.width);
+            break;
+          case Decl::Output:
+          case Decl::Wire:
+            // Wires get their defining expression from assigns later;
+            // declare the signal now.
+            design.addWire(d.name, d.width);
+            n = Node(&design,
+                     design.signalExpr(design.signalIdOf(d.name)));
+            break;
+          case Decl::Reg:
+            n = b.reg(d.name, d.width, d.reset);
+            break;
+        }
+        signals_[d.name] = n;
+        widths_[d.name] = d.width;
+    }
+
+    // Continuous assignments.
+    for (const auto &[name, ast] : assigns_) {
+        auto it = signals_.find(name);
+        if (it == signals_.end())
+            bail(ast->line, "assign to undeclared signal " + name);
+        b.process("assign_" + name);
+        Node rhs = toWidth(b, elabExpr(b, *ast), widths_[name],
+                           ast->line);
+        design.defineWire(design.signalIdOf(name), rhs.ref());
+    }
+
+    // Always blocks: accumulate next-state expressions per register.
+    std::map<std::string, Node> env;
+    for (const auto &[line, stmts] : alwaysBlocks_) {
+        b.process("always_line" + std::to_string(line));
+        elabStmts(b, stmts, env);
+    }
+    for (const auto &[name, node] : env) {
+        const rtl::SignalId sig = design.signalIdOf(name);
+        if (design.signal(sig).kind != rtl::SignalKind::Register)
+            bail(1, "non-blocking assignment to non-reg " + name);
+        design.defineNext(sig, node.ref());
+    }
+}
+
+} // namespace
+
+Design
+parseVerilog(const std::string &source)
+{
+    rtl::Design out("");
+    HdlError err;
+    if (!tryParseVerilog(source, out, err))
+        fatal("verilog parse error at line ", err.line, ": ",
+              err.message);
+    return out;
+}
+
+bool
+tryParseVerilog(const std::string &source, rtl::Design &out,
+                HdlError &error)
+{
+    Lexer lexer(source);
+    if (!lexer.run()) {
+        error.line = lexer.errorLine();
+        error.message = lexer.error();
+        return false;
+    }
+    try {
+        Parser parser(lexer.tokens());
+        out = parser.parseModule();
+        // Sanity: make sure there is no combinational cycle.
+        out.topoWires();
+        return true;
+    } catch (const ParseError &pe) {
+        error.line = pe.line;
+        error.message = pe.message;
+        return false;
+    }
+}
+
+} // namespace coppelia::hdl

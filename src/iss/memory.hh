@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Simple sparse word-addressed memory with byte enables, shared by the
+ * golden instruction-set simulators and the exploit replayer (it plays the
+ * role of the evaluation board's SRAM). Little-endian byte lanes match the
+ * cores' LSU.
+ */
+
+#ifndef COPPELIA_ISS_MEMORY_HH
+#define COPPELIA_ISS_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace coppelia::iss
+{
+
+/** Sparse 32-bit-word memory; unwritten locations read as zero. */
+class SparseMemory
+{
+  public:
+    /** Aligned word read (address low bits ignored). */
+    std::uint32_t
+    readWord(std::uint32_t addr) const
+    {
+        auto it = words_.find(addr >> 2);
+        return it == words_.end() ? 0 : it->second;
+    }
+
+    /** Aligned word write with byte enables (bit i covers byte lane i,
+     *  little-endian). */
+    void
+    writeWord(std::uint32_t addr, std::uint32_t data, unsigned be = 0xf)
+    {
+        std::uint32_t word = readWord(addr);
+        for (int lane = 0; lane < 4; ++lane) {
+            if (be & (1u << lane)) {
+                const std::uint32_t mask = 0xffu << (8 * lane);
+                word = (word & ~mask) | (data & mask);
+            }
+        }
+        words_[addr >> 2] = word;
+    }
+
+    /** Byte read. */
+    std::uint8_t
+    readByte(std::uint32_t addr) const
+    {
+        return (readWord(addr) >> (8 * (addr & 3))) & 0xff;
+    }
+
+    /** Number of words ever written. */
+    std::size_t footprint() const { return words_.size(); }
+
+    void clear() { words_.clear(); }
+
+  private:
+    std::unordered_map<std::uint32_t, std::uint32_t> words_;
+};
+
+} // namespace coppelia::iss
+
+#endif // COPPELIA_ISS_MEMORY_HH

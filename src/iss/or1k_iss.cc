@@ -1,0 +1,364 @@
+#include "iss/or1k_iss.hh"
+
+#include "cpu/or1k/isa.hh"
+
+namespace coppelia::iss
+{
+
+using namespace cpu::or1k;
+
+namespace
+{
+
+constexpr std::uint32_t SrImplMask = (1u << SrSm) | (1u << SrTee) |
+                                     (1u << SrIee) | (1u << SrF) |
+                                     (1u << SrOve) | (1u << SrDsx);
+
+bool
+addOverflows(std::uint32_t a, std::uint32_t b)
+{
+    const std::uint32_t s = a + b;
+    return (~(a ^ b) & (a ^ s)) >> 31;
+}
+
+std::uint32_t
+ror32(std::uint32_t v, unsigned amt)
+{
+    amt &= 31;
+    return amt == 0 ? v : ((v >> amt) | (v << (32 - amt)));
+}
+
+} // namespace
+
+Or1kStepInfo
+Or1kIss::takeException(std::uint32_t vector, std::uint32_t epcr_val)
+{
+    Or1kStepInfo info;
+    info.exception = true;
+    info.vector = vector;
+    state_.epcr = epcr_val;
+    state_.esr = state_.sr;
+    state_.sr |= 1u << SrSm;
+    state_.sr &= ~((1u << SrIee) | (1u << SrTee) | (1u << SrDsx));
+    if (state_.dsPending)
+        state_.sr |= 1u << SrDsx;
+    state_.pc = vector;
+    state_.dsPending = false;
+    return info;
+}
+
+Or1kStepInfo
+Or1kIss::step(bool intr)
+{
+    return execute(mem_->readWord(state_.pc), intr);
+}
+
+Or1kStepInfo
+Or1kIss::execute(std::uint32_t insn, bool intr)
+{
+    Or1kStepInfo info;
+    Or1kState &s = state_;
+
+    const std::uint32_t op = opcodeOf(insn);
+    const int rd = rdOf(insn);
+    const int ra = raOf(insn);
+    const int rb = rbOf(insn);
+    const std::uint32_t a = s.gpr[ra];
+    const std::uint32_t bval = s.gpr[rb];
+    const std::int32_t imm = imm16Of(insn);
+    const std::uint32_t zimm = insn & 0xffff;
+    const bool sm = s.sr & (1u << SrSm);
+    const bool in_ds = s.dsPending;
+    const std::uint32_t faulting_pc = s.pc;
+    const std::uint32_t next_pc = in_ds ? s.dsTarget : s.pc + 4;
+
+    auto writeGpr = [&s](int reg, std::uint32_t value) {
+        if (reg != 0)
+            s.gpr[reg] = value;
+    };
+    auto advance = [&] {
+        s.pc = next_pc;
+        s.dsPending = false;
+    };
+    auto branchTo = [&](std::uint32_t target) {
+        // Delay slot: the next instruction (the delay slot, or the pending
+        // target when branching from a delay slot) executes first.
+        s.pc = next_pc;
+        s.dsPending = true;
+        s.dsTarget = target;
+    };
+    auto illegal = [&] {
+        s.eear = faulting_pc;
+        return takeException(VecIllegal, faulting_pc);
+    };
+
+    // An enabled external interrupt squashes the incoming instruction
+    // (highest priority; EPCR restarts it).
+    if (intr && (s.sr & (1u << SrIee)))
+        return takeException(VecInterrupt, faulting_pc);
+
+    switch (op) {
+      case OpJ:
+        branchTo(faulting_pc +
+                 (static_cast<std::uint32_t>(disp26Of(insn)) << 2));
+        break;
+      case OpJal:
+        writeGpr(9, faulting_pc + 8);
+        branchTo(faulting_pc +
+                 (static_cast<std::uint32_t>(disp26Of(insn)) << 2));
+        break;
+      case OpBf:
+        if (s.sr & (1u << SrF))
+            branchTo(faulting_pc +
+                     (static_cast<std::uint32_t>(disp26Of(insn)) << 2));
+        else
+            advance();
+        break;
+      case OpBnf:
+        if (!(s.sr & (1u << SrF)))
+            branchTo(faulting_pc +
+                     (static_cast<std::uint32_t>(disp26Of(insn)) << 2));
+        else
+            advance();
+        break;
+      case OpNop:
+        advance();
+        break;
+      case OpMovhi:
+        writeGpr(rd, zimm << 16);
+        advance();
+        break;
+      case OpSys:
+        if (in_ds) {
+            info = takeException(VecSyscall, faulting_pc - 4);
+        } else {
+            info = takeException(VecSyscall, faulting_pc + 4);
+        }
+        // takeException handles DSX using dsPending *before* clearing.
+        return info;
+      case OpRfe:
+        if (!sm)
+            return illegal();
+        s.sr = s.esr;
+        s.pc = s.epcr;
+        s.dsPending = false;
+        break;
+      case OpJr:
+        branchTo(bval);
+        break;
+      case OpJalr:
+        writeGpr(9, faulting_pc + 8);
+        branchTo(bval);
+        break;
+      case OpLwz:
+      case OpLbz:
+      case OpLbs:
+      case OpLhz:
+      case OpLhs: {
+        const std::uint32_t addr = a + static_cast<std::uint32_t>(imm);
+        const std::uint32_t word = mem_->readWord(addr);
+        const unsigned lane = addr & 3;
+        std::uint32_t value = 0;
+        switch (op) {
+          case OpLwz:
+            value = word;
+            break;
+          case OpLbz:
+            value = (word >> (8 * lane)) & 0xff;
+            break;
+          case OpLbs:
+            value = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                static_cast<std::int8_t>((word >> (8 * lane)) & 0xff)));
+            break;
+          case OpLhz:
+            value = (word >> (16 * (lane >> 1))) & 0xffff;
+            break;
+          case OpLhs:
+            value = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                static_cast<std::int16_t>((word >> (16 * (lane >> 1))) &
+                                          0xffff)));
+            break;
+        }
+        writeGpr(rd, value);
+        advance();
+        break;
+      }
+      case OpAddi: {
+        const std::uint32_t sum = a + static_cast<std::uint32_t>(imm);
+        if ((s.sr & (1u << SrOve)) &&
+            addOverflows(a, static_cast<std::uint32_t>(imm))) {
+            return takeException(VecRange, faulting_pc);
+        }
+        writeGpr(rd, sum);
+        advance();
+        break;
+      }
+      case OpAndi:
+        writeGpr(rd, a & zimm);
+        advance();
+        break;
+      case OpOri:
+        writeGpr(rd, a | zimm);
+        advance();
+        break;
+      case OpXori:
+        writeGpr(rd, a ^ zimm);
+        advance();
+        break;
+      case OpMfspr: {
+        if (!sm)
+            return illegal();
+        const std::uint32_t spr = zimm;
+        std::uint32_t value = 0;
+        switch (spr) {
+          case SprSr: value = s.sr; break;
+          case SprEpcr: value = s.epcr; break;
+          case SprEear: value = s.eear; break;
+          case SprEsr: value = s.esr; break;
+        }
+        writeGpr(rd, value);
+        advance();
+        break;
+      }
+      case OpShifti: {
+        const unsigned amt = insn & 0x1f;
+        const unsigned kind = (insn >> 6) & 3;
+        std::uint32_t value = 0;
+        switch (kind) {
+          case 0: value = a << amt; break;
+          case 1: value = a >> amt; break;
+          case 2:
+            value = static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(a) >> amt);
+            break;
+          case 3: value = ror32(a, amt); break;
+        }
+        writeGpr(rd, value);
+        advance();
+        break;
+      }
+      case OpSfImm:
+      case OpSf: {
+        const std::uint32_t sub = rd;
+        const std::uint32_t cb =
+            op == OpSfImm ? static_cast<std::uint32_t>(imm) : bval;
+        bool flag = false;
+        const std::int32_t sa = static_cast<std::int32_t>(a);
+        const std::int32_t sb = static_cast<std::int32_t>(cb);
+        switch (sub) {
+          case SfEq: flag = a == cb; break;
+          case SfNe: flag = a != cb; break;
+          case SfGtu: flag = a > cb; break;
+          case SfGeu: flag = a >= cb; break;
+          case SfLtu: flag = a < cb; break;
+          case SfLeu: flag = a <= cb; break;
+          case SfGts: flag = sa > sb; break;
+          case SfGes: flag = sa >= sb; break;
+          case SfLts: flag = sa < sb; break;
+          default: flag = sa <= sb; break; // unimplemented aliases: sfles
+        }
+        s.sr = (s.sr & ~(1u << SrF)) |
+               (static_cast<std::uint32_t>(flag) << SrF);
+        advance();
+        break;
+      }
+      case OpMtspr: {
+        if (!sm)
+            return illegal();
+        const std::uint32_t spr =
+            static_cast<std::uint32_t>(storeImmOf(insn)) & 0xffff;
+        switch (spr) {
+          case SprSr: s.sr = bval & SrImplMask; break;
+          case SprEpcr: s.epcr = bval; break;
+          case SprEear: s.eear = bval; break;
+          case SprEsr: s.esr = bval & SrImplMask; break;
+        }
+        advance();
+        break;
+      }
+      case OpFpu:
+        // Unimplemented FPU: trap with the faulting pc.
+        s.eear = faulting_pc;
+        return takeException(VecFpu, faulting_pc);
+      case OpSw:
+      case OpSb:
+      case OpSh: {
+        const std::uint32_t addr =
+            a + static_cast<std::uint32_t>(storeImmOf(insn));
+        const unsigned lane = addr & 3;
+        std::uint32_t data = bval;
+        unsigned be = 0xf;
+        if (op == OpSb) {
+            data = (bval & 0xff) << (8 * lane);
+            be = 1u << lane;
+        } else if (op == OpSh) {
+            data = (bval & 0xffff) << (16 * (lane >> 1));
+            be = (lane & 2) ? 0xcu : 0x3u;
+        }
+        mem_->writeWord(addr, data, be);
+        info.storeDone = true;
+        info.storeAddr = addr;
+        info.storeData = data;
+        info.storeBe = be;
+        advance();
+        break;
+      }
+      case OpAlu: {
+        const std::uint32_t sub = insn & 0xf;
+        const std::uint32_t op2 = (insn >> 6) & 0xf;
+        std::uint32_t value = 0;
+        switch (sub) {
+          case AluAdd:
+            if ((s.sr & (1u << SrOve)) && addOverflows(a, bval))
+                return takeException(VecRange, faulting_pc);
+            value = a + bval;
+            break;
+          case AluSub: value = a - bval; break;
+          case AluAnd: value = a & bval; break;
+          case AluOr: value = a | bval; break;
+          case AluXor: value = a ^ bval; break;
+          case AluMul: value = a * bval; break;
+          case AluShift: {
+            const unsigned amt = bval & 0x1f;
+            switch (op2 & 3) {
+              case 0: value = a << amt; break;
+              case 1: value = a >> amt; break;
+              case 2:
+                value = static_cast<std::uint32_t>(
+                    static_cast<std::int32_t>(a) >> amt);
+                break;
+              case 3: value = ror32(a, amt); break;
+            }
+            break;
+          }
+          case AluExt:
+            switch (op2 & 3) {
+              case 0:
+                value = static_cast<std::uint32_t>(
+                    static_cast<std::int32_t>(
+                        static_cast<std::int16_t>(a & 0xffff)));
+                break;
+              case 1:
+                value = static_cast<std::uint32_t>(
+                    static_cast<std::int32_t>(
+                        static_cast<std::int8_t>(a & 0xff)));
+                break;
+              case 2: value = a & 0xffff; break;
+              case 3: value = a & 0xff; break;
+            }
+            break;
+          default:
+            return illegal(); // l.div and friends: unimplemented
+        }
+        writeGpr(rd, value);
+        advance();
+        break;
+      }
+      default:
+        return illegal();
+    }
+
+    return info;
+}
+
+} // namespace coppelia::iss

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Golden instruction-set simulator for the OR1k subset: the architectural
+ * reference the RTL cores are validated against (a bug-free core must
+ * match this model instruction for instruction), and the oracle the
+ * exploit replayer uses to confirm payload effects.
+ */
+
+#ifndef COPPELIA_ISS_OR1K_ISS_HH
+#define COPPELIA_ISS_OR1K_ISS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "iss/memory.hh"
+
+namespace coppelia::iss
+{
+
+/** Architectural state of the OR1k reference model. */
+struct Or1kState
+{
+    std::uint32_t pc = 0x100;
+    std::array<std::uint32_t, 32> gpr{};
+    std::uint32_t sr = 1; ///< SM set at reset
+    std::uint32_t esr = 0;
+    std::uint32_t epcr = 0;
+    std::uint32_t eear = 0;
+    bool dsPending = false;
+    std::uint32_t dsTarget = 0;
+};
+
+/** What one retired instruction did (for cross-checking and replay). */
+struct Or1kStepInfo
+{
+    bool exception = false;
+    std::uint32_t vector = 0; ///< taken exception vector, 0 if none
+    bool storeDone = false;
+    std::uint32_t storeAddr = 0;
+    std::uint32_t storeData = 0;
+    unsigned storeBe = 0;
+};
+
+/** The reference interpreter. */
+class Or1kIss
+{
+  public:
+    explicit Or1kIss(SparseMemory &mem) : mem_(&mem) {}
+
+    Or1kState &state() { return state_; }
+    const Or1kState &state() const { return state_; }
+
+    /** Reset to the architectural reset state. */
+    void reset() { state_ = Or1kState{}; }
+
+    /**
+     * Execute the instruction at the current pc (fetched from memory) with
+     * the external interrupt line at @p intr.
+     */
+    Or1kStepInfo step(bool intr = false);
+
+    /** Execute a specific instruction word (bus-driven mode, matching the
+     *  RTL core whose instruction input is external). */
+    Or1kStepInfo execute(std::uint32_t insn, bool intr = false);
+
+  private:
+    Or1kStepInfo takeException(std::uint32_t vector, std::uint32_t epcr_val);
+
+    Or1kState state_;
+    SparseMemory *mem_;
+};
+
+} // namespace coppelia::iss
+
+#endif // COPPELIA_ISS_OR1K_ISS_HH

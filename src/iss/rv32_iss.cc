@@ -1,0 +1,233 @@
+#include "iss/rv32_iss.hh"
+
+#include "cpu/riscv/isa.hh"
+
+namespace coppelia::iss
+{
+
+using namespace cpu::riscv;
+
+namespace
+{
+
+constexpr std::uint32_t MstatusImplMask =
+    (1u << MsMie) | (1u << MsMpie) | (1u << MsMpp);
+
+} // namespace
+
+Rv32StepInfo
+Rv32Iss::takeTrap(std::uint32_t cause)
+{
+    Rv32StepInfo info;
+    info.trap = true;
+    info.cause = cause;
+    Rv32State &s = state_;
+    const bool mie = s.mstatus & (1u << MsMie);
+    s.mstatus = (static_cast<std::uint32_t>(mie) << MsMpie) |
+                (static_cast<std::uint32_t>(s.priv) << MsMpp);
+    s.mepc = s.pc; // always the faulting pc (the b33 bug is RTL-only)
+    s.mcause = cause;
+    s.priv = true;
+    s.pc = s.mtvec;
+    return info;
+}
+
+Rv32StepInfo
+Rv32Iss::execute(std::uint32_t insn)
+{
+    Rv32StepInfo info;
+    Rv32State &s = state_;
+    const std::uint32_t op = rvOpcode(insn);
+    const int rd = rvRd(insn);
+    const int rs1 = rvRs1(insn);
+    const int rs2 = rvRs2(insn);
+    const std::uint32_t f3 = rvFunct3(insn);
+    const std::uint32_t f7 = rvFunct7(insn);
+    const std::uint32_t a = s.x[rs1];
+    const std::uint32_t bv = s.x[rs2];
+    const std::uint32_t this_pc = s.pc;
+
+    auto wr = [&s](int reg, std::uint32_t v) {
+        if (reg != 0)
+            s.x[reg] = v;
+    };
+    auto next = [&] { s.pc = this_pc + 4; };
+
+    switch (op) {
+      case OpLui:
+        wr(rd, rvImmU(insn));
+        next();
+        break;
+      case OpAuipc:
+        wr(rd, this_pc + rvImmU(insn));
+        next();
+        break;
+      case OpJal:
+        wr(rd, this_pc + 4);
+        s.pc = this_pc + static_cast<std::uint32_t>(rvImmJ(insn));
+        break;
+      case OpJalr:
+        wr(rd, this_pc + 4);
+        s.pc = (a + static_cast<std::uint32_t>(rvImmI(insn))) & ~1u;
+        break;
+      case OpBranch: {
+        bool taken = false;
+        const std::int32_t sa = static_cast<std::int32_t>(a);
+        const std::int32_t sb = static_cast<std::int32_t>(bv);
+        switch (f3) {
+          case BrEq: taken = a == bv; break;
+          case BrNe: taken = a != bv; break;
+          case BrLt: taken = sa < sb; break;
+          case BrGe: taken = sa >= sb; break;
+          case BrLtu: taken = a < bv; break;
+          case BrGeu: taken = a >= bv; break;
+          default: taken = false; break;
+        }
+        if (taken)
+            s.pc = this_pc + static_cast<std::uint32_t>(rvImmB(insn));
+        else
+            next();
+        break;
+      }
+      case OpLoad: {
+        if (f3 == 3 || f3 > 5)
+            return takeTrap(CauseIllegal);
+        const std::uint32_t addr =
+            a + static_cast<std::uint32_t>(rvImmI(insn));
+        const std::uint32_t word = mem_->readWord(addr);
+        const unsigned lane = addr & 3;
+        std::uint32_t v = 0;
+        switch (f3) {
+          case LdB:
+            v = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                static_cast<std::int8_t>((word >> (8 * lane)) & 0xff)));
+            break;
+          case LdH:
+            v = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                static_cast<std::int16_t>((word >> (16 * (lane >> 1))) &
+                                          0xffff)));
+            break;
+          case LdW: v = word; break;
+          case LdBu: v = (word >> (8 * lane)) & 0xff; break;
+          case LdHu: v = (word >> (16 * (lane >> 1))) & 0xffff; break;
+        }
+        wr(rd, v);
+        next();
+        break;
+      }
+      case OpStore: {
+        if (f3 > 2)
+            return takeTrap(CauseIllegal);
+        const std::uint32_t addr =
+            a + static_cast<std::uint32_t>(rvImmS(insn));
+        const unsigned lane = addr & 3;
+        std::uint32_t data = bv;
+        unsigned be = 0xf;
+        if (f3 == 0) {
+            data = (bv & 0xff) << (8 * lane);
+            be = 1u << lane;
+        } else if (f3 == 1) {
+            data = (bv & 0xffff) << (16 * (lane >> 1));
+            be = (lane & 2) ? 0xcu : 0x3u;
+        }
+        mem_->writeWord(addr, data, be);
+        next();
+        break;
+      }
+      case OpImm: {
+        const std::int32_t imm = rvImmI(insn);
+        const std::uint32_t ui = static_cast<std::uint32_t>(imm);
+        const unsigned sh = ui & 0x1f;
+        std::uint32_t v = 0;
+        switch (f3) {
+          case 0: v = a + ui; break;
+          case 1: v = a << sh; break;
+          case 2:
+            v = static_cast<std::int32_t>(a) < imm;
+            break;
+          case 3: v = a < ui; break;
+          case 4: v = a ^ ui; break;
+          case 5:
+            v = (ui & 0x400) ? static_cast<std::uint32_t>(
+                                   static_cast<std::int32_t>(a) >> sh)
+                             : (a >> sh);
+            break;
+          case 6: v = a | ui; break;
+          case 7: v = a & ui; break;
+        }
+        wr(rd, v);
+        next();
+        break;
+      }
+      case OpReg: {
+        const unsigned sh = bv & 0x1f;
+        std::uint32_t v = 0;
+        switch (f3) {
+          case 0: v = (f7 & 0x20) ? a - bv : a + bv; break;
+          case 1: v = a << sh; break;
+          case 2:
+            v = static_cast<std::int32_t>(a) <
+                static_cast<std::int32_t>(bv);
+            break;
+          case 3: v = a < bv; break;
+          case 4: v = a ^ bv; break;
+          case 5:
+            v = (f7 & 0x20) ? static_cast<std::uint32_t>(
+                                  static_cast<std::int32_t>(a) >> sh)
+                            : (a >> sh);
+            break;
+          case 6: v = a | bv; break;
+          case 7: v = a & bv; break;
+        }
+        wr(rd, v);
+        next();
+        break;
+      }
+      case OpSystem: {
+        const std::uint32_t sysimm = insn >> 20;
+        if (f3 == 0) {
+            if (sysimm == 0x000)
+                return takeTrap(s.priv ? CauseEcallM : CauseEcallU);
+            if (sysimm == 0x001)
+                return takeTrap(CauseBreakpoint);
+            if (sysimm == 0x302) {
+                if (!s.priv)
+                    return takeTrap(CauseIllegal);
+                const bool mpie = s.mstatus & (1u << MsMpie);
+                const bool mpp = s.mstatus & (1u << MsMpp);
+                s.mstatus =
+                    (static_cast<std::uint32_t>(mpie) << MsMie) |
+                    (1u << MsMpie);
+                s.priv = mpp;
+                s.pc = s.mepc;
+                break;
+            }
+            return takeTrap(CauseIllegal);
+        }
+        if (f3 != 1 && f3 != 2)
+            return takeTrap(CauseIllegal);
+        if (!s.priv)
+            return takeTrap(CauseIllegal);
+        std::uint32_t *csr = nullptr;
+        std::uint32_t mask = ~0u;
+        switch (sysimm) {
+          case CsrMstatus: csr = &s.mstatus; mask = MstatusImplMask; break;
+          case CsrMepc: csr = &s.mepc; break;
+          case CsrMcause: csr = &s.mcause; break;
+          case CsrMtvec: csr = &s.mtvec; break;
+        }
+        const std::uint32_t old = csr ? *csr : 0;
+        const bool write = !(f3 == 2 && rs1 == 0);
+        if (csr && write)
+            *csr = (f3 == 2 ? (old | a) : a) & mask;
+        wr(rd, old);
+        next();
+        break;
+      }
+      default:
+        return takeTrap(CauseIllegal);
+    }
+    return info;
+}
+
+} // namespace coppelia::iss

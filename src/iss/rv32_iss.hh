@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Golden instruction-set simulator for the RV32I subset with the
+ * simplified machine/user privilege model, mirroring the RI5CY RTL core.
+ */
+
+#ifndef COPPELIA_ISS_RV32_ISS_HH
+#define COPPELIA_ISS_RV32_ISS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "iss/memory.hh"
+
+namespace coppelia::iss
+{
+
+/** Architectural state of the RV32 reference model. */
+struct Rv32State
+{
+    std::uint32_t pc = 0x80;
+    std::array<std::uint32_t, 32> x{};
+    bool priv = true; ///< machine mode at reset
+    std::uint32_t mstatus = 1u << 11; // MPP = machine
+    std::uint32_t mepc = 0;
+    std::uint32_t mcause = 0;
+    std::uint32_t mtvec = 0x1c;
+};
+
+/** What one retired instruction did. */
+struct Rv32StepInfo
+{
+    bool trap = false;
+    std::uint32_t cause = 0;
+};
+
+/** The reference interpreter. */
+class Rv32Iss
+{
+  public:
+    explicit Rv32Iss(SparseMemory &mem) : mem_(&mem) {}
+
+    Rv32State &state() { return state_; }
+    const Rv32State &state() const { return state_; }
+
+    void reset() { state_ = Rv32State{}; }
+
+    /** Execute one instruction word (bus-driven mode). */
+    Rv32StepInfo execute(std::uint32_t insn);
+
+    /** Fetch from memory at pc and execute. */
+    Rv32StepInfo step() { return execute(mem_->readWord(state_.pc)); }
+
+  private:
+    Rv32StepInfo takeTrap(std::uint32_t cause);
+
+    Rv32State state_;
+    SparseMemory *mem_;
+};
+
+} // namespace coppelia::iss
+
+#endif // COPPELIA_ISS_RV32_ISS_HH

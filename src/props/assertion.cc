@@ -1,0 +1,54 @@
+#include "props/assertion.hh"
+
+#include "util/logging.hh"
+
+namespace coppelia::props
+{
+
+const char *
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::CF: return "CF";
+      case Category::XR: return "XR";
+      case Category::MA: return "MA";
+      case Category::IE: return "IE";
+      case Category::CR: return "CR";
+    }
+    return "?";
+}
+
+bool
+holds(const rtl::Design &design, const Assertion &assertion,
+      const std::vector<rtl::Value> &env)
+{
+    return design.eval(assertion.cond, env).isTrue();
+}
+
+void
+checkStateOnly(const rtl::Design &design, const Assertion &assertion)
+{
+    std::vector<bool> seen(design.numSignals(), false);
+    design.collectSignals(assertion.cond, seen);
+    for (rtl::SignalId sig = 0; sig < design.numSignals(); ++sig) {
+        if (!seen[sig])
+            continue;
+        if (design.signal(sig).kind == rtl::SignalKind::Wire)
+            fatal("assertion ", assertion.id,
+                  " references combinational signal ",
+                  design.signal(sig).name,
+                  "; assertions must be over state-holding elements");
+    }
+}
+
+const Assertion &
+findAssertion(const std::vector<Assertion> &list, const std::string &id)
+{
+    for (const Assertion &a : list) {
+        if (a.id == id)
+            return a;
+    }
+    fatal("no such assertion: ", id);
+}
+
+} // namespace coppelia::props

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Security-critical assertions (paper §II-A, §III-B). An assertion is a
+ * boolean expression over a design's *state-holding* signals (registers,
+ * including the checker shadow registers the testbench adds, mirroring how
+ * SPECS/SCIFinder properties reference $past values). The condition encodes
+ * the *safe* behaviour: a state violates the assertion when the condition
+ * evaluates to false.
+ *
+ * Assertions carry the five-way category of SCIFinder that Coppelia uses to
+ * select payload stubs (Table I): CF control flow, XR exception, MA memory
+ * access, IE instruction execution, CR correct results.
+ */
+
+#ifndef COPPELIA_PROPS_ASSERTION_HH
+#define COPPELIA_PROPS_ASSERTION_HH
+
+#include <string>
+#include <vector>
+
+#include "rtl/design.hh"
+
+namespace coppelia::props
+{
+
+/** SCIFinder property category (paper §II-F, Table I). */
+enum class Category
+{
+    CF, ///< control flow related
+    XR, ///< exception related
+    MA, ///< memory access related
+    IE, ///< correct/specified instruction execution
+    CR, ///< correctly updating results
+};
+
+const char *categoryName(Category c);
+
+/** One security-critical assertion bound to a specific design. */
+struct Assertion
+{
+    std::string id;          ///< e.g. "a24_gpr0_zero"
+    std::string description; ///< human-readable property statement
+    Category category = Category::CR;
+    rtl::ExprRef cond = rtl::NoExpr; ///< safe-state predicate (1 bit)
+    std::vector<rtl::SignalId> vars; ///< referenced signals (CoI roots)
+    std::string bugId; ///< associated known bug ("b24"), may be empty
+    /**
+     * False for assertions that over-approximate the specification
+     * (collected from dynamic simulation, §IV-G): a correct design can
+     * still violate them in uncommon situations.
+     */
+    bool trueAssertion = true;
+};
+
+/**
+ * Evaluate an assertion on a concrete state.
+ * @return true when the state is safe; false on violation.
+ */
+bool holds(const rtl::Design &design, const Assertion &assertion,
+           const std::vector<rtl::Value> &env);
+
+/**
+ * Validate that an assertion only references state-holding signals; fatal
+ * otherwise (assertions over wires would need next-cycle inputs to
+ * evaluate at a cycle boundary).
+ */
+void checkStateOnly(const rtl::Design &design, const Assertion &assertion);
+
+/** Look up an assertion by id; fatal if absent. */
+const Assertion &findAssertion(const std::vector<Assertion> &list,
+                               const std::string &id);
+
+} // namespace coppelia::props
+
+#endif // COPPELIA_PROPS_ASSERTION_HH

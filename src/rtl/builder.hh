@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Fluent construction API over rtl::Design. A Node pairs a design pointer
+ * with an ExprRef so designs can be written with ordinary C++ operators:
+ *
+ *     Builder b(design);
+ *     auto pc = b.reg("pc", 32, 0x100);
+ *     auto next = b.mux(taken, target, pc + b.lit(32, 4));
+ *     b.next(pc, next);
+ *
+ * The three processor models in src/cpu are written against this API; the
+ * mini-Verilog elaborator in src/hdl lowers to it as well.
+ */
+
+#ifndef COPPELIA_RTL_BUILDER_HH
+#define COPPELIA_RTL_BUILDER_HH
+
+#include <string>
+
+#include "rtl/design.hh"
+
+namespace coppelia::rtl
+{
+
+class Builder;
+
+/** An expression handle bound to a design. */
+class Node
+{
+  public:
+    Node() : design_(nullptr), ref_(NoExpr) {}
+    Node(Design *design, ExprRef ref) : design_(design), ref_(ref) {}
+
+    ExprRef ref() const { return ref_; }
+    Design *design() const { return design_; }
+    int width() const { return design_->widthOf(ref_); }
+    bool valid() const { return design_ != nullptr && ref_ != NoExpr; }
+
+    /** Bit extraction: n.bits(hi, lo) and n.bit(i). */
+    Node
+    bits(int hi, int lo) const
+    {
+        return {design_, design_->extract(ref_, hi, lo)};
+    }
+    Node bit(int i) const { return bits(i, i); }
+
+    /** Width adjustment. */
+    Node
+    zext(int w) const
+    {
+        return {design_, design_->zext(ref_, w)};
+    }
+    Node
+    sext(int w) const
+    {
+        return {design_, design_->sext(ref_, w)};
+    }
+
+    /** Reductions. */
+    Node
+    orR() const
+    {
+        return {design_, design_->unary(Op::RedOr, ref_)};
+    }
+    Node
+    andR() const
+    {
+        return {design_, design_->unary(Op::RedAnd, ref_)};
+    }
+    Node
+    xorR() const
+    {
+        return {design_, design_->unary(Op::RedXor, ref_)};
+    }
+
+  private:
+    Design *design_;
+    ExprRef ref_;
+};
+
+// Bitwise / arithmetic operators over Nodes.
+inline Node
+operator~(const Node &a)
+{
+    return {a.design(), a.design()->unary(Op::Not, a.ref())};
+}
+
+inline Node
+operator-(const Node &a)
+{
+    return {a.design(), a.design()->unary(Op::Neg, a.ref())};
+}
+
+#define COPPELIA_NODE_BINOP(sym, op)                                       \
+    inline Node operator sym(const Node &a, const Node &b)                 \
+    {                                                                      \
+        return {a.design(), a.design()->binary(Op::op, a.ref(), b.ref())}; \
+    }
+
+COPPELIA_NODE_BINOP(&, And)
+COPPELIA_NODE_BINOP(|, Or)
+COPPELIA_NODE_BINOP(^, Xor)
+COPPELIA_NODE_BINOP(+, Add)
+COPPELIA_NODE_BINOP(-, Sub)
+COPPELIA_NODE_BINOP(*, Mul)
+COPPELIA_NODE_BINOP(<<, Shl)
+COPPELIA_NODE_BINOP(>>, LShr)
+
+#undef COPPELIA_NODE_BINOP
+
+/** Comparison helpers (explicit names; C++ comparison operators would be
+ * ambiguous about signedness). */
+inline Node
+eq(const Node &a, const Node &b)
+{
+    return {a.design(), a.design()->binary(Op::Eq, a.ref(), b.ref())};
+}
+inline Node
+ne(const Node &a, const Node &b)
+{
+    return {a.design(), a.design()->binary(Op::Ne, a.ref(), b.ref())};
+}
+inline Node
+ult(const Node &a, const Node &b)
+{
+    return {a.design(), a.design()->binary(Op::Ult, a.ref(), b.ref())};
+}
+inline Node
+ule(const Node &a, const Node &b)
+{
+    return {a.design(), a.design()->binary(Op::Ule, a.ref(), b.ref())};
+}
+inline Node
+slt(const Node &a, const Node &b)
+{
+    return {a.design(), a.design()->binary(Op::Slt, a.ref(), b.ref())};
+}
+inline Node
+sle(const Node &a, const Node &b)
+{
+    return {a.design(), a.design()->binary(Op::Sle, a.ref(), b.ref())};
+}
+inline Node
+ashr(const Node &a, const Node &b)
+{
+    return {a.design(), a.design()->binary(Op::AShr, a.ref(), b.ref())};
+}
+inline Node
+cat(const Node &hi, const Node &lo)
+{
+    return {hi.design(), hi.design()->concat(hi.ref(), lo.ref())};
+}
+
+/**
+ * Design construction helper. Holds the design pointer so literals and
+ * muxes read naturally at call sites.
+ */
+class Builder
+{
+  public:
+    explicit Builder(Design &design) : design_(&design) {}
+
+    Design &design() { return *design_; }
+
+    /** Literal constant. */
+    Node
+    lit(int width, std::uint64_t bits)
+    {
+        return {design_, design_->constant(width, bits)};
+    }
+
+    /** 1-bit true/false. */
+    Node one() { return lit(1, 1); }
+    Node zero() { return lit(1, 0); }
+
+    /** Declare an input and return a Node reading it. */
+    Node
+    input(const std::string &name, int width)
+    {
+        SignalId id = design_->addInput(name, width);
+        return {design_, design_->signalExpr(id)};
+    }
+
+    /** Declare a register; returns a Node reading its current value. */
+    Node
+    reg(const std::string &name, int width, std::uint64_t reset_bits = 0)
+    {
+        SignalId id = design_->addRegister(name, width, reset_bits);
+        return {design_, design_->signalExpr(id)};
+    }
+
+    /** Declare and define a named wire; returns a Node reading it. */
+    Node
+    wire(const std::string &name, const Node &def)
+    {
+        SignalId id = design_->addWire(name, def.width());
+        design_->defineWire(id, def.ref());
+        return {design_, design_->signalExpr(id)};
+    }
+
+    /** Set a register's next-state expression. The node must be a plain
+     * signal read of a register created via reg(). */
+    void
+    next(const Node &reg_node, const Node &next_value)
+    {
+        const Expr &e = design_->expr(reg_node.ref());
+        if (e.op != Op::Signal)
+            fatal("Builder::next target is not a signal read");
+        design_->defineNext(e.sig, next_value.ref());
+    }
+
+    /** 2-way multiplexer (data mux: the symbolic executor keeps it as an
+     * if-then-else term). */
+    Node
+    mux(const Node &sel, const Node &then_v, const Node &else_v)
+    {
+        return {design_,
+                design_->ite(sel.ref(), then_v.ref(), else_v.ref())};
+    }
+
+    /** Control-flow multiplexer: like mux() but the symbolic executor forks
+     * at this decision (the analog of an RTL `if`/`case` that Verilator
+     * lowers to a C++ branch). */
+    Node
+    branchMux(const Node &sel, const Node &then_v, const Node &else_v)
+    {
+        ExprRef r = design_->ite(sel.ref(), then_v.ref(), else_v.ref());
+        design_->markBranch(r);
+        return {design_, r};
+    }
+
+    /**
+     * Decode-style selector: compares @p key against each case label and
+     * chains control-flow muxes, like a Verilog `case` statement.
+     * @param cases pairs of (label value, result node)
+     * @param dflt result when no label matches
+     */
+    Node
+    select(const Node &key,
+           const std::vector<std::pair<std::uint64_t, Node>> &cases,
+           const Node &dflt)
+    {
+        Node result = dflt;
+        for (auto it = cases.rbegin(); it != cases.rend(); ++it)
+            result = branchMux(eq(key, lit(key.width(), it->first)),
+                               it->second, result);
+        return result;
+    }
+
+    /** Route subsequent assignments to the named process. */
+    void process(const std::string &name) { design_->beginProcess(name); }
+
+    /** Mark a signal node (by name) as an observable output. */
+    void
+    output(const std::string &name)
+    {
+        design_->markOutput(design_->signalIdOf(name));
+    }
+
+    /** Node reading an existing signal by name. */
+    Node
+    read(const std::string &name)
+    {
+        return {design_, design_->signalExpr(design_->signalIdOf(name))};
+    }
+
+  private:
+    Design *design_;
+};
+
+} // namespace coppelia::rtl
+
+#endif // COPPELIA_RTL_BUILDER_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * RTL optimization pipeline — the analog of Verilator's compiler
+ * optimizations the paper toggles between -O0 and -O3 (§II-E4, Table V).
+ *
+ * The pipeline rewrites every signal definition through a simplifying,
+ * hash-consing rebuild into a fresh arena:
+ *   - constant folding (evaluating operator applications on literals),
+ *   - algebraic identity rewriting (x&0, x|0, x^x, ite(c,a,a), ...),
+ *   - common subexpression elimination (structural hash-consing),
+ *   - dead code elimination (only nodes reachable from live signal
+ *     definitions are copied; dead wire definitions are dropped).
+ *
+ * Signal ids and names are preserved so security assertions written against
+ * the unoptimized design remain valid — the paper notes that higher
+ * optimization levels can optimize away asserted-over signals, which is why
+ * assertion root signals are passed in as additional liveness roots.
+ */
+
+#ifndef COPPELIA_RTL_PASSES_PASSES_HH
+#define COPPELIA_RTL_PASSES_PASSES_HH
+
+#include <string>
+#include <vector>
+
+#include "rtl/design.hh"
+
+namespace coppelia::rtl
+{
+
+/** Which pipeline stages run. */
+struct PassOptions
+{
+    bool constantFold = true;
+    bool algebraic = true;
+    bool cse = true;
+    bool deadCode = true;
+};
+
+/** Node/signal accounting before and after a pipeline run. */
+struct PassStats
+{
+    int exprsBefore = 0;   ///< live expression nodes before ("LoC" analog)
+    int exprsAfter = 0;
+    int wiresBefore = 0;
+    int wiresDropped = 0;  ///< dead wire definitions removed
+    int folds = 0;         ///< constant-folding rewrites applied
+    int rewrites = 0;      ///< algebraic identity rewrites applied
+
+    std::string toString() const;
+};
+
+/**
+ * Count expression nodes reachable from live signal definitions. This is
+ * the size metric reported by the Table V bench (the analog of generated
+ * C++ LoC).
+ *
+ * @param keep_roots signals that must stay live even if nothing reads them
+ *        (assertion variables).
+ */
+int liveExprCount(const Design &design,
+                  const std::vector<SignalId> &keep_roots = {});
+
+/**
+ * Run the pipeline, producing an optimized copy of @p design with identical
+ * signal ids/names. @p keep_roots lists assertion signals that must remain
+ * defined.
+ */
+Design optimizeDesign(const Design &design, const PassOptions &opts,
+                      const std::vector<SignalId> &keep_roots,
+                      PassStats *stats = nullptr);
+
+} // namespace coppelia::rtl
+
+#endif // COPPELIA_RTL_PASSES_PASSES_HH

@@ -1,0 +1,254 @@
+#include "rtl/sim.hh"
+
+#include "util/logging.hh"
+
+namespace coppelia::rtl
+{
+
+namespace
+{
+
+/**
+ * Shared-subexpression evaluator for one settle pass. Values are memoized
+ * per ExprRef; correctness relies on wires being updated in topological
+ * order so a Signal read is only evaluated after its driver settled.
+ */
+class EvalPass
+{
+  public:
+    EvalPass(const Design &design, const std::vector<Value> &env)
+        : design_(design), env_(env), memo_(design.numExprs()),
+          valid_(design.numExprs(), false)
+    {}
+
+    Value
+    eval(ExprRef ref)
+    {
+        if (valid_[ref])
+            return memo_[ref];
+        // Iterative post-order; deep mux chains overflow the C stack.
+        std::vector<std::pair<ExprRef, bool>> stack{{ref, false}};
+        while (!stack.empty()) {
+            auto [r, expanded] = stack.back();
+            stack.pop_back();
+            if (valid_[r])
+                continue;
+            const Expr &e = design_.expr(r);
+            if (e.op == Op::Const) {
+                store(r, Value(e.width, e.imm));
+                continue;
+            }
+            if (e.op == Op::Signal) {
+                store(r, env_[e.sig]);
+                continue;
+            }
+            if (!expanded) {
+                stack.push_back({r, true});
+                for (ExprRef a : e.args) {
+                    if (a != NoExpr && !valid_[a])
+                        stack.push_back({a, false});
+                }
+                continue;
+            }
+            // Re-evaluate via Design::eval on leaves only would be wasteful;
+            // combine operand values directly.
+            const Value a =
+                e.args[0] != NoExpr ? memo_[e.args[0]] : Value();
+            const Value b =
+                e.args[1] != NoExpr ? memo_[e.args[1]] : Value();
+            const Value c =
+                e.args[2] != NoExpr ? memo_[e.args[2]] : Value();
+            store(r, combine(e, a, b, c));
+        }
+        return memo_[ref];
+    }
+
+  private:
+    void
+    store(ExprRef r, Value v)
+    {
+        memo_[r] = v;
+        valid_[r] = true;
+    }
+
+    static Value
+    combine(const Expr &e, const Value &a, const Value &b, const Value &c)
+    {
+        switch (e.op) {
+          case Op::Not:
+            return Value(e.width, ~a.bits());
+          case Op::Neg:
+            return Value(e.width, ~a.bits() + 1);
+          case Op::RedOr:
+            return Value(1, a.bits() != 0);
+          case Op::RedAnd:
+            return Value(1, a.bits() == widthMask(a.width()));
+          case Op::RedXor:
+            return Value(1, __builtin_parityll(a.bits()));
+          case Op::And:
+            return Value(e.width, a.bits() & b.bits());
+          case Op::Or:
+            return Value(e.width, a.bits() | b.bits());
+          case Op::Xor:
+            return Value(e.width, a.bits() ^ b.bits());
+          case Op::Add:
+            return Value(e.width, a.bits() + b.bits());
+          case Op::Sub:
+            return Value(e.width, a.bits() - b.bits());
+          case Op::Mul:
+            return Value(e.width, a.bits() * b.bits());
+          case Op::Shl: {
+            const std::uint64_t sh = b.bits();
+            return Value(e.width, sh >= 64 ? 0 : (a.bits() << sh));
+          }
+          case Op::LShr: {
+            const std::uint64_t sh = b.bits();
+            return Value(e.width, sh >= 64 ? 0 : (a.bits() >> sh));
+          }
+          case Op::AShr: {
+            const std::uint64_t sh = b.bits();
+            const std::int64_t sa = a.toInt();
+            if (sh >= 63)
+                return Value(e.width, sa < 0 ? ~0ull : 0);
+            return Value(e.width, static_cast<std::uint64_t>(sa >> sh));
+          }
+          case Op::Eq:
+            return Value(1, a.bits() == b.bits());
+          case Op::Ne:
+            return Value(1, a.bits() != b.bits());
+          case Op::Ult:
+            return Value(1, a.bits() < b.bits());
+          case Op::Ule:
+            return Value(1, a.bits() <= b.bits());
+          case Op::Slt:
+            return Value(1, a.toInt() < b.toInt());
+          case Op::Sle:
+            return Value(1, a.toInt() <= b.toInt());
+          case Op::Concat:
+            return Value(e.width, (a.bits() << b.width()) | b.bits());
+          case Op::Extract:
+            return Value(e.width, a.bits() >> e.lo);
+          case Op::ZExt:
+            return Value(e.width, a.bits());
+          case Op::SExt:
+            return Value(e.width, static_cast<std::uint64_t>(a.toInt()));
+          case Op::Ite:
+            return a.isTrue() ? b : c;
+          default:
+            panic("Simulator: unhandled op ", opName(e.op));
+        }
+    }
+
+    const Design &design_;
+    const std::vector<Value> &env_;
+    std::vector<Value> memo_;
+    std::vector<bool> valid_;
+};
+
+} // namespace
+
+Simulator::Simulator(const Design &design) : design_(design)
+{
+    reset();
+}
+
+void
+Simulator::reset()
+{
+    env_.assign(design_.numSignals(), Value());
+    for (SignalId sig = 0; sig < design_.numSignals(); ++sig) {
+        const Signal &s = design_.signal(sig);
+        switch (s.kind) {
+          case SignalKind::Register:
+            env_[sig] = s.resetValue;
+            break;
+          case SignalKind::Input:
+          case SignalKind::Wire:
+            env_[sig] = Value(s.width, 0);
+            break;
+        }
+    }
+    cycle_ = 0;
+    evalCount_ = 0;
+    evalComb();
+}
+
+void
+Simulator::setInput(SignalId sig, std::uint64_t bits)
+{
+    const Signal &s = design_.signal(sig);
+    if (s.kind != SignalKind::Input)
+        fatal("setInput on non-input signal ", s.name);
+    env_[sig] = Value(s.width, bits);
+}
+
+void
+Simulator::setInput(const std::string &name, std::uint64_t bits)
+{
+    setInput(design_.signalIdOf(name), bits);
+}
+
+void
+Simulator::evalComb()
+{
+    EvalPass pass(design_, env_);
+    for (SignalId sig : design_.topoWires()) {
+        const Signal &s = design_.signal(sig);
+        if (s.def == NoExpr) {
+            env_[sig] = Value(s.width, 0);
+            continue;
+        }
+        env_[sig] = pass.eval(s.def);
+    }
+    ++evalCount_;
+}
+
+void
+Simulator::step()
+{
+    evalComb();
+
+    // Compute all next-state values against the settled pre-edge state, then
+    // latch simultaneously (non-blocking assignment semantics).
+    EvalPass pass(design_, env_);
+    std::vector<std::pair<SignalId, Value>> latched;
+    latched.reserve(16);
+    for (SignalId sig = 0; sig < design_.numSignals(); ++sig) {
+        const Signal &s = design_.signal(sig);
+        if (s.kind != SignalKind::Register)
+            continue;
+        if (s.def == NoExpr) {
+            latched.emplace_back(sig, env_[sig]); // holds its value
+            continue;
+        }
+        latched.emplace_back(sig, pass.eval(s.def));
+    }
+    for (const auto &[sig, v] : latched)
+        env_[sig] = v;
+
+    evalComb();
+    ++cycle_;
+}
+
+Value
+Simulator::peek(SignalId sig) const
+{
+    return env_.at(sig);
+}
+
+Value
+Simulator::peek(const std::string &name) const
+{
+    return env_.at(design_.signalIdOf(name));
+}
+
+void
+Simulator::pokeRegister(SignalId sig, std::uint64_t bits)
+{
+    const Signal &s = design_.signal(sig);
+    if (s.kind != SignalKind::Register)
+        fatal("pokeRegister on non-register signal ", s.name);
+    env_[sig] = Value(s.width, bits);
+}
+
+} // namespace coppelia::rtl

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Cycle-accurate concrete simulator over rtl::Design, mirroring the
+ * structure of Verilator-generated C++: an eval() that settles combinational
+ * logic with inputs held stable, and a clock edge that latches registers.
+ * One simulated clock cycle is two eval() calls (paper §II-B): one with the
+ * new inputs applied and one after the register latch, so downstream wires
+ * reflect the new register state.
+ *
+ * This simulator doubles as the "FPGA board" stand-in: exploit replay runs
+ * the generated instruction stream on it from reset and watches assertions.
+ */
+
+#ifndef COPPELIA_RTL_SIM_HH
+#define COPPELIA_RTL_SIM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/design.hh"
+
+namespace coppelia::rtl
+{
+
+/** Concrete two-phase simulator. */
+class Simulator
+{
+  public:
+    explicit Simulator(const Design &design);
+
+    /** Reset: registers take their reset values, inputs go to zero. */
+    void reset();
+
+    /** Drive an input for the upcoming cycle. */
+    void setInput(SignalId sig, std::uint64_t bits);
+    void setInput(const std::string &name, std::uint64_t bits);
+
+    /**
+     * Advance one clock cycle: settle combinational logic with current
+     * inputs, latch registers, settle again. Counts as two eval() calls.
+     */
+    void step();
+
+    /** Settle combinational logic without clocking (half-cycle eval). */
+    void evalComb();
+
+    /** Read the current value of any signal (wire values are as of the last
+     * settle). */
+    Value peek(SignalId sig) const;
+    Value peek(const std::string &name) const;
+
+    /** Total eval() invocations so far (two per step()). */
+    std::uint64_t evalCount() const { return evalCount_; }
+
+    /** Cycles since the last reset. */
+    std::uint64_t cycle() const { return cycle_; }
+
+    /** Direct access to the full environment (indexed by SignalId). */
+    const std::vector<Value> &env() const { return env_; }
+
+    /** Force a register to an arbitrary value (used by the BMC baseline to
+     * replay counterexamples that start from non-reset states). */
+    void pokeRegister(SignalId sig, std::uint64_t bits);
+
+  private:
+    const Design &design_;
+    std::vector<Value> env_;
+    std::uint64_t evalCount_ = 0;
+    std::uint64_t cycle_ = 0;
+};
+
+} // namespace coppelia::rtl
+
+#endif // COPPELIA_RTL_SIM_HH

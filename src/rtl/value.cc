@@ -1,0 +1,17 @@
+#include "rtl/value.hh"
+
+#include <cstdio>
+
+namespace coppelia::rtl
+{
+
+std::string
+Value::toString() const
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%d'h%llx", width_,
+                  static_cast<unsigned long long>(bits_));
+    return buf;
+}
+
+} // namespace coppelia::rtl

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tseitin bit-blasting of bit-vector terms to CNF over the CDCL SAT core.
+ * Each term is lowered to a vector of SAT literals, LSB first; gate outputs
+ * are fresh variables constrained by the usual Tseitin clauses. Lowered
+ * terms are cached per blaster instance so shared subgraphs encode once.
+ */
+
+#ifndef COPPELIA_SOLVER_BITBLAST_HH
+#define COPPELIA_SOLVER_BITBLAST_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "solver/sat/sat.hh"
+#include "solver/term.hh"
+
+namespace coppelia::smt
+{
+
+/** Lowers terms into a sat::Solver instance. */
+class BitBlaster
+{
+  public:
+    BitBlaster(TermManager &tm, sat::Solver &sat);
+
+    /** Lower a term; returns its literals, LSB first. */
+    const std::vector<sat::Lit> &blast(TermRef ref);
+
+    /** Assert that a width-1 term is true. */
+    void assertTrue(TermRef ref);
+
+    /** SAT variables allocated for a theory variable (for model readback);
+     *  empty if the variable never appeared in an asserted term. */
+    const std::vector<sat::Lit> *varLits(int var_id) const;
+
+  private:
+    // Gate constructors returning the output literal.
+    sat::Lit mkAnd(sat::Lit a, sat::Lit b);
+    sat::Lit mkOr(sat::Lit a, sat::Lit b);
+    sat::Lit mkXor(sat::Lit a, sat::Lit b);
+    sat::Lit mkMux(sat::Lit s, sat::Lit t, sat::Lit e);
+    sat::Lit trueLit() const { return trueLit_; }
+    sat::Lit falseLit() const { return ~trueLit_; }
+    sat::Lit fresh();
+
+    /** Ripple-carry add: out = a + b + cin; returns carry-out. */
+    sat::Lit adder(const std::vector<sat::Lit> &a,
+                   const std::vector<sat::Lit> &b, sat::Lit cin,
+                   std::vector<sat::Lit> &out);
+
+    /** Unsigned less-than via borrow chain. */
+    sat::Lit ultChain(const std::vector<sat::Lit> &a,
+                      const std::vector<sat::Lit> &b);
+
+    std::vector<sat::Lit> lower(const Term &t);
+
+    TermManager &tm_;
+    sat::Solver &sat_;
+    sat::Lit trueLit_;
+    std::unordered_map<TermRef, std::vector<sat::Lit>> cache_;
+    std::unordered_map<int, std::vector<sat::Lit>> varBits_;
+};
+
+} // namespace coppelia::smt
+
+#endif // COPPELIA_SOLVER_BITBLAST_HH

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * A from-scratch CDCL SAT solver: two-watched-literal propagation, first-UIP
+ * conflict analysis with clause learning, VSIDS-style activity-based decision
+ * heuristic, phase saving, Luby restarts, and assumption-based incremental
+ * solving. This is the decision-procedure core under the bit-vector theory
+ * layer (the KLEE/STP stand-in of the reproduction).
+ */
+
+#ifndef COPPELIA_SOLVER_SAT_SAT_HH
+#define COPPELIA_SOLVER_SAT_SAT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace coppelia::sat
+{
+
+/** Variable index, 0-based. */
+using Var = int;
+
+/**
+ * A literal encodes a variable and a sign: lit = 2*var + (negated ? 1 : 0).
+ */
+class Lit
+{
+  public:
+    Lit() : code_(-2) {}
+    Lit(Var v, bool negated) : code_(2 * v + (negated ? 1 : 0)) {}
+
+    Var var() const { return code_ >> 1; }
+    bool sign() const { return code_ & 1; } ///< true = negated
+    Lit operator~() const { return fromCode(code_ ^ 1); }
+    int code() const { return code_; }
+
+    bool operator==(const Lit &o) const { return code_ == o.code_; }
+    bool operator!=(const Lit &o) const { return code_ != o.code_; }
+
+    static Lit
+    fromCode(int code)
+    {
+        Lit l;
+        l.code_ = code;
+        return l;
+    }
+
+    static Lit undef() { return Lit(); }
+    bool isUndef() const { return code_ < 0; }
+
+  private:
+    int code_;
+};
+
+/** Three-valued assignment. */
+enum class LBool : std::int8_t
+{
+    False = 0,
+    True = 1,
+    Undef = 2,
+};
+
+/** Result of a solve call. */
+enum class SatResult
+{
+    Sat,
+    Unsat,
+    Unknown, ///< resource limit hit
+};
+
+/**
+ * The CDCL solver. Usage: newVar() to allocate variables, addClause() to
+ * install the problem, then solve() possibly with assumptions. After Sat,
+ * value() reads the model; after Unsat under assumptions, failedAssumptions()
+ * lists an unsatisfiable core subset of them.
+ */
+class Solver
+{
+  public:
+    Solver();
+
+    /** Allocate a fresh variable and return its index. */
+    Var newVar();
+
+    int numVars() const { return static_cast<int>(assign_.size()); }
+
+    /**
+     * Add a clause (disjunction of literals). Returns false if the clause
+     * makes the formula trivially unsatisfiable (empty after simplification
+     * at level 0).
+     */
+    bool addClause(std::vector<Lit> lits);
+
+    /** Convenience single/double/triple literal clauses. */
+    bool addUnit(Lit a) { return addClause({a}); }
+    bool addBinary(Lit a, Lit b) { return addClause({a, b}); }
+    bool addTernary(Lit a, Lit b, Lit c) { return addClause({a, b, c}); }
+
+    /**
+     * Solve under the given assumptions.
+     * @param conflict_budget max learned conflicts before giving up
+     *        (negative = unlimited).
+     */
+    SatResult solve(const std::vector<Lit> &assumptions = {},
+                    std::int64_t conflict_budget = -1);
+
+    /** Model value of a variable (valid after Sat). */
+    LBool value(Var v) const { return assign_[v]; }
+
+    /** Model value of a literal. */
+    LBool
+    value(Lit l) const
+    {
+        LBool v = assign_[l.var()];
+        if (v == LBool::Undef)
+            return LBool::Undef;
+        bool b = (v == LBool::True) != l.sign();
+        return b ? LBool::True : LBool::False;
+    }
+
+    /** Assumptions that participated in the final conflict (after Unsat). */
+    const std::vector<Lit> &failedAssumptions() const { return conflictCore_; }
+
+    /** Work counters: conflicts, decisions, propagations, restarts. */
+    const StatGroup &stats() const { return stats_; }
+
+    /** True if the clause database is already unsat at level 0. */
+    bool inconsistent() const { return !ok_; }
+
+  private:
+    struct Clause
+    {
+        std::vector<Lit> lits;
+        bool learned = false;
+        double activity = 0.0;
+    };
+
+    using ClauseRef = int;
+    static constexpr ClauseRef NoClause = -1;
+
+    struct Watcher
+    {
+        ClauseRef cref;
+        Lit blocker;
+    };
+
+    struct VarInfo
+    {
+        ClauseRef reason = NoClause;
+        int level = 0;
+    };
+
+    // Core CDCL steps.
+    ClauseRef propagate();
+    void analyze(ClauseRef confl, std::vector<Lit> &out_learnt,
+                 int &out_btlevel);
+    void analyzeFinal(Lit p);
+    void enqueue(Lit p, ClauseRef from);
+    void cancelUntil(int level);
+    Lit pickBranchLit();
+    void attachClause(ClauseRef cref);
+    void reduceDB();
+
+    // Activity bookkeeping.
+    void bumpVar(Var v);
+    void decayVarActivity() { varInc_ /= varDecay_; }
+    void bumpClause(Clause &c);
+
+    int decisionLevel() const { return static_cast<int>(trailLim_.size()); }
+    static std::int64_t luby(std::int64_t i);
+
+    bool ok_ = true;
+    std::vector<Clause> clauses_;
+    std::vector<ClauseRef> learnts_;
+    std::vector<std::vector<Watcher>> watches_; ///< indexed by lit code
+    std::vector<LBool> assign_;
+    std::vector<LBool> savedPhase_;
+    std::vector<VarInfo> varInfo_;
+    std::vector<double> activity_;
+    std::vector<Lit> trail_;
+    std::vector<int> trailLim_;
+    std::size_t qhead_ = 0;
+
+    // Activity-ordered decision heap (MiniSat-style VarOrder).
+    void heapInsert(Var v);
+    void heapUpdate(Var v);
+    Var heapPop();
+    void siftUp(int i);
+    void siftDown(int i);
+    std::vector<Var> heap_;
+    std::vector<int> heapPos_; ///< -1 when not in heap
+
+    std::vector<Lit> conflictCore_;
+    std::vector<char> seen_;
+
+    double varInc_ = 1.0;
+    double varDecay_ = 0.95;
+    double claInc_ = 1.0;
+
+    StatGroup stats_;
+};
+
+} // namespace coppelia::sat
+
+#endif // COPPELIA_SOLVER_SAT_SAT_HH

@@ -1,0 +1,164 @@
+#include "solver/solver.hh"
+
+#include <algorithm>
+
+#include "solver/bitblast.hh"
+#include "solver/sat/sat.hh"
+#include "util/logging.hh"
+
+namespace coppelia::smt
+{
+
+namespace
+{
+
+/** Cap on remembered models for counterexample reuse. */
+constexpr std::size_t MaxRecentModels = 64;
+
+} // namespace
+
+Solver::Solver(TermManager &tm, SolverOptions opts) : tm_(tm), opts_(opts) {}
+
+std::vector<TermRef>
+Solver::canonicalKey(const std::vector<TermRef> &assertions)
+{
+    std::vector<TermRef> key = assertions;
+    std::sort(key.begin(), key.end());
+    key.erase(std::unique(key.begin(), key.end()), key.end());
+    return key;
+}
+
+bool
+Solver::modelSatisfies(const std::vector<TermRef> &assertions,
+                       const Model &model) const
+{
+    for (TermRef a : assertions) {
+        if (tm_.eval(a, model) == 0)
+            return false;
+    }
+    return true;
+}
+
+Result
+Solver::check(const std::vector<TermRef> &assertions, Model *model)
+{
+    stats_.inc("queries");
+
+    // Constant-level short circuit: the simplifier folds trivially false
+    // assertions to literal 0.
+    for (TermRef a : assertions) {
+        std::uint64_t k;
+        if (tm_.isConst(a, &k) && k == 0) {
+            stats_.inc("trivially_unsat");
+            return Result::Unsat;
+        }
+    }
+
+    std::vector<TermRef> key;
+    if (opts_.useCache) {
+        key = canonicalKey(assertions);
+        auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            stats_.inc("cache_hits");
+            if (it->second.result == Result::Sat && model)
+                *model = it->second.model;
+            return it->second.result;
+        }
+        // Counterexample reuse: a model from an earlier query may already
+        // satisfy this one, skipping the SAT call entirely.
+        for (const Model &m : recentModels_) {
+            if (modelSatisfies(assertions, m)) {
+                stats_.inc("model_reuse_hits");
+                if (model)
+                    *model = m;
+                cache_[key] = CacheEntry{Result::Sat, m};
+                return Result::Sat;
+            }
+        }
+    }
+
+    Model local;
+    Result r = solveCore(assertions, &local);
+    if (r == Result::Sat && model)
+        *model = local;
+
+    if (opts_.useCache && r != Result::Unknown) {
+        cache_[key] = CacheEntry{r, r == Result::Sat ? local : Model{}};
+        if (r == Result::Sat) {
+            recentModels_.push_back(local);
+            if (recentModels_.size() > MaxRecentModels)
+                recentModels_.erase(recentModels_.begin());
+        }
+    }
+    return r;
+}
+
+Result
+Solver::solveCore(const std::vector<TermRef> &assertions, Model *model)
+{
+    stats_.inc("sat_calls");
+    sat::Solver sat;
+    BitBlaster blaster(tm_, sat);
+
+    for (TermRef a : assertions) {
+        if (tm_.widthOf(a) != 1)
+            fatal("solver assertion is not boolean");
+        blaster.assertTrue(a);
+    }
+    if (sat.inconsistent())
+        return Result::Unsat;
+
+    sat::SatResult sr = sat.solve({}, opts_.conflictBudget);
+    stats_.inc("sat_conflicts", sat.stats().get("conflicts"));
+    stats_.inc("sat_decisions", sat.stats().get("decisions"));
+    stats_.inc("sat_propagations", sat.stats().get("propagations"));
+
+    switch (sr) {
+      case sat::SatResult::Unsat:
+        return Result::Unsat;
+      case sat::SatResult::Unknown:
+        stats_.inc("budget_exhausted");
+        return Result::Unknown;
+      case sat::SatResult::Sat:
+        break;
+    }
+
+    if (model) {
+        // Read back every theory variable that was blasted.
+        std::vector<int> vars;
+        for (TermRef a : assertions)
+            tm_.collectVars(a, vars);
+        std::sort(vars.begin(), vars.end());
+        vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+        for (int v : vars) {
+            const std::vector<sat::Lit> *lits = blaster.varLits(v);
+            std::uint64_t bits = 0;
+            if (lits) {
+                for (std::size_t i = 0; i < lits->size(); ++i) {
+                    if (sat.value((*lits)[i]) == sat::LBool::True)
+                        bits |= 1ull << i;
+                }
+            }
+            model->set(v, bits);
+        }
+    }
+    return Result::Sat;
+}
+
+bool
+Solver::isSat(const std::vector<TermRef> &assertions)
+{
+    Result r = check(assertions, nullptr);
+    if (r == Result::Unknown)
+        fatal("solver budget exhausted on a must-decide query");
+    return r == Result::Sat;
+}
+
+void
+Solver::clearCache()
+{
+    cache_.clear();
+    recentModels_.clear();
+}
+
+} // namespace coppelia::smt

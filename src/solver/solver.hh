@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The query-level solver facade: takes a conjunction of boolean terms,
+ * bit-blasts into a fresh CDCL instance, and returns SAT with a model or
+ * UNSAT. A counterexample cache in front of the SAT core mirrors KLEE's
+ * counterexample caching (enabled in the paper's "Original KLEE" baseline
+ * configuration): exact query hits are answered immediately, and models
+ * from previous satisfiable queries are tried against new queries before
+ * paying for a SAT call.
+ */
+
+#ifndef COPPELIA_SOLVER_SOLVER_HH
+#define COPPELIA_SOLVER_SOLVER_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "solver/term.hh"
+#include "util/stats.hh"
+
+namespace coppelia::smt
+{
+
+/** Outcome of a satisfiability query. */
+enum class Result
+{
+    Sat,
+    Unsat,
+    Unknown, ///< conflict budget exhausted
+};
+
+/** Solver configuration. */
+struct SolverOptions
+{
+    bool useCache = true;          ///< counterexample cache
+    std::int64_t conflictBudget = -1; ///< per-query SAT conflict limit
+};
+
+/**
+ * Stateless-per-query solver over a shared TermManager. Thread-compatible
+ * (one instance per thread); not thread-safe.
+ */
+class Solver
+{
+  public:
+    explicit Solver(TermManager &tm, SolverOptions opts = {});
+
+    /**
+     * Check satisfiability of the conjunction of @p assertions (each a
+     * width-1 term). On Sat, @p model (if non-null) receives values for
+     * every variable occurring in the assertions.
+     */
+    Result check(const std::vector<TermRef> &assertions, Model *model);
+
+    /** Single-term convenience overload. */
+    Result
+    check(TermRef assertion, Model *model)
+    {
+        std::vector<TermRef> v{assertion};
+        return check(v, model);
+    }
+
+    /**
+     * True iff the conjunction of assertions is satisfiable; fatal on
+     * Unknown (used where a budget overrun indicates a tool bug).
+     */
+    bool isSat(const std::vector<TermRef> &assertions);
+
+    /** Work counters: queries, cache hits, SAT calls, conflicts. */
+    const StatGroup &stats() const { return stats_; }
+
+    /** Drop all cached query results. */
+    void clearCache();
+
+  private:
+    struct CacheEntry
+    {
+        Result result;
+        Model model; // valid when result == Sat
+    };
+
+    /** Canonical cache key: sorted, deduplicated assertion refs. */
+    static std::vector<TermRef>
+    canonicalKey(const std::vector<TermRef> &assertions);
+
+    bool modelSatisfies(const std::vector<TermRef> &assertions,
+                        const Model &model) const;
+
+    Result solveCore(const std::vector<TermRef> &assertions, Model *model);
+
+    TermManager &tm_;
+    SolverOptions opts_;
+    std::map<std::vector<TermRef>, CacheEntry> cache_;
+    std::vector<Model> recentModels_; ///< for counterexample reuse
+    StatGroup stats_;
+};
+
+} // namespace coppelia::smt
+
+#endif // COPPELIA_SOLVER_SOLVER_HH

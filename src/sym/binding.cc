@@ -1,0 +1,52 @@
+#include "sym/binding.hh"
+
+namespace coppelia::sym
+{
+
+using rtl::SignalId;
+using rtl::SignalKind;
+
+BoundState
+bindCycle(const rtl::Design &design, smt::TermManager &tm,
+          const std::unordered_set<SignalId> &symbolic_regs,
+          const std::unordered_map<SignalId, std::uint64_t> &pinned,
+          const std::string &prefix)
+{
+    BoundState out;
+    for (SignalId sig = 0; sig < design.numSignals(); ++sig) {
+        const rtl::Signal &s = design.signal(sig);
+        switch (s.kind) {
+          case SignalKind::Input: {
+            smt::TermRef v = tm.mkVar(prefix + s.name, s.width);
+            out.binding[sig] = v;
+            out.inputVars[sig] = v;
+            break;
+          }
+          case SignalKind::Register: {
+            if (symbolic_regs.count(sig)) {
+                smt::TermRef v = tm.mkVar(prefix + s.name, s.width);
+                out.binding[sig] = v;
+                out.regVars[sig] = v;
+            } else {
+                auto it = pinned.find(sig);
+                const std::uint64_t bits =
+                    it != pinned.end() ? it->second : s.resetValue.bits();
+                out.binding[sig] = tm.mkConst(s.width, bits);
+            }
+            break;
+          }
+          case SignalKind::Wire:
+            break; // expanded on demand
+        }
+    }
+    return out;
+}
+
+BoundState
+bindFromReset(const rtl::Design &design, smt::TermManager &tm,
+              const std::string &prefix)
+{
+    return bindCycle(design, tm, {}, {}, prefix);
+}
+
+} // namespace coppelia::sym

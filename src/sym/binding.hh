@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Helpers to construct signal bindings for a cycle exploration: fresh
+ * symbolic variables for inputs, and — per the paper's stateful-signal
+ * analysis (§II-D3) — symbolic variables only for the registers in the
+ * property's cone of influence, with every other register pinned to a
+ * concrete value (its reset value by default, or a stitched value from a
+ * later cycle during backward search).
+ */
+
+#ifndef COPPELIA_SYM_BINDING_HH
+#define COPPELIA_SYM_BINDING_HH
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sym/lower.hh"
+
+namespace coppelia::sym
+{
+
+/** A binding plus the variables it introduced, for model readback. */
+struct BoundState
+{
+    Binding binding;
+    /** Fresh input variables, by input SignalId. */
+    std::unordered_map<rtl::SignalId, smt::TermRef> inputVars;
+    /** Fresh register variables (only symbolic registers appear). */
+    std::unordered_map<rtl::SignalId, smt::TermRef> regVars;
+};
+
+/**
+ * Build a binding where all inputs are fresh variables, registers in
+ * @p symbolic_regs are fresh variables, and all other registers are bound
+ * to concrete values: a value from @p pinned if present, else the
+ * register's reset value.
+ *
+ * @param prefix distinguishes variables across cycles (e.g. "c3_").
+ */
+BoundState
+bindCycle(const rtl::Design &design, smt::TermManager &tm,
+          const std::unordered_set<rtl::SignalId> &symbolic_regs,
+          const std::unordered_map<rtl::SignalId, std::uint64_t> &pinned,
+          const std::string &prefix);
+
+/** Binding with every register pinned to its reset value (cycle 0 of a
+ *  forward run). */
+BoundState bindFromReset(const rtl::Design &design, smt::TermManager &tm,
+                         const std::string &prefix);
+
+} // namespace coppelia::sym
+
+#endif // COPPELIA_SYM_BINDING_HH

@@ -1,0 +1,182 @@
+#include "sym/executor.hh"
+
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace coppelia::sym
+{
+
+using rtl::SignalId;
+using smt::TermRef;
+
+const char *
+searchModeName(SearchMode mode)
+{
+    switch (mode) {
+      case SearchMode::BFS: return "bfs";
+      case SearchMode::DFS: return "dfs";
+      case SearchMode::Random: return "random";
+      case SearchMode::Hybrid: return "hybrid";
+    }
+    return "?";
+}
+
+Searcher::Searcher(SearchMode mode, int bfs_quota, int dfs_quota,
+                   std::uint64_t seed)
+    : mode_(mode), bfsQuota_(bfs_quota), dfsQuota_(dfs_quota),
+      phaseRemaining_(bfs_quota), rng_(seed)
+{}
+
+void
+Searcher::push(PathState state)
+{
+    frontier_.push_back(std::move(state));
+}
+
+PathState
+Searcher::pop()
+{
+    if (frontier_.empty())
+        panic("Searcher::pop on empty frontier");
+
+    auto pop_front = [this] {
+        PathState s = std::move(frontier_.front());
+        frontier_.pop_front();
+        return s;
+    };
+    auto pop_back = [this] {
+        PathState s = std::move(frontier_.back());
+        frontier_.pop_back();
+        return s;
+    };
+
+    switch (mode_) {
+      case SearchMode::BFS:
+        return pop_front();
+      case SearchMode::DFS:
+        return pop_back();
+      case SearchMode::Random: {
+        std::size_t idx = rng_.below(frontier_.size());
+        std::swap(frontier_[idx], frontier_.back());
+        return pop_back();
+      }
+      case SearchMode::Hybrid: {
+        // Alternate phases: bfsQuota_ front-pops, then dfsQuota_ back-pops.
+        if (phaseRemaining_ == 0) {
+            inBfsPhase_ = !inBfsPhase_;
+            phaseRemaining_ = inBfsPhase_ ? bfsQuota_ : dfsQuota_;
+        }
+        --phaseRemaining_;
+        return inBfsPhase_ ? pop_front() : pop_back();
+      }
+    }
+    panic("unreachable search mode");
+}
+
+CycleExplorer::CycleExplorer(const rtl::Design &design, smt::TermManager &tm,
+                             smt::Solver &solver, ExplorerOptions opts)
+    : design_(design), tm_(tm), solver_(solver), opts_(opts)
+{}
+
+bool
+CycleExplorer::explore(const Binding &binding,
+                       const std::vector<SignalId> &root_regs,
+                       const std::vector<TermRef> &preconditions,
+                       const LeafCallback &on_leaf)
+{
+    Timer timer;
+    Searcher searcher(opts_.search, opts_.bfsQuota, opts_.dfsQuota,
+                      opts_.seed);
+    PathState initial;
+    initial.pathCond = preconditions;
+    searcher.push(std::move(initial));
+
+    std::uint64_t leaves = 0;
+    std::uint64_t forks = 0;
+
+    while (!searcher.empty()) {
+        if (opts_.maxLeaves && leaves >= opts_.maxLeaves) {
+            stats_.inc("stopped_max_leaves");
+            return false;
+        }
+        if (opts_.maxForks && forks >= opts_.maxForks) {
+            stats_.inc("stopped_max_forks");
+            return false;
+        }
+        if (opts_.timeLimitSeconds > 0 &&
+            timer.seconds() > opts_.timeLimitSeconds) {
+            stats_.inc("stopped_time_limit");
+            return false;
+        }
+
+        PathState state = searcher.pop();
+        Lowering lowering(design_, tm_, binding, state.decisions);
+
+        // Lower every root register's next-state expression. A suspended
+        // lowering means an undecided control branch: fork.
+        bool suspended = false;
+        std::unordered_map<SignalId, TermRef> next_regs;
+        for (SignalId sig : root_regs) {
+            const rtl::Signal &s = design_.signal(sig);
+            if (s.kind != rtl::SignalKind::Register)
+                fatal("explore root ", s.name, " is not a register");
+            if (s.def == rtl::NoExpr) {
+                // Register holds its value.
+                auto held = lowering.lowerSignal(sig);
+                if (!held) {
+                    suspended = true;
+                    break;
+                }
+                next_regs[sig] = *held;
+                continue;
+            }
+            auto t = lowering.lower(s.def);
+            if (!t) {
+                suspended = true;
+                break;
+            }
+            next_regs[sig] = *t;
+        }
+
+        if (!suspended) {
+            ++leaves;
+            stats_.inc("leaves");
+            Leaf leaf;
+            leaf.pathCond = state.pathCond;
+            leaf.nextRegs = std::move(next_regs);
+            leaf.decisions = state.decisions;
+            if (!on_leaf(leaf)) {
+                stats_.inc("stopped_by_callback");
+                return false;
+            }
+            continue;
+        }
+
+        const PendingBranch &pb = lowering.pending();
+        if (pb.ite == rtl::NoExpr)
+            panic("lowering suspended without a pending branch");
+
+        ++forks;
+        stats_.inc("forks");
+        for (bool taken : {false, true}) {
+            PathState child;
+            child.decisions = state.decisions;
+            child.decisions[pb.ite] = taken;
+            child.pathCond = state.pathCond;
+            child.pathCond.push_back(taken ? pb.cond : tm_.mkNot(pb.cond));
+
+            if (opts_.checkForkFeasibility) {
+                stats_.inc("feasibility_queries");
+                if (!solver_.isSat(child.pathCond)) {
+                    stats_.inc("infeasible_pruned");
+                    continue;
+                }
+            }
+            searcher.push(std::move(child));
+        }
+    }
+    stats_.inc("completed_explorations");
+    return true;
+}
+
+} // namespace coppelia::sym

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * One-clock-cycle symbolic exploration of an RTL design (the paper's
+ * "symbolic exploration tree" of §II-C). The root of the tree is a binding
+ * of inputs and registers to terms; paths fork at control branches; each
+ * leaf carries a path condition and the next-state terms of the explored
+ * registers.
+ *
+ * A pluggable Searcher orders the frontier: breadth-first, depth-first,
+ * random, or the paper's hybrid interleaving of BFS and DFS with fixed
+ * quotas (§II-E2: BFS to touch many instructions quickly, DFS to push
+ * individual instructions deep; DFS gets the larger quota).
+ */
+
+#ifndef COPPELIA_SYM_EXECUTOR_HH
+#define COPPELIA_SYM_EXECUTOR_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "rtl/design.hh"
+#include "solver/solver.hh"
+#include "sym/lower.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace coppelia::sym
+{
+
+/** Frontier ordering strategy. */
+enum class SearchMode
+{
+    BFS,
+    DFS,
+    Random,
+    Hybrid,
+};
+
+const char *searchModeName(SearchMode mode);
+
+/** Explorer configuration. */
+struct ExplorerOptions
+{
+    SearchMode search = SearchMode::Hybrid;
+    /** Hybrid quotas: consecutive BFS picks, then consecutive DFS picks.
+     *  The paper uses 10,000 / 500,000; defaults here are scaled to our
+     *  design sizes but keep the BFS < DFS ratio. */
+    int bfsQuota = 10;
+    int dfsQuota = 500;
+    /** Resource limits (0 = unlimited). */
+    std::uint64_t maxLeaves = 0;
+    std::uint64_t maxForks = 0;
+    double timeLimitSeconds = 0.0;
+    /** Prune infeasible forks with solver calls (KLEE-style). */
+    bool checkForkFeasibility = true;
+    std::uint64_t seed = 1;
+};
+
+/** A pending path through the cycle's exploration tree. */
+struct PathState
+{
+    Decisions decisions;
+    std::vector<smt::TermRef> pathCond;
+};
+
+/** A completed path: the tree leaf of §II-C. */
+struct Leaf
+{
+    std::vector<smt::TermRef> pathCond;
+    /** Next-state term for each explored register, indexed by SignalId. */
+    std::unordered_map<rtl::SignalId, smt::TermRef> nextRegs;
+    /** Decisions that selected this path (debugging / feedback replay). */
+    Decisions decisions;
+};
+
+/** Frontier with pluggable ordering. */
+class Searcher
+{
+  public:
+    Searcher(SearchMode mode, int bfs_quota, int dfs_quota,
+             std::uint64_t seed);
+
+    void push(PathState state);
+    PathState pop();
+    bool empty() const { return frontier_.empty(); }
+    std::size_t size() const { return frontier_.size(); }
+
+  private:
+    SearchMode mode_;
+    int bfsQuota_;
+    int dfsQuota_;
+    int phaseRemaining_;
+    bool inBfsPhase_ = true;
+    std::deque<PathState> frontier_;
+    Rng rng_;
+};
+
+/**
+ * Explores the design for one clock cycle from a symbolic root state.
+ * The caller provides:
+ *  - a Binding for every input and every explored register,
+ *  - the set of root registers whose next-state logic to explore,
+ *  - optional precondition terms conjoined to every path condition
+ *    (preconditioned symbolic execution, §II-E1),
+ *  - a leaf callback; returning false stops the exploration.
+ */
+class CycleExplorer
+{
+  public:
+    /** Callback per completed leaf; return false to stop exploring. */
+    using LeafCallback = std::function<bool(const Leaf &)>;
+
+    CycleExplorer(const rtl::Design &design, smt::TermManager &tm,
+                  smt::Solver &solver, ExplorerOptions opts = {});
+
+    /**
+     * Run the exploration.
+     * @param binding terms for inputs and registers
+     * @param root_regs registers whose next-state expressions to explore
+     * @param preconditions conjoined to all path conditions
+     * @param on_leaf invoked per leaf
+     * @return true if exploration ran to completion (frontier exhausted),
+     *         false if stopped by the callback or a resource limit
+     */
+    bool explore(const Binding &binding,
+                 const std::vector<rtl::SignalId> &root_regs,
+                 const std::vector<smt::TermRef> &preconditions,
+                 const LeafCallback &on_leaf);
+
+    /** Work counters: forks, leaves, infeasible prunes, solver queries. */
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    const rtl::Design &design_;
+    smt::TermManager &tm_;
+    smt::Solver &solver_;
+    ExplorerOptions opts_;
+    StatGroup stats_;
+};
+
+} // namespace coppelia::sym
+
+#endif // COPPELIA_SYM_EXECUTOR_HH

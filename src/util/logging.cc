@@ -1,0 +1,39 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+
+namespace coppelia
+{
+
+namespace
+{
+
+LogLevel globalLevel = LogLevel::Warn;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+namespace detail
+{
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace detail
+
+} // namespace coppelia

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Logging and error-reporting helpers, following the gem5 convention:
+ * panic() for internal invariant violations (tool bugs), fatal() for user
+ * errors that prevent continuing, warn()/inform() for status messages.
+ */
+
+#ifndef COPPELIA_UTIL_LOGGING_HH
+#define COPPELIA_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace coppelia
+{
+
+/** Verbosity levels for status messages. */
+enum class LogLevel
+{
+    Quiet = 0,
+    Warn = 1,
+    Inform = 2,
+    Debug = 3,
+};
+
+/** Global log level; messages above this level are suppressed. */
+LogLevel logLevel();
+
+/** Set the global log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail
+{
+
+/** Emit one formatted message line to stderr. */
+void emit(const char *tag, const std::string &msg);
+
+/** Build a message string from stream-formattable parts. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation and abort. Use only for conditions
+ * that indicate a bug in this tool, never for bad user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emit("panic", detail::format(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/**
+ * Report an unrecoverable user-facing error (bad configuration, malformed
+ * input design) and exit with an error code.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emit("fatal", detail::format(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/** Warn about a condition that might indicate a problem. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::emit("warn", detail::format(std::forward<Args>(args)...));
+}
+
+/** Informative status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Inform)
+        detail::emit("info", detail::format(std::forward<Args>(args)...));
+}
+
+/** Detailed debugging message. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::emit("debug", detail::format(std::forward<Args>(args)...));
+}
+
+} // namespace coppelia
+
+#endif // COPPELIA_UTIL_LOGGING_HH

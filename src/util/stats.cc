@@ -1,0 +1,17 @@
+#include "util/stats.hh"
+
+#include <sstream>
+
+namespace coppelia
+{
+
+std::string
+StatGroup::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[k, v] : counters_)
+        os << k << "=" << v << "\n";
+    return os.str();
+}
+
+} // namespace coppelia

@@ -1,0 +1,84 @@
+#include "util/strutil.hh"
+
+#include <cctype>
+#include <cstdio>
+
+namespace coppelia
+{
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : text) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t b = 0;
+    std::size_t e = text.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(text[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1])))
+        --e;
+    return text.substr(b, e - b);
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+hexString(std::uint64_t value, int digits)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%0*llx", digits,
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+std::string
+padRight(const std::string &text, std::size_t width)
+{
+    std::string out = text;
+    while (out.size() < width)
+        out.push_back(' ');
+    return out;
+}
+
+std::string
+padLeft(const std::string &text, std::size_t width)
+{
+    std::string out = text;
+    while (out.size() < width)
+        out.insert(out.begin(), ' ');
+    return out;
+}
+
+} // namespace coppelia

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Small string helpers shared across modules (the HDL lexer, table
+ * formatters in the benchmark harnesses, exploit source emission).
+ */
+
+#ifndef COPPELIA_UTIL_STRUTIL_HH
+#define COPPELIA_UTIL_STRUTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coppelia
+{
+
+/** Split @p text on @p sep, keeping empty fields. */
+std::vector<std::string> split(const std::string &text, char sep);
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &text);
+
+/** True if @p text begins with @p prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+/** Join strings with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Render @p value as a 0x-prefixed hex string of @p digits nibbles. */
+std::string hexString(std::uint64_t value, int digits = 8);
+
+/** Left-pad or right-pad @p text with spaces to @p width columns. */
+std::string padRight(const std::string &text, std::size_t width);
+std::string padLeft(const std::string &text, std::size_t width);
+
+} // namespace coppelia
+
+#endif // COPPELIA_UTIL_STRUTIL_HH

@@ -1,0 +1,27 @@
+#include "util/timer.hh"
+
+#include <cstdio>
+
+namespace coppelia
+{
+
+std::string
+Timer::formatSeconds(double secs)
+{
+    char buf[64];
+    if (secs < 60.0) {
+        std::snprintf(buf, sizeof(buf), "%.2fs", secs);
+    } else if (secs < 3600.0) {
+        int m = static_cast<int>(secs) / 60;
+        double s = secs - m * 60;
+        std::snprintf(buf, sizeof(buf), "%dm%.0fs", m, s);
+    } else {
+        int h = static_cast<int>(secs) / 3600;
+        int m = (static_cast<int>(secs) % 3600) / 60;
+        double s = secs - h * 3600 - m * 60;
+        std::snprintf(buf, sizeof(buf), "%dh%dm%.0fs", h, m, s);
+    }
+    return buf;
+}
+
+} // namespace coppelia

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Wall-clock timing helper used by the benchmark harnesses and by the
+ * backward engine's per-phase timing reports.
+ */
+
+#ifndef COPPELIA_UTIL_TIMER_HH
+#define COPPELIA_UTIL_TIMER_HH
+
+#include <chrono>
+#include <string>
+
+namespace coppelia
+{
+
+/** Monotonic stopwatch. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+    /** Render a duration in seconds as "XhYmZs" / "Ym Zs" / "Z.ZZs". */
+    static std::string formatSeconds(double secs);
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace coppelia
+
+#endif // COPPELIA_UTIL_TIMER_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the bounded-model-checking baseline: EBMC-like traces from
+ * reset are replayable by construction; IFV-like witnesses from an
+ * unconstrained state find one-step violations but are frequently not
+ * replayable (the paper's "intermediate trigger" behaviour, §IV-C(3)).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bmc/bmc.hh"
+#include "cpu/bugs.hh"
+#include "cpu/or1k/core.hh"
+#include "cpu/or1k/isa.hh"
+
+namespace coppelia::bmc
+{
+namespace
+{
+
+BmcOptions
+optionsFor(Preset preset)
+{
+    BmcOptions o;
+    o.preset = preset;
+    o.maxBound = 3;
+    o.timeLimitSeconds = 60;
+    o.insnConstraint = [](smt::TermManager &tm, smt::TermRef v) {
+        return cpu::or1k::legalInsnConstraint(tm, v);
+    };
+    return o;
+}
+
+TEST(Bmc, EbmcLikeFindsOneStepBugFromReset)
+{
+    rtl::Design d =
+        cpu::or1k::buildOr1200(cpu::BugConfig::with(cpu::BugId::b03));
+    auto asserts = cpu::or1k::or1200Assertions(d);
+    const auto &a = props::findAssertion(asserts, "a03_rfe_restores_sr");
+    BmcResult r = checkAssertion(d, a, optionsFor(Preset::EbmcLike));
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.depth, 1);
+    EXPECT_TRUE(r.startsAtReset);
+    EXPECT_TRUE(r.replayableFromReset);
+}
+
+TEST(Bmc, IfvLikeWitnessOftenNotReplayable)
+{
+    // b24 needs a non-zero source value: from an unconstrained state the
+    // IFV-like check finds a 1-instruction witness whose initial state is
+    // not reset (the paper's b24 example: l.addi r0, r1, 0 with r1 != 0).
+    rtl::Design d =
+        cpu::or1k::buildOr1200(cpu::BugConfig::with(cpu::BugId::b24));
+    auto asserts = cpu::or1k::or1200Assertions(d);
+    const auto &a = props::findAssertion(asserts, "a24_gpr0_zero");
+    BmcResult r = checkAssertion(d, a, optionsFor(Preset::IfvLike));
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.depth, 1);
+    // The witness may or may not start at reset, but the initial state is
+    // reported so the caller can classify it.
+    EXPECT_FALSE(r.initialState.empty());
+}
+
+TEST(Bmc, CleanCoreHasNoTraceWithinBound)
+{
+    rtl::Design d = cpu::or1k::buildOr1200();
+    auto asserts = cpu::or1k::or1200Assertions(d);
+    const auto &a = props::findAssertion(asserts, "a24_gpr0_zero");
+    BmcOptions o = optionsFor(Preset::EbmcLike);
+    o.maxBound = 2;
+    BmcResult r = checkAssertion(d, a, o);
+    EXPECT_FALSE(r.found);
+}
+
+TEST(Bmc, DeeperBugNeedsDeeperBound)
+{
+    // b05 needs two instructions (set a register, then read its
+    // neighbour): bound 1 misses it, bound 2+ finds it from reset.
+    rtl::Design d =
+        cpu::or1k::buildOr1200(cpu::BugConfig::with(cpu::BugId::b05));
+    auto asserts = cpu::or1k::or1200Assertions(d);
+    const auto &a = props::findAssertion(asserts, "a05_src_a");
+    BmcOptions o = optionsFor(Preset::EbmcLike);
+    o.maxBound = 1;
+    EXPECT_FALSE(checkAssertion(d, a, o).found);
+    o.maxBound = 2;
+    BmcResult r = checkAssertion(d, a, o);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.depth, 2);
+    EXPECT_TRUE(r.replayableFromReset);
+}
+
+} // namespace
+} // namespace coppelia::bmc

@@ -1,0 +1,582 @@
+/**
+ * @file
+ * Tests for the OR1k cores: reset state, directed instruction sequences,
+ * lockstep equivalence of the bug-free RTL against the golden ISS on
+ * random legal instruction streams, per-bug assertion-violation triggers
+ * (each of the 29 in-scope bugs must be demonstrable by a concrete
+ * instruction sequence on the buggy core and impossible on the correct
+ * core), wrong-assertion behaviour, and incomplete-patch behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/bugs.hh"
+#include "cpu/or1k/core.hh"
+#include "cpu/or1k/isa.hh"
+#include "exploit/system.hh"
+#include "iss/or1k_iss.hh"
+#include "util/rng.hh"
+
+namespace coppelia::cpu::or1k
+{
+namespace
+{
+
+using exploit::CoreSystem;
+using props::Assertion;
+
+/** Fresh correct core + assertion list. */
+struct CleanCore
+{
+    CleanCore() : design(buildOr1200()), asserts(or1200Assertions(design))
+    {}
+    rtl::Design design;
+    std::vector<Assertion> asserts;
+};
+
+TEST(Or1kCore, ResetState)
+{
+    rtl::Design d = buildOr1200();
+    CoreSystem sys(d);
+    EXPECT_EQ(sys.pc(), VecReset);
+    EXPECT_EQ(sys.peek("sr").bits(), 1u << SrSm);
+    for (int i = 0; i < NumGprs; ++i)
+        EXPECT_EQ(sys.peek("gpr" + std::to_string(i)).bits(), 0u);
+}
+
+TEST(Or1kCore, AddiMovhiOri)
+{
+    rtl::Design d = buildOr1200();
+    CoreSystem sys(d);
+    sys.stepWithInsn(encAddi(1, 0, 5));
+    EXPECT_EQ(sys.peek("gpr1").bits(), 5u);
+    sys.stepWithInsn(encMovhi(2, 0x8000));
+    EXPECT_EQ(sys.peek("gpr2").bits(), 0x80000000u);
+    sys.stepWithInsn(encOri(3, 2, 0x1234));
+    EXPECT_EQ(sys.peek("gpr3").bits(), 0x80001234u);
+    sys.stepWithInsn(encAdd(4, 1, 3));
+    EXPECT_EQ(sys.peek("gpr4").bits(), 0x80001239u);
+}
+
+TEST(Or1kCore, Gpr0StaysZero)
+{
+    rtl::Design d = buildOr1200();
+    CoreSystem sys(d);
+    sys.stepWithInsn(encAddi(0, 0, 123));
+    EXPECT_EQ(sys.peek("gpr0").bits(), 0u);
+}
+
+TEST(Or1kCore, LoadStoreRoundTrip)
+{
+    rtl::Design d = buildOr1200();
+    CoreSystem sys(d);
+    sys.stepWithInsn(encAddi(1, 0, 0x40));   // r1 = 0x40
+    sys.stepWithInsn(encAddi(2, 0, 0x55));   // r2 = 0x55
+    sys.stepWithInsn(encSw(1, 2, 4));        // mem[0x44] = r2
+    EXPECT_EQ(sys.dmem().readWord(0x44), 0x55u);
+    sys.stepWithInsn(encLwz(3, 1, 4));       // r3 = mem[0x44]
+    EXPECT_EQ(sys.peek("gpr3").bits(), 0x55u);
+}
+
+TEST(Or1kCore, ByteStoreLanes)
+{
+    rtl::Design d = buildOr1200();
+    CoreSystem sys(d);
+    sys.stepWithInsn(encAddi(1, 0, 0x40));
+    sys.stepWithInsn(encAddi(2, 0, 0xab));
+    sys.stepWithInsn(encSb(1, 2, 2)); // byte store to 0x42 (lane 2)
+    EXPECT_EQ(sys.dmem().readWord(0x40), 0x00ab0000u);
+}
+
+TEST(Or1kCore, SignedByteLoad)
+{
+    rtl::Design d = buildOr1200();
+    CoreSystem sys(d);
+    sys.dmem().writeWord(0x40, 0x00000080); // byte 0x80 at lane 0
+    sys.stepWithInsn(encAddi(1, 0, 0x40));
+    sys.stepWithInsn(encLbs(2, 1, 0));
+    EXPECT_EQ(sys.peek("gpr2").bits(), 0xffffff80u);
+    sys.stepWithInsn(encLbz(3, 1, 0));
+    EXPECT_EQ(sys.peek("gpr3").bits(), 0x80u);
+}
+
+TEST(Or1kCore, BranchWithDelaySlot)
+{
+    rtl::Design d = buildOr1200();
+    CoreSystem sys(d);
+    // l.j +4 instructions; delay slot executes first.
+    std::uint32_t pc0 = sys.pc();
+    sys.stepWithInsn(encJ(4));
+    EXPECT_EQ(sys.pc(), pc0 + 4); // delay slot
+    EXPECT_EQ(sys.peek("ds_pending").bits(), 1u);
+    sys.stepWithInsn(encAddi(1, 0, 7)); // delay slot insn executes
+    EXPECT_EQ(sys.peek("gpr1").bits(), 7u);
+    EXPECT_EQ(sys.pc(), pc0 + 16);
+}
+
+TEST(Or1kCore, JalLinksR9)
+{
+    rtl::Design d = buildOr1200();
+    CoreSystem sys(d);
+    std::uint32_t pc0 = sys.pc();
+    sys.stepWithInsn(encJal(16));
+    EXPECT_EQ(sys.peek("gpr9").bits(), pc0 + 8);
+}
+
+TEST(Or1kCore, SyscallAndRfe)
+{
+    rtl::Design d = buildOr1200();
+    CoreSystem sys(d);
+    std::uint32_t pc0 = sys.pc();
+    sys.stepWithInsn(encSys());
+    EXPECT_EQ(sys.pc(), VecSyscall);
+    EXPECT_EQ(sys.peek("epcr").bits(), pc0 + 4);
+    EXPECT_EQ(sys.peek("sr").bits() & 1, 1u); // still supervisor
+    sys.stepWithInsn(encRfe());
+    EXPECT_EQ(sys.pc(), pc0 + 4);
+}
+
+TEST(Or1kCore, UserModeMtsprTraps)
+{
+    rtl::Design d = buildOr1200();
+    CoreSystem sys(d);
+    // Drop to user mode: write SR with SM=0 (r1 = 0).
+    sys.stepWithInsn(encMtspr(0, 1, SprSr));
+    EXPECT_EQ(sys.peek("sr").bits() & 1, 0u);
+    // Now mtspr must trap as illegal.
+    sys.stepWithInsn(encMtspr(0, 1, SprSr));
+    EXPECT_EQ(sys.pc(), VecIllegal);
+    EXPECT_EQ(sys.peek("wb_ex_ill").bits(), 1u);
+    EXPECT_EQ(sys.peek("sr").bits() & 1, 1u); // back in supervisor
+}
+
+TEST(Or1kCore, UnsignedCompareSetsFlag)
+{
+    rtl::Design d = buildOr1200();
+    CoreSystem sys(d);
+    sys.stepWithInsn(encMovhi(16, 0x8000)); // r16 = 0x80000000
+    sys.stepWithInsn(encSf(SfGtu, 16, 0));  // r16 >u r0 -> flag set
+    EXPECT_EQ((sys.peek("sr").bits() >> SrF) & 1, 1u);
+    sys.stepWithInsn(encSf(SfLtu, 16, 0));  // r16 <u r0 -> clear
+    EXPECT_EQ((sys.peek("sr").bits() >> SrF) & 1, 0u);
+}
+
+TEST(Or1kCore, RangeExceptionWhenEnabled)
+{
+    rtl::Design d = buildOr1200();
+    CoreSystem sys(d);
+    // Enable OVE: SR = SM | OVE via r1.
+    sys.stepWithInsn(encAddi(1, 0, (1 << SrSm) | (1 << SrOve)));
+    sys.stepWithInsn(encMtspr(0, 1, SprSr));
+    sys.stepWithInsn(encMovhi(2, 0x7fff));
+    std::uint32_t pc0 = sys.pc();
+    sys.stepWithInsn(encAdd(3, 2, 2)); // 0x7fff0000 + 0x7fff0000 overflows
+    EXPECT_EQ(sys.pc(), VecRange);
+    EXPECT_EQ(sys.peek("epcr").bits(), pc0);
+}
+
+TEST(Or1kCore, InterruptSquashesInstruction)
+{
+    rtl::Design d = buildOr1200();
+    CoreSystem sys(d);
+    // Enable IEE.
+    sys.stepWithInsn(encAddi(1, 0, (1 << SrSm) | (1 << SrIee)));
+    sys.stepWithInsn(encMtspr(0, 1, SprSr));
+    std::uint32_t pc0 = sys.pc();
+    sys.stepWithInsn(encAddi(5, 0, 99), /*intr=*/true);
+    EXPECT_EQ(sys.pc(), VecInterrupt);
+    EXPECT_EQ(sys.peek("epcr").bits(), pc0); // restartable
+    EXPECT_EQ(sys.peek("gpr5").bits(), 0u);  // squashed
+}
+
+TEST(Or1kCore, AllTrueAssertionsHoldAtReset)
+{
+    CleanCore cc;
+    CoreSystem sys(cc.design);
+    for (const Assertion &a : cc.asserts) {
+        if (a.trueAssertion) {
+            EXPECT_TRUE(sys.holds(a)) << a.id;
+        }
+    }
+}
+
+TEST(Or1kCore, AssertionCountsMatchPaper)
+{
+    CleanCore cc;
+    EXPECT_EQ(cc.asserts.size(), 35u); // §IV-A: 35 collected assertions
+    int wrong = 0;
+    for (const Assertion &a : cc.asserts)
+        wrong += a.trueAssertion ? 0 : 1;
+    EXPECT_EQ(wrong, 4); // §IV-G: 4 are not true assertions
+
+    rtl::Design m = buildMor1kx();
+    EXPECT_EQ(mor1kxAssertions(m).size(), 30u); // §III-B translation
+}
+
+TEST(Or1kCore, AssertionsAreStateOnly)
+{
+    CleanCore cc;
+    for (const Assertion &a : cc.asserts)
+        props::checkStateOnly(cc.design, a); // fatal on violation
+    SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Lockstep RTL-vs-ISS equivalence on random legal instruction streams.
+// ---------------------------------------------------------------------------
+
+std::uint32_t
+randomLegalInsn(Rng &rng)
+{
+    const auto &ops = legalOpcodes();
+    const std::uint32_t op = ops[rng.below(ops.size())];
+    std::uint32_t insn = (op << 26) |
+                         static_cast<std::uint32_t>(rng.next() & 0x3ffffff);
+    if (op == OpAlu) {
+        // Constrain to implemented subops most of the time.
+        static const std::uint32_t subs[] = {0, 2, 3, 4, 5, 6, 8, 0xc, 9};
+        insn = (insn & ~0xfu) | subs[rng.below(9)];
+    }
+    return insn;
+}
+
+class RtlIssLockstep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RtlIssLockstep, BugFreeCoreMatchesGoldenModel)
+{
+    const int seed = GetParam();
+    Rng rng(seed * 92821 + 3);
+
+    rtl::Design d = buildOr1200();
+    CoreSystem sys(d);
+    iss::Or1kIss ref(sys.dmem()); // share the data memory
+
+    for (int cycle = 0; cycle < 300; ++cycle) {
+        const std::uint32_t insn = randomLegalInsn(rng);
+        const bool intr = rng.below(16) == 0;
+        ref.execute(insn, intr);
+        sys.stepWithInsn(insn, intr);
+
+        const auto &s = ref.state();
+        ASSERT_EQ(sys.pc(), s.pc)
+            << "cycle " << cycle << " insn " << disassemble(insn);
+        ASSERT_EQ(sys.peek("sr").bits(), s.sr) << "cycle " << cycle
+                                               << " " << disassemble(insn);
+        ASSERT_EQ(sys.peek("esr").bits(), s.esr) << disassemble(insn);
+        ASSERT_EQ(sys.peek("epcr").bits(), s.epcr) << disassemble(insn);
+        ASSERT_EQ(sys.peek("eear").bits(), s.eear) << disassemble(insn);
+        ASSERT_EQ(sys.peek("ds_pending").bits(),
+                  static_cast<std::uint64_t>(s.dsPending))
+            << disassemble(insn);
+        for (int i = 0; i < NumGprs; ++i) {
+            ASSERT_EQ(sys.peek("gpr" + std::to_string(i)).bits(),
+                      s.gpr[i])
+                << "gpr" << i << " cycle " << cycle << " "
+                << disassemble(insn);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtlIssLockstep, ::testing::Range(0, 12));
+
+class TrueAssertionsFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TrueAssertionsFuzz, HoldOnCorrectCoreUnderRandomStreams)
+{
+    Rng rng(GetParam() * 52361 + 17);
+    CleanCore cc;
+    CoreSystem sys(cc.design);
+    for (int cycle = 0; cycle < 200; ++cycle) {
+        sys.stepWithInsn(randomLegalInsn(rng), rng.below(16) == 0);
+        for (const Assertion &a : cc.asserts) {
+            if (a.trueAssertion) {
+                ASSERT_TRUE(sys.holds(a)) << a.id << " cycle " << cycle;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrueAssertionsFuzz, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Per-bug concrete triggers: the buggy core violates the bug's assertion;
+// the correct core running the same sequence does not.
+// ---------------------------------------------------------------------------
+
+/** Run a sequence and report whether the given assertion was violated at
+ *  any cycle boundary. */
+bool
+violates(rtl::Design &d, const std::vector<Assertion> &asserts,
+         const std::string &assert_id,
+         const std::vector<std::uint32_t> &seq,
+         const std::vector<bool> &intr = {},
+         iss::SparseMemory *preload_dmem = nullptr)
+{
+    const Assertion &a = props::findAssertion(asserts, assert_id);
+    CoreSystem sys(d);
+    if (preload_dmem)
+        sys.dmem() = *preload_dmem;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        sys.stepWithInsn(seq[i], i < intr.size() && intr[i]);
+        if (!sys.holds(a))
+            return true;
+    }
+    return false;
+}
+
+struct BugTrigger
+{
+    BugId bug;
+    std::string assertId;
+    std::vector<std::uint32_t> seq;
+    std::vector<bool> intr;
+};
+
+std::vector<BugTrigger>
+bugTriggers()
+{
+    const std::uint32_t user_sr = 0; // SM=0
+    (void)user_sr;
+    std::vector<BugTrigger> t;
+    // b01: drop to user mode, then write SR directly.
+    t.push_back({BugId::b01, "a01_spr_priv",
+                 {encMtspr(0, 1, SprSr), // SM <= 0 (r1 == 0)
+                  encAddi(1, 0, 1),      // r1 = SM bit
+                  encMtspr(0, 1, SprSr)},
+                 {}});
+    // b02: drop to user mode, then a masked interrupt escalates.
+    t.push_back({BugId::b02, "a02_sm_rise_exc",
+                 {encMtspr(0, 1, SprSr), encNop()},
+                 {false, true}});
+    // b03: rfe with ESR.SM=0 keeps supervisor.
+    t.push_back({BugId::b03, "a03_rfe_restores_sr", {encRfe()}, {}});
+    // b04: addi writes the wrong target.
+    t.push_back({BugId::b04, "a04_wb_target", {encAddi(2, 0, 5)}, {}});
+    // b05: ori reads the wrong source (r3=5; ori r4,r3,0 reads r2=0).
+    t.push_back({BugId::b05, "a05_src_a",
+                 {encAddi(3, 0, 5), encOri(4, 3, 0)}, {}});
+    // b06: user-mode rfe executes.
+    t.push_back({BugId::b06, "a06_rfe_priv",
+                 {encMtspr(0, 1, SprSr), encRfe()}, {}});
+    // b07: mtspr to EPCR clears IEE.
+    t.push_back({BugId::b07, "a07_iee_fall",
+                 {encAddi(1, 0, (1 << SrSm) | (1 << SrIee)),
+                  encMtspr(0, 1, SprSr), // IEE on
+                  encMtspr(0, 2, SprEpcr)},
+                 {}});
+    // b08: a load contaminates EEAR.
+    t.push_back({BugId::b08, "a08_eear_change", {encLwz(1, 0, 0x44)}, {}});
+    // b09: EPCR on syscall is the faulting pc, not next pc.
+    t.push_back({BugId::b09, "a09_epcr_sys", {encSys()}, {}});
+    // b10: rfe corrupts EPCR.
+    t.push_back({BugId::b10, "a10_epcr_change", {encRfe()}, {}});
+    // b11: syscall leaves the core in user mode.
+    t.push_back({BugId::b11, "a11_exc_sm",
+                 {encMtspr(0, 1, SprSr), encSys()}, {}});
+    // b12: jal with negative displacement skips the link write.
+    t.push_back({BugId::b12, "a12_jal_link", {encJal(-4)}, {}});
+    // b13: register add reads the wrong rB.
+    t.push_back({BugId::b13, "a13_src_b",
+                 {encAddi(6, 0, 9), encAdd(7, 0, 6)}, {}});
+    // b14: ESR saved after IEE was cleared.
+    t.push_back({BugId::b14, "a14_esr_saves_sr",
+                 {encAddi(1, 0, (1 << SrSm) | (1 << SrIee)),
+                  encMtspr(0, 1, SprSr), encSys()},
+                 {}});
+    // b15: syscall in a delay slot records the wrong EPCR.
+    t.push_back({BugId::b15, "a15_epcr_ds_sys", {encJ(8), encSys()}, {}});
+    // b17: exths does not sign-extend (r1 = 0x00008000).
+    t.push_back({BugId::b17, "a17_exths",
+                 {encOri(1, 0, 0x8000), encExths(2, 1)}, {}});
+    // b18: DSX never set.
+    t.push_back({BugId::b18, "a18_dsx", {encJ(8), encSys()}, {}});
+    // b19: EPCR on range exception is pc+4.
+    t.push_back({BugId::b19, "a19_epcr_range",
+                 {encAddi(1, 0, (1 << SrSm) | (1 << SrOve)),
+                  encMtspr(0, 1, SprSr), encMovhi(2, 0x7fff),
+                  encAdd(3, 2, 2)},
+                 {}});
+    // b20: sfgtu with rA's MSB set (Listing 2's exploit shape): the buggy
+    // subtraction-MSB compare reports r16 >u r0 as false.
+    t.push_back({BugId::b20, "a20_sf_unsigned_gt",
+                 {encMovhi(16, 0xc000), encSf(SfGtu, 16, 0)}, {}});
+    // b21: sfleu computed signed: 0x80000000 <=u 0 is false, signed true.
+    t.push_back({BugId::b21, "a21_sf_unsigned_le",
+                 {encMovhi(16, 0x8000), encSf(SfLeu, 16, 0)}, {}});
+    // b22: rori wrap off by one.
+    t.push_back({BugId::b22, "a22_rori",
+                 {encAddi(1, 0, 0xff), encRori(2, 1, 4)}, {}});
+    // b23: EPCR on illegal (l.div is in the ISA, unimplemented here).
+    t.push_back({BugId::b23, "a23_epcr_ill",
+                 {encAlu(1, 2, 3, static_cast<AluOp>(9))}, {}});
+    // b24: write to r0 sticks.
+    t.push_back({BugId::b24, "a24_gpr0_zero", {encAddi(0, 0, 42)}, {}});
+    // b26: mtspr to EEAR dropped.
+    t.push_back({BugId::b26, "a26_mtspr_eear",
+                 {encAddi(1, 0, 0x77), encMtspr(0, 1, SprEear)}, {}});
+    // b27: backward jump target zero-extended.
+    t.push_back({BugId::b27, "a27_jump_target", {encJ(-4)}, {}});
+    // b28: byte store to lane 2 drives the wrong byte enable.
+    t.push_back({BugId::b28, "a28_sb_be", {encSb(0, 0, 0x42)}, {}});
+    // b29: FPU trap stores EPCR=0.
+    t.push_back({BugId::b29, "a29_epcr_fpe", {0x32u << 26}, {}});
+    // b30: lbs of a byte with the sign bit set (needs dmem contents).
+    t.push_back({BugId::b30, "a30_lbs_sext", {encLbs(1, 0, 0x40)}, {}});
+    // b31: store right after a load corrupts the loaded register.
+    t.push_back({BugId::b31, "a31_ld_st_overwrite",
+                 {encAddi(2, 0, 0x7f), encLwz(1, 0, 0x40),
+                  encSw(0, 2, 0x44)},
+                 {}});
+    return t;
+}
+
+class BugTriggerTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BugTriggerTest, BuggyCoreViolatesCleanCoreDoesNot)
+{
+    const BugTrigger t = bugTriggers()[GetParam()];
+
+    // Preload data memory for the load-sensitive bugs.
+    iss::SparseMemory dmem;
+    dmem.writeWord(0x40, 0x000000c3); // sign-bit byte for b30
+    dmem.writeWord(0x44, 0x12345678);
+
+    rtl::Design buggy = buildOr1200(BugConfig::with(t.bug));
+    auto buggy_asserts = or1200Assertions(buggy);
+    EXPECT_TRUE(violates(buggy, buggy_asserts, t.assertId, t.seq, t.intr,
+                         &dmem))
+        << bugName(t.bug) << " trigger failed on buggy core";
+
+    rtl::Design clean = buildOr1200();
+    auto clean_asserts = or1200Assertions(clean);
+    EXPECT_FALSE(violates(clean, clean_asserts, t.assertId, t.seq, t.intr,
+                          &dmem))
+        << bugName(t.bug) << " trigger fired on the clean core";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBugs, BugTriggerTest,
+                         ::testing::Range<std::size_t>(0, 29));
+
+TEST(Or1kBugs, TriggerTableCoversAllInScopeBugs)
+{
+    auto triggers = bugTriggers();
+    EXPECT_EQ(triggers.size(), 29u); // 31 known bugs minus b16/b25
+}
+
+// ---------------------------------------------------------------------------
+// §IV-G behaviours: wrong assertions and incomplete patches.
+// ---------------------------------------------------------------------------
+
+TEST(Or1kRefinement, WrongAssertionsFireOnCorrectCore)
+{
+    CleanCore cc;
+    // aw1: l.jr to an unaligned address.
+    EXPECT_TRUE(violates(cc.design, cc.asserts, "aw1_pc_aligned",
+                         {encAddi(1, 0, 0x203), encJr(1), encNop()}));
+    // aw2: mtspr writes the flag bit without a set-flag instruction.
+    EXPECT_TRUE(violates(cc.design, cc.asserts, "aw2_flag_only_sf",
+                         {encAddi(1, 0, (1 << SrSm) | (1 << SrF)),
+                          encMtspr(0, 1, SprSr)}));
+    // aw3: mtspr to EEAR is legal but not an exception.
+    EXPECT_TRUE(violates(cc.design, cc.asserts, "aw3_eear_exc_only",
+                         {encAddi(1, 0, 0x99), encMtspr(0, 1, SprEear)}));
+    // aw4: supervisor drops privilege via mtspr, not rfe.
+    EXPECT_TRUE(violates(cc.design, cc.asserts, "aw4_sm_fall_rfe",
+                         {encMtspr(0, 1, SprSr)}));
+}
+
+TEST(Or1kRefinement, IncompletePatchB20StillViolable)
+{
+    BugConfig cfg;
+    cfg.set(BugId::b20, BugState::Patched);
+    rtl::Design d = buildCore(Variant::Or1200, cfg);
+    auto asserts = or1200Assertions(d);
+    // The incomplete patch broke the both-MSBs-set case.
+    EXPECT_TRUE(violates(d, asserts, "a20_sf_unsigned_gt",
+                         {encMovhi(16, 0x8001), encMovhi(17, 0x8000),
+                          encSf(SfGtu, 16, 17)}));
+}
+
+TEST(Or1kRefinement, IncompletePatchB22StillViolable)
+{
+    BugConfig cfg;
+    cfg.set(BugId::b22, BugState::Patched);
+    rtl::Design d = buildCore(Variant::Or1200, cfg);
+    auto asserts = or1200Assertions(d);
+    // Amounts >= 16 still take the buggy path.
+    EXPECT_TRUE(violates(d, asserts, "a22_rori",
+                         {encAddi(1, 0, 0xff), encRori(2, 1, 20)}));
+}
+
+TEST(Or1kRefinement, FullFixesPassTheirAssertions)
+{
+    // A Patched state for every other bug behaves like Absent.
+    for (BugId id : {BugId::b03, BugId::b09, BugId::b24}) {
+        BugConfig cfg;
+        cfg.set(id, BugState::Patched);
+        rtl::Design d = buildCore(Variant::Or1200, cfg);
+        auto asserts = or1200Assertions(d);
+        for (const BugTrigger &t : bugTriggers()) {
+            if (t.bug != id)
+                continue;
+            EXPECT_FALSE(violates(d, asserts, t.assertId, t.seq, t.intr))
+                << bugName(id);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mor1kx-Espresso: same architecture, new implementation (Table VI).
+// ---------------------------------------------------------------------------
+
+TEST(Mor1kx, B32R0BugPersistsInNewGeneration)
+{
+    BugConfig cfg;
+    cfg.set(BugId::b32, BugState::Present);
+    rtl::Design d = buildMor1kx(cfg);
+    auto asserts = mor1kxAssertions(d);
+    EXPECT_TRUE(violates(d, asserts, "a24_gpr0_zero", {encAddi(0, 0, 9)}));
+
+    rtl::Design clean = buildMor1kx();
+    auto clean_asserts = mor1kxAssertions(clean);
+    EXPECT_FALSE(violates(clean, clean_asserts, "a24_gpr0_zero",
+                          {encAddi(0, 0, 9)}));
+}
+
+TEST(Mor1kx, FpuOpcodeIsIllegal)
+{
+    rtl::Design d = buildMor1kx();
+    CoreSystem sys(d);
+    sys.stepWithInsn(0x32u << 26); // lf.* has no FPU path on Espresso
+    EXPECT_EQ(sys.pc(), VecIllegal);
+}
+
+TEST(Or1kIsa, EncodeDecodeRoundTrip)
+{
+    EXPECT_EQ(opcodeOf(encAddi(3, 4, -5)), OpAddi);
+    EXPECT_EQ(rdOf(encAddi(3, 4, -5)), 3);
+    EXPECT_EQ(raOf(encAddi(3, 4, -5)), 4);
+    EXPECT_EQ(imm16Of(encAddi(3, 4, -5)), -5);
+    EXPECT_EQ(storeImmOf(encSw(1, 2, -8)), -8);
+    EXPECT_EQ(rbOf(encSw(1, 2, -8)), 2);
+    EXPECT_EQ(disp26Of(encJ(-4)), -4);
+    EXPECT_EQ(disp26Of(encJ(100)), 100);
+}
+
+TEST(Or1kIsa, DisassemblerCoversSubset)
+{
+    EXPECT_EQ(disassemble(encAddi(1, 0, 5)), "l.addi r1, r0, 5");
+    EXPECT_EQ(disassemble(encMovhi(16, 0x8000)), "l.movhi r16, 0x8000");
+    EXPECT_EQ(disassemble(encSf(SfGtu, 16, 0)), "l.sfgtu r16, r0");
+    EXPECT_EQ(disassemble(encRfe()), "l.rfe");
+    EXPECT_EQ(disassemble(encSys()), "l.sys 1");
+}
+
+} // namespace
+} // namespace coppelia::cpu::or1k

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Tests for the RI5CY core: reset state, directed sequences, RTL-vs-ISS
+ * lockstep equivalence on random legal streams, the three Table VI bugs
+ * (b33/b34/b35) as concrete assertion violations, and the translated
+ * assertion set holding on the correct core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/bugs.hh"
+#include "cpu/riscv/core.hh"
+#include "cpu/riscv/isa.hh"
+#include "exploit/system.hh"
+#include "iss/rv32_iss.hh"
+#include "util/rng.hh"
+
+namespace coppelia::cpu::riscv
+{
+namespace
+{
+
+using exploit::CoreSystem;
+using props::Assertion;
+
+TEST(Ri5cy, ResetState)
+{
+    rtl::Design d = buildRi5cy();
+    CoreSystem sys(d);
+    EXPECT_EQ(sys.pc(), RvResetPc);
+    EXPECT_EQ(sys.peek("priv").bits(), 1u);
+    EXPECT_EQ(sys.peek("mtvec").bits(), RvDefaultMtvec);
+}
+
+TEST(Ri5cy, BasicAluAndImmediates)
+{
+    rtl::Design d = buildRi5cy();
+    CoreSystem sys(d);
+    sys.stepWithInsn(encAddi(1, 0, 100));
+    sys.stepWithInsn(encAddi(2, 1, -30));
+    EXPECT_EQ(sys.peek("x2").bits(), 70u);
+    sys.stepWithInsn(encLui(3, 0x12345));
+    EXPECT_EQ(sys.peek("x3").bits(), 0x12345000u);
+    sys.stepWithInsn(encSub(4, 1, 2));
+    EXPECT_EQ(sys.peek("x4").bits(), 30u);
+    sys.stepWithInsn(encSltu(5, 2, 1));
+    EXPECT_EQ(sys.peek("x5").bits(), 1u);
+}
+
+TEST(Ri5cy, X0Hardwired)
+{
+    rtl::Design d = buildRi5cy();
+    CoreSystem sys(d);
+    sys.stepWithInsn(encAddi(0, 0, 99));
+    EXPECT_EQ(sys.peek("x0").bits(), 0u);
+}
+
+TEST(Ri5cy, LoadsAndStores)
+{
+    rtl::Design d = buildRi5cy();
+    CoreSystem sys(d);
+    sys.stepWithInsn(encAddi(1, 0, 0x100));
+    sys.stepWithInsn(encAddi(2, 0, -1)); // 0xffffffff
+    sys.stepWithInsn(encStoreW(1, 2, 8));
+    EXPECT_EQ(sys.dmem().readWord(0x108), 0xffffffffu);
+    sys.stepWithInsn(encLoad(LdB, 3, 1, 8));
+    EXPECT_EQ(sys.peek("x3").bits(), 0xffffffffu); // sign extended
+    sys.stepWithInsn(encLoad(LdBu, 4, 1, 8));
+    EXPECT_EQ(sys.peek("x4").bits(), 0xffu);
+}
+
+TEST(Ri5cy, BranchesAndJumps)
+{
+    rtl::Design d = buildRi5cy();
+    CoreSystem sys(d);
+    std::uint32_t pc0 = sys.pc();
+    sys.stepWithInsn(encBranch(BrEq, 0, 0, 16)); // taken
+    EXPECT_EQ(sys.pc(), pc0 + 16);
+    std::uint32_t pc1 = sys.pc();
+    sys.stepWithInsn(encBranch(BrNe, 0, 0, 16)); // not taken
+    EXPECT_EQ(sys.pc(), pc1 + 4);
+    std::uint32_t pc2 = sys.pc();
+    sys.stepWithInsn(encJal(1, 0x40));
+    EXPECT_EQ(sys.pc(), pc2 + 0x40);
+    EXPECT_EQ(sys.peek("x1").bits(), pc2 + 4);
+}
+
+TEST(Ri5cy, JalrClearsLsb)
+{
+    rtl::Design d = buildRi5cy();
+    CoreSystem sys(d);
+    sys.stepWithInsn(encAddi(1, 0, 0x205));
+    sys.stepWithInsn(encJalr(2, 1, 0));
+    EXPECT_EQ(sys.pc(), 0x204u);
+}
+
+TEST(Ri5cy, EcallTrapAndMret)
+{
+    rtl::Design d = buildRi5cy();
+    CoreSystem sys(d);
+    std::uint32_t pc0 = sys.pc();
+    sys.stepWithInsn(encEcall());
+    EXPECT_EQ(sys.pc(), RvDefaultMtvec);
+    EXPECT_EQ(sys.peek("mepc").bits(), pc0);
+    EXPECT_EQ(sys.peek("mcause").bits(),
+              static_cast<std::uint64_t>(CauseEcallM));
+    sys.stepWithInsn(encMret());
+    EXPECT_EQ(sys.pc(), pc0);
+}
+
+TEST(Ri5cy, UserModeCsrTraps)
+{
+    rtl::Design d = buildRi5cy();
+    CoreSystem sys(d);
+    // Drop to user: clear MPP then mret.
+    sys.stepWithInsn(encCsrrw(0, CsrMstatus, 0)); // mstatus = 0 (MPP=user)
+    sys.stepWithInsn(encCsrrw(0, CsrMepc, 1));    // mepc = x1 = 0
+    sys.stepWithInsn(encMret());
+    EXPECT_EQ(sys.peek("priv").bits(), 0u);
+    sys.stepWithInsn(encCsrrw(2, CsrMstatus, 0));
+    EXPECT_EQ(sys.pc(), RvDefaultMtvec); // trapped
+    EXPECT_EQ(sys.peek("priv").bits(), 1u);
+    EXPECT_EQ(sys.peek("mcause").bits(),
+              static_cast<std::uint64_t>(CauseIllegal));
+}
+
+TEST(Ri5cy, TranslatedAssertionCountMatchesPaper)
+{
+    rtl::Design d = buildRi5cy();
+    auto asserts = ri5cyAssertions(d);
+    EXPECT_EQ(asserts.size(), 26u); // §IV-A: 26 translated assertions
+    for (const Assertion &a : asserts)
+        props::checkStateOnly(d, a);
+}
+
+std::uint32_t
+randomLegalRvInsn(Rng &rng)
+{
+    const auto &ops = rvLegalOpcodes();
+    const std::uint32_t op = ops[rng.below(ops.size())];
+    std::uint32_t insn =
+        (static_cast<std::uint32_t>(rng.next()) & ~0x7fu) | op;
+    if (op == OpSystem) {
+        // Bias toward well-formed system instructions.
+        switch (rng.below(5)) {
+          case 0: return encEcall();
+          case 1: return encEbreak();
+          case 2: return encMret();
+          case 3:
+            return encCsrrw(rng.below(32),
+                            (std::uint32_t[]){CsrMstatus, CsrMepc,
+                                              CsrMtvec,
+                                              CsrMcause}[rng.below(4)],
+                            rng.below(32));
+          default:
+            return encCsrrs(rng.below(32), CsrMstatus, rng.below(32));
+        }
+    }
+    if (op == OpReg) {
+        // Keep funct7 in the implemented set.
+        insn &= ~(0x7fu << 25);
+        if (rng.flip())
+            insn |= 0x20u << 25;
+    }
+    return insn;
+}
+
+class RvLockstep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RvLockstep, BugFreeCoreMatchesGoldenModel)
+{
+    Rng rng(GetParam() * 71993 + 5);
+    rtl::Design d = buildRi5cy();
+    exploit::CoreSystem sys(d);
+    iss::Rv32Iss ref(sys.dmem());
+
+    for (int cycle = 0; cycle < 300; ++cycle) {
+        const std::uint32_t insn = randomLegalRvInsn(rng);
+        ref.execute(insn);
+        sys.stepWithInsn(insn);
+        const auto &s = ref.state();
+        ASSERT_EQ(sys.pc(), s.pc)
+            << "cycle " << cycle << " " << rvDisassemble(insn);
+        ASSERT_EQ(sys.peek("priv").bits(),
+                  static_cast<std::uint64_t>(s.priv))
+            << rvDisassemble(insn);
+        ASSERT_EQ(sys.peek("mstatus").bits(), s.mstatus)
+            << rvDisassemble(insn);
+        ASSERT_EQ(sys.peek("mepc").bits(), s.mepc) << rvDisassemble(insn);
+        ASSERT_EQ(sys.peek("mcause").bits(), s.mcause)
+            << rvDisassemble(insn);
+        ASSERT_EQ(sys.peek("mtvec").bits(), s.mtvec)
+            << rvDisassemble(insn);
+        for (int i = 0; i < 32; ++i) {
+            ASSERT_EQ(sys.peek("x" + std::to_string(i)).bits(), s.x[i])
+                << "x" << i << " cycle " << cycle << " "
+                << rvDisassemble(insn);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RvLockstep, ::testing::Range(0, 10));
+
+class RvAssertionsFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RvAssertionsFuzz, HoldOnCorrectCore)
+{
+    Rng rng(GetParam() * 3331 + 7);
+    rtl::Design d = buildRi5cy();
+    auto asserts = ri5cyAssertions(d);
+    exploit::CoreSystem sys(d);
+    for (int cycle = 0; cycle < 200; ++cycle) {
+        sys.stepWithInsn(randomLegalRvInsn(rng));
+        for (const Assertion &a : asserts)
+            ASSERT_TRUE(sys.holds(a)) << a.id << " cycle " << cycle;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RvAssertionsFuzz, ::testing::Range(0, 6));
+
+/** Run a sequence; true when the named assertion is violated. */
+bool
+violates(rtl::Design &d, const std::vector<Assertion> &asserts,
+         const std::string &assert_id,
+         const std::vector<std::uint32_t> &seq)
+{
+    const Assertion &a = props::findAssertion(asserts, assert_id);
+    CoreSystem sys(d);
+    for (std::uint32_t insn : seq) {
+        sys.stepWithInsn(insn);
+        if (!sys.holds(a))
+            return true;
+    }
+    return false;
+}
+
+TEST(Ri5cyBugs, B33EbreakMepc)
+{
+    rtl::Design buggy = buildRi5cy(BugConfig::with(BugId::b33));
+    auto ba = ri5cyAssertions(buggy);
+    EXPECT_TRUE(violates(buggy, ba, "r09_mepc_ebreak", {encEbreak()}));
+
+    rtl::Design clean = buildRi5cy();
+    auto ca = ri5cyAssertions(clean);
+    EXPECT_FALSE(violates(clean, ca, "r09_mepc_ebreak", {encEbreak()}));
+}
+
+TEST(Ri5cyBugs, B34MretTarget)
+{
+    rtl::Design buggy = buildRi5cy(BugConfig::with(BugId::b34));
+    auto ba = ri5cyAssertions(buggy);
+    EXPECT_TRUE(violates(buggy, ba, "r18_mret_target", {encMret()}));
+
+    rtl::Design clean = buildRi5cy();
+    auto ca = ri5cyAssertions(clean);
+    EXPECT_FALSE(violates(clean, ca, "r18_mret_target", {encMret()}));
+}
+
+TEST(Ri5cyBugs, B35JalrLsb)
+{
+    rtl::Design buggy = buildRi5cy(BugConfig::with(BugId::b35));
+    auto ba = ri5cyAssertions(buggy);
+    EXPECT_TRUE(violates(buggy, ba, "r17_jalr_lsb",
+                         {encAddi(1, 0, 0x205), encJalr(2, 1, 0)}));
+
+    rtl::Design clean = buildRi5cy();
+    auto ca = ri5cyAssertions(clean);
+    EXPECT_FALSE(violates(clean, ca, "r17_jalr_lsb",
+                          {encAddi(1, 0, 0x205), encJalr(2, 1, 0)}));
+}
+
+TEST(RvIsa, EncodeDecodeRoundTrip)
+{
+    EXPECT_EQ(rvImmI(encAddi(1, 2, -5)), -5);
+    EXPECT_EQ(rvImmS(encStoreW(1, 2, -12)), -12);
+    EXPECT_EQ(rvImmB(encBranch(BrEq, 1, 2, -16)), -16);
+    EXPECT_EQ(rvImmB(encBranch(BrLtu, 1, 2, 2044)), 2044);
+    EXPECT_EQ(rvImmJ(encJal(1, -2048)), -2048);
+    EXPECT_EQ(rvImmJ(encJal(1, 0x1f4)), 0x1f4);
+    EXPECT_EQ(rvImmU(encLui(1, 0xabcde)), 0xabcde000u);
+    EXPECT_EQ(rvRd(encAdd(7, 8, 9)), 7);
+    EXPECT_EQ(rvRs1(encAdd(7, 8, 9)), 8);
+    EXPECT_EQ(rvRs2(encAdd(7, 8, 9)), 9);
+}
+
+TEST(RvIsa, Disassembler)
+{
+    EXPECT_EQ(rvDisassemble(encAddi(1, 0, 5)), "addi x1, x0, 5");
+    EXPECT_EQ(rvDisassemble(encEbreak()), "ebreak");
+    EXPECT_EQ(rvDisassemble(encMret()), "mret");
+    EXPECT_EQ(rvDisassemble(encJalr(0, 1, 0)), "jalr x0, 0(x1)");
+}
+
+} // namespace
+} // namespace coppelia::cpu::riscv

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit and property tests for the CDCL SAT core: basic propagation, model
+ * correctness on random 3-SAT against a brute-force reference, assumption
+ * handling, failed-assumption cores, and pigeonhole unsatisfiability.
+ */
+
+#include <gtest/gtest.h>
+
+#include "solver/sat/sat.hh"
+#include "util/rng.hh"
+
+namespace coppelia::sat
+{
+namespace
+{
+
+TEST(Sat, EmptyIsSat)
+{
+    Solver s;
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+}
+
+TEST(Sat, UnitPropagation)
+{
+    Solver s;
+    Var a = s.newVar();
+    Var b = s.newVar();
+    s.addUnit(Lit(a, false));
+    s.addBinary(Lit(a, true), Lit(b, false)); // a -> b
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+    EXPECT_EQ(s.value(a), LBool::True);
+    EXPECT_EQ(s.value(b), LBool::True);
+}
+
+TEST(Sat, ContradictoryUnitsUnsat)
+{
+    Solver s;
+    Var a = s.newVar();
+    s.addUnit(Lit(a, false));
+    EXPECT_FALSE(s.addUnit(Lit(a, true)));
+    EXPECT_EQ(s.solve(), SatResult::Unsat);
+}
+
+TEST(Sat, TautologyIsDropped)
+{
+    Solver s;
+    Var a = s.newVar();
+    EXPECT_TRUE(s.addBinary(Lit(a, false), Lit(a, true)));
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+}
+
+TEST(Sat, SimpleConflictDriven)
+{
+    // (a|b) & (a|~b) & (~a|b) & (~a|~b) is unsat.
+    Solver s;
+    Var a = s.newVar();
+    Var b = s.newVar();
+    s.addBinary(Lit(a, false), Lit(b, false));
+    s.addBinary(Lit(a, false), Lit(b, true));
+    s.addBinary(Lit(a, true), Lit(b, false));
+    s.addBinary(Lit(a, true), Lit(b, true));
+    EXPECT_EQ(s.solve(), SatResult::Unsat);
+}
+
+TEST(Sat, XorChainSat)
+{
+    // x0 ^ x1 = 1, x1 ^ x2 = 1, ... satisfiable with alternating values.
+    Solver s;
+    const int n = 20;
+    std::vector<Var> x;
+    for (int i = 0; i < n; ++i)
+        x.push_back(s.newVar());
+    for (int i = 0; i + 1 < n; ++i) {
+        s.addBinary(Lit(x[i], false), Lit(x[i + 1], false));
+        s.addBinary(Lit(x[i], true), Lit(x[i + 1], true));
+    }
+    s.addUnit(Lit(x[0], false));
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(s.value(x[i]), i % 2 == 0 ? LBool::True : LBool::False);
+}
+
+TEST(Sat, AssumptionsSatAndUnsat)
+{
+    Solver s;
+    Var a = s.newVar();
+    Var b = s.newVar();
+    s.addBinary(Lit(a, true), Lit(b, false)); // a -> b
+    EXPECT_EQ(s.solve({Lit(a, false)}), SatResult::Sat);
+    EXPECT_EQ(s.value(b), LBool::True);
+    // Assume a and !b: contradiction with a->b.
+    EXPECT_EQ(s.solve({Lit(a, false), Lit(b, true)}), SatResult::Unsat);
+    // The solver object stays usable afterwards.
+    EXPECT_EQ(s.solve({Lit(b, true)}), SatResult::Sat);
+    EXPECT_EQ(s.value(a), LBool::False);
+}
+
+TEST(Sat, FailedAssumptionCore)
+{
+    Solver s;
+    Var a = s.newVar();
+    Var b = s.newVar();
+    Var c = s.newVar();
+    s.addBinary(Lit(a, true), Lit(b, true)); // !(a & b)
+    ASSERT_EQ(s.solve({Lit(a, false), Lit(b, false), Lit(c, false)}),
+              SatResult::Unsat);
+    // The core must mention a or b, and need not mention c.
+    bool mentions_ab = false;
+    bool mentions_c = false;
+    for (Lit l : s.failedAssumptions()) {
+        if (l.var() == a || l.var() == b)
+            mentions_ab = true;
+        if (l.var() == c)
+            mentions_c = true;
+    }
+    EXPECT_TRUE(mentions_ab);
+    EXPECT_FALSE(mentions_c);
+}
+
+TEST(Sat, PigeonholeUnsat)
+{
+    // 4 pigeons, 3 holes: classic hard-ish unsat instance exercising clause
+    // learning.
+    Solver s;
+    const int P = 4, H = 3;
+    std::vector<std::vector<Var>> v(P, std::vector<Var>(H));
+    for (int p = 0; p < P; ++p)
+        for (int h = 0; h < H; ++h)
+            v[p][h] = s.newVar();
+    for (int p = 0; p < P; ++p) {
+        std::vector<Lit> clause;
+        for (int h = 0; h < H; ++h)
+            clause.push_back(Lit(v[p][h], false));
+        s.addClause(clause);
+    }
+    for (int h = 0; h < H; ++h)
+        for (int p1 = 0; p1 < P; ++p1)
+            for (int p2 = p1 + 1; p2 < P; ++p2)
+                s.addBinary(Lit(v[p1][h], true), Lit(v[p2][h], true));
+    EXPECT_EQ(s.solve(), SatResult::Unsat);
+    EXPECT_GT(s.stats().get("conflicts"), 0u);
+}
+
+TEST(Sat, ConflictBudgetReturnsUnknown)
+{
+    // Pigeonhole 7/6 takes well over 1 conflict; budget of 1 must bail.
+    Solver s;
+    const int P = 7, H = 6;
+    std::vector<std::vector<Var>> v(P, std::vector<Var>(H));
+    for (int p = 0; p < P; ++p)
+        for (int h = 0; h < H; ++h)
+            v[p][h] = s.newVar();
+    for (int p = 0; p < P; ++p) {
+        std::vector<Lit> clause;
+        for (int h = 0; h < H; ++h)
+            clause.push_back(Lit(v[p][h], false));
+        s.addClause(clause);
+    }
+    for (int h = 0; h < H; ++h)
+        for (int p1 = 0; p1 < P; ++p1)
+            for (int p2 = p1 + 1; p2 < P; ++p2)
+                s.addBinary(Lit(v[p1][h], true), Lit(v[p2][h], true));
+    EXPECT_EQ(s.solve({}, 1), SatResult::Unknown);
+}
+
+/** Brute-force reference check over all assignments. */
+bool
+bruteForceSat(int nvars, const std::vector<std::vector<Lit>> &clauses)
+{
+    for (std::uint64_t m = 0; m < (1ull << nvars); ++m) {
+        bool all = true;
+        for (const auto &c : clauses) {
+            bool any = false;
+            for (Lit l : c) {
+                bool val = (m >> l.var()) & 1;
+                if (val != l.sign()) {
+                    any = true;
+                    break;
+                }
+            }
+            if (!any) {
+                all = false;
+                break;
+            }
+        }
+        if (all)
+            return true;
+    }
+    return false;
+}
+
+/** Property sweep: random 3-SAT agrees with brute force, and SAT models
+ *  actually satisfy every clause. */
+class Random3Sat : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Random3Sat, AgreesWithBruteForce)
+{
+    const int seed = GetParam();
+    coppelia::Rng rng(seed);
+    const int nvars = 8;
+    const int nclauses = 3 + static_cast<int>(rng.below(40));
+
+    std::vector<std::vector<Lit>> clauses;
+    for (int i = 0; i < nclauses; ++i) {
+        std::vector<Lit> c;
+        for (int j = 0; j < 3; ++j)
+            c.push_back(Lit(static_cast<Var>(rng.below(nvars)), rng.flip()));
+        clauses.push_back(c);
+    }
+
+    Solver s;
+    for (int i = 0; i < nvars; ++i)
+        s.newVar();
+    bool consistent = true;
+    for (auto &c : clauses)
+        consistent = s.addClause(c) && consistent;
+
+    bool expected = bruteForceSat(nvars, clauses);
+    SatResult got = consistent ? s.solve() : SatResult::Unsat;
+    EXPECT_EQ(got == SatResult::Sat, expected) << "seed " << seed;
+
+    if (got == SatResult::Sat) {
+        for (const auto &c : clauses) {
+            bool any = false;
+            for (Lit l : c)
+                any = any || s.value(l) == LBool::True;
+            EXPECT_TRUE(any) << "model violates clause, seed " << seed;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Random3Sat, ::testing::Range(0, 40));
+
+} // namespace
+} // namespace coppelia::sat

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Tests for the bit-vector theory layer: construction-time simplification,
+ * concrete term evaluation, bit-blasting correctness (property sweeps pin
+ * variables to random constants and require the solver's model to agree
+ * with reference arithmetic), and the counterexample cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "solver/solver.hh"
+#include "solver/term.hh"
+#include "util/rng.hh"
+
+namespace coppelia::smt
+{
+namespace
+{
+
+TEST(Term, HashConsing)
+{
+    TermManager tm;
+    EXPECT_EQ(tm.mkConst(8, 5), tm.mkConst(8, 5));
+    TermRef x = tm.mkVar("x", 8);
+    EXPECT_EQ(tm.mkAdd(x, tm.mkConst(8, 1)), tm.mkAdd(x, tm.mkConst(8, 1)));
+}
+
+TEST(Term, FreshVarsAreDistinct)
+{
+    TermManager tm;
+    EXPECT_NE(tm.mkVar("x", 8), tm.mkVar("x", 8));
+}
+
+TEST(Term, ConstantFolding)
+{
+    TermManager tm;
+    TermRef r = tm.mkAdd(tm.mkConst(8, 200), tm.mkConst(8, 100));
+    std::uint64_t k;
+    ASSERT_TRUE(tm.isConst(r, &k));
+    EXPECT_EQ(k, (200u + 100u) & 0xff);
+}
+
+TEST(Term, IdentitySimplifications)
+{
+    TermManager tm;
+    TermRef x = tm.mkVar("x", 8);
+    EXPECT_EQ(tm.mkAnd(x, tm.mkConst(8, 0xff)), x);
+    std::uint64_t k;
+    EXPECT_TRUE(tm.isConst(tm.mkAnd(x, tm.mkConst(8, 0)), &k));
+    EXPECT_EQ(k, 0u);
+    EXPECT_EQ(tm.mkOr(x, tm.mkConst(8, 0)), x);
+    EXPECT_TRUE(tm.isConst(tm.mkXor(x, x), &k));
+    EXPECT_EQ(k, 0u);
+    EXPECT_EQ(tm.mkNot(tm.mkNot(x)), x);
+    EXPECT_TRUE(tm.isConst(tm.mkEq(x, x), &k));
+    EXPECT_EQ(k, 1u);
+    EXPECT_TRUE(tm.isConst(tm.mkUlt(x, tm.mkConst(8, 0)), &k));
+    EXPECT_EQ(k, 0u);
+}
+
+TEST(Term, IteSimplifications)
+{
+    TermManager tm;
+    TermRef c = tm.mkVar("c", 1);
+    TermRef x = tm.mkVar("x", 8);
+    TermRef y = tm.mkVar("y", 8);
+    EXPECT_EQ(tm.mkIte(tm.mkTrue(), x, y), x);
+    EXPECT_EQ(tm.mkIte(tm.mkFalse(), x, y), y);
+    EXPECT_EQ(tm.mkIte(c, x, x), x);
+    // Boolean ite lowers to gates.
+    TermRef b = tm.mkVar("b", 1);
+    EXPECT_EQ(tm.mkIte(c, tm.mkTrue(), b), tm.mkOr(c, b));
+    EXPECT_EQ(tm.mkIte(c, b, tm.mkFalse()), tm.mkAnd(c, b));
+}
+
+TEST(Term, ExtractRewrites)
+{
+    TermManager tm;
+    TermRef x = tm.mkVar("x", 8);
+    TermRef y = tm.mkVar("y", 8);
+    TermRef cc = tm.mkConcat(x, y); // x = [15:8], y = [7:0]
+    EXPECT_EQ(tm.mkExtract(cc, 7, 0), y);
+    EXPECT_EQ(tm.mkExtract(cc, 15, 8), x);
+    // Extract of zext above the source is zero.
+    TermRef zx = tm.mkZExt(x, 16);
+    std::uint64_t k;
+    EXPECT_TRUE(tm.isConst(tm.mkExtract(zx, 15, 8), &k));
+    EXPECT_EQ(k, 0u);
+    // Extract of extract composes.
+    TermRef e1 = tm.mkExtract(cc, 11, 4);
+    TermRef e2 = tm.mkExtract(e1, 3, 0); // bits [7:4] of cc == x? no: y hi
+    EXPECT_EQ(e2, tm.mkExtract(y, 7, 4));
+}
+
+TEST(Term, EvalUnderModel)
+{
+    TermManager tm;
+    TermRef x = tm.mkVar("x", 8);
+    TermRef y = tm.mkVar("y", 8);
+    const Term &tx = tm.term(x);
+    const Term &ty = tm.term(y);
+    Model m;
+    m.set(tx.varId, 200);
+    m.set(ty.varId, 100);
+    EXPECT_EQ(tm.eval(tm.mkAdd(x, y), m), (200u + 100u) & 0xff);
+    EXPECT_EQ(tm.eval(tm.mkUlt(x, y), m), 0u);
+    EXPECT_EQ(tm.eval(tm.mkSlt(x, y), m), 1u); // 200 is negative as int8
+}
+
+TEST(Term, CollectVars)
+{
+    TermManager tm;
+    TermRef x = tm.mkVar("x", 8);
+    TermRef y = tm.mkVar("y", 8);
+    (void)tm.mkVar("unused", 8);
+    TermRef e = tm.mkAdd(x, tm.mkXor(y, x));
+    std::vector<int> vars;
+    tm.collectVars(e, vars);
+    EXPECT_EQ(vars.size(), 2u);
+}
+
+TEST(SolverFacade, TrivialSatAndUnsat)
+{
+    TermManager tm;
+    Solver s(tm);
+    EXPECT_EQ(s.check(tm.mkTrue(), nullptr), Result::Sat);
+    EXPECT_EQ(s.check(tm.mkFalse(), nullptr), Result::Unsat);
+}
+
+TEST(SolverFacade, SolvesLinearEquation)
+{
+    // x + 3 == 10 over 8 bits -> x == 7.
+    TermManager tm;
+    Solver s(tm);
+    TermRef x = tm.mkVar("x", 8);
+    TermRef eq = tm.mkEq(tm.mkAdd(x, tm.mkConst(8, 3)), tm.mkConst(8, 10));
+    Model m;
+    ASSERT_EQ(s.check(eq, &m), Result::Sat);
+    EXPECT_EQ(m.value(tm.term(x).varId), 7u);
+}
+
+TEST(SolverFacade, UnsatConjunction)
+{
+    TermManager tm;
+    Solver s(tm);
+    TermRef x = tm.mkVar("x", 8);
+    std::vector<TermRef> cs{
+        tm.mkUlt(x, tm.mkConst(8, 5)),
+        tm.mkUlt(tm.mkConst(8, 9), x),
+    };
+    EXPECT_EQ(s.check(cs, nullptr), Result::Unsat);
+}
+
+TEST(SolverFacade, ModelSatisfiesAllAssertions)
+{
+    TermManager tm;
+    Solver s(tm);
+    TermRef x = tm.mkVar("x", 16);
+    TermRef y = tm.mkVar("y", 16);
+    std::vector<TermRef> cs{
+        tm.mkUlt(tm.mkConst(16, 100), x),
+        tm.mkEq(tm.mkAdd(x, y), tm.mkConst(16, 500)),
+        tm.mkUlt(y, tm.mkConst(16, 300)),
+    };
+    Model m;
+    ASSERT_EQ(s.check(cs, &m), Result::Sat);
+    for (TermRef c : cs)
+        EXPECT_EQ(tm.eval(c, m), 1u);
+}
+
+TEST(SolverFacade, CacheHitsOnRepeat)
+{
+    TermManager tm;
+    Solver s(tm);
+    TermRef x = tm.mkVar("x", 8);
+    TermRef q = tm.mkEq(x, tm.mkConst(8, 42));
+    (void)s.check(q, nullptr);
+    std::uint64_t calls_before = s.stats().get("sat_calls");
+    (void)s.check(q, nullptr);
+    EXPECT_EQ(s.stats().get("sat_calls"), calls_before);
+    EXPECT_GE(s.stats().get("cache_hits"), 1u);
+}
+
+TEST(SolverFacade, ModelReuseAvoidsSatCall)
+{
+    TermManager tm;
+    Solver s(tm);
+    TermRef x = tm.mkVar("x", 8);
+    // First query pins x == 42; second query (x > 10) is satisfied by the
+    // cached model, so no new SAT call is needed.
+    Model m;
+    ASSERT_EQ(s.check(tm.mkEq(x, tm.mkConst(8, 42)), &m), Result::Sat);
+    std::uint64_t calls_before = s.stats().get("sat_calls");
+    ASSERT_EQ(s.check(tm.mkUlt(tm.mkConst(8, 10), x), nullptr), Result::Sat);
+    EXPECT_EQ(s.stats().get("sat_calls"), calls_before);
+    EXPECT_GE(s.stats().get("model_reuse_hits"), 1u);
+}
+
+TEST(SolverFacade, CacheDisabled)
+{
+    TermManager tm;
+    SolverOptions opts;
+    opts.useCache = false;
+    Solver s(tm, opts);
+    TermRef x = tm.mkVar("x", 8);
+    TermRef q = tm.mkEq(x, tm.mkConst(8, 42));
+    (void)s.check(q, nullptr);
+    (void)s.check(q, nullptr);
+    EXPECT_EQ(s.stats().get("cache_hits"), 0u);
+    EXPECT_EQ(s.stats().get("sat_calls"), 2u);
+}
+
+/**
+ * Property sweep: for random operand values, assert
+ *   x == a  &&  y == b  &&  z == op(x, y)
+ * and require the model's z to equal reference arithmetic.
+ */
+class BlastSemantics : public ::testing::TestWithParam<int>
+{
+  protected:
+    void
+    checkBinary(TOp op, int width, std::uint64_t a, std::uint64_t b,
+                std::uint64_t expected)
+    {
+        TermManager tm;
+        Solver s(tm);
+        TermRef x = tm.mkVar("x", width);
+        TermRef y = tm.mkVar("y", width);
+        TermRef z = tm.mkVar("z", width == 1 ? 1 : width);
+
+        TermRef opr = NoTerm;
+        int zw = width;
+        switch (op) {
+          case TOp::Add: opr = tm.mkAdd(x, y); break;
+          case TOp::Sub: opr = tm.mkSub(x, y); break;
+          case TOp::Mul: opr = tm.mkMul(x, y); break;
+          case TOp::And: opr = tm.mkAnd(x, y); break;
+          case TOp::Or: opr = tm.mkOr(x, y); break;
+          case TOp::Xor: opr = tm.mkXor(x, y); break;
+          case TOp::Shl: opr = tm.mkShl(x, y); break;
+          case TOp::LShr: opr = tm.mkLShr(x, y); break;
+          case TOp::AShr: opr = tm.mkAShr(x, y); break;
+          case TOp::Ult: opr = tm.mkUlt(x, y); zw = 1; break;
+          case TOp::Slt: opr = tm.mkSlt(x, y); zw = 1; break;
+          case TOp::Eq: opr = tm.mkEq(x, y); zw = 1; break;
+          default: FAIL() << "unsupported op in test";
+        }
+        if (zw == 1)
+            z = tm.mkVar("zb", 1);
+
+        std::vector<TermRef> cs{
+            tm.mkEq(x, tm.mkConst(width, a)),
+            tm.mkEq(y, tm.mkConst(width, b)),
+            tm.mkEq(z, opr),
+        };
+        Model m;
+        ASSERT_EQ(s.check(cs, &m), Result::Sat)
+            << topName(op) << " width " << width;
+        EXPECT_EQ(m.value(tm.term(z).varId), expected & termMask(zw))
+            << topName(op) << " " << a << "," << b << " width " << width;
+    }
+};
+
+TEST_P(BlastSemantics, RandomOperands)
+{
+    const int seed = GetParam();
+    coppelia::Rng rng(seed * 7919 + 13);
+    const int widths[] = {1, 3, 8, 13, 16, 32};
+    const int width = widths[rng.below(6)];
+    const std::uint64_t mask = termMask(width);
+    const std::uint64_t a = rng.next() & mask;
+    const std::uint64_t b = rng.next() & mask;
+
+    auto sgn = [&](std::uint64_t v) {
+        if (width == 64)
+            return static_cast<std::int64_t>(v);
+        std::uint64_t s = 1ull << (width - 1);
+        return static_cast<std::int64_t>((v & s) ? v - (s << 1) : v);
+    };
+
+    checkBinary(TOp::Add, width, a, b, a + b);
+    checkBinary(TOp::Sub, width, a, b, a - b);
+    checkBinary(TOp::And, width, a, b, a & b);
+    checkBinary(TOp::Or, width, a, b, a | b);
+    checkBinary(TOp::Xor, width, a, b, a ^ b);
+    checkBinary(TOp::Ult, width, a, b, a < b);
+    checkBinary(TOp::Slt, width, a, b, sgn(a) < sgn(b));
+    checkBinary(TOp::Eq, width, a, b, a == b);
+    if (width <= 16) {
+        checkBinary(TOp::Mul, width, a, b, a * b);
+        checkBinary(TOp::Shl, width, a, b, b >= 64 ? 0 : a << b);
+        checkBinary(TOp::LShr, width, a, b, b >= 64 ? 0 : a >> b);
+        std::uint64_t ashr_ref;
+        if (b >= 63)
+            ashr_ref = sgn(a) < 0 ? ~0ull : 0;
+        else
+            ashr_ref = static_cast<std::uint64_t>(sgn(a) >> b);
+        checkBinary(TOp::AShr, width, a, b, ashr_ref);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlastSemantics, ::testing::Range(0, 25));
+
+/**
+ * Property: a satisfiable random formula's model must evaluate every
+ * assertion to true (model soundness through blasting and readback).
+ */
+TEST(BlastSoundness, RandomFormulaModelsCheckOut)
+{
+    coppelia::Rng rng(1234);
+    for (int trial = 0; trial < 30; ++trial) {
+        TermManager tm;
+        Solver s(tm);
+        TermRef x = tm.mkVar("x", 12);
+        TermRef y = tm.mkVar("y", 12);
+        TermRef zv = tm.mkVar("z", 12);
+
+        std::vector<TermRef> pool{
+            tm.mkUlt(x, tm.mkConst(12, rng.below(4096))),
+            tm.mkEq(tm.mkAnd(y, tm.mkConst(12, 0xf0)),
+                    tm.mkConst(12, (rng.below(16)) << 4)),
+            tm.mkUlt(tm.mkAdd(x, y), tm.mkConst(12, rng.below(4096))),
+            tm.mkEq(tm.mkXor(zv, x), y),
+            tm.mkNot(tm.mkEq(zv, tm.mkConst(12, rng.below(4096)))),
+        };
+        std::vector<TermRef> cs;
+        for (TermRef p : pool) {
+            if (rng.flip())
+                cs.push_back(p);
+        }
+        if (cs.empty())
+            cs.push_back(pool[0]);
+
+        Model m;
+        Result r = s.check(cs, &m);
+        if (r == Result::Sat) {
+            for (TermRef c : cs)
+                EXPECT_EQ(tm.eval(c, m), 1u) << "trial " << trial;
+        }
+    }
+}
+
+TEST(BlastSoundness, ConcatExtractSextRoundTrip)
+{
+    TermManager tm;
+    Solver s(tm);
+    TermRef x = tm.mkVar("x", 9); // deliberately non-byte width (§II-E1)
+    // sext to 16, take top bits, compare against sign replication.
+    TermRef sx = tm.mkSExt(x, 16);
+    TermRef top = tm.mkExtract(sx, 15, 9);
+    TermRef sign = tm.mkExtract(x, 8, 8);
+    // top == sign ? 0x7f : 0x00 must hold for all x: assert the negation is
+    // UNSAT.
+    TermRef all_ones = tm.mkConst(7, 0x7f);
+    TermRef zeros = tm.mkConst(7, 0);
+    TermRef expected = tm.mkIte(sign, all_ones, zeros);
+    TermRef bad = tm.mkNot(tm.mkEq(top, expected));
+    EXPECT_EQ(s.check(bad, nullptr), Result::Unsat);
+}
+
+TEST(BlastSoundness, NonByteWidthRangeConstraint)
+{
+    // Width-5 variable can reach 31 but never 32 (the paper's §II-E1 range
+    // constraints are implicit in width-typed terms).
+    TermManager tm;
+    Solver s(tm);
+    TermRef x = tm.mkVar("x", 5);
+    TermRef z32 = tm.mkZExt(x, 8);
+    EXPECT_EQ(s.check(tm.mkEq(z32, tm.mkConst(8, 31)), nullptr),
+              Result::Sat);
+    EXPECT_EQ(s.check(tm.mkEq(z32, tm.mkConst(8, 32)), nullptr),
+              Result::Unsat);
+}
+
+} // namespace
+} // namespace coppelia::smt

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the util substrate: stats counters, RNG determinism,
+ * string helpers, timer formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/strutil.hh"
+#include "util/timer.hh"
+
+namespace coppelia
+{
+namespace
+{
+
+TEST(Stats, StartsAtZero)
+{
+    StatGroup g;
+    EXPECT_EQ(g.get("anything"), 0u);
+}
+
+TEST(Stats, IncrementAndSet)
+{
+    StatGroup g;
+    g.inc("queries");
+    g.inc("queries", 4);
+    g.set("states", 7);
+    EXPECT_EQ(g.get("queries"), 5u);
+    EXPECT_EQ(g.get("states"), 7u);
+}
+
+TEST(Stats, MergeSums)
+{
+    StatGroup a, b;
+    a.inc("x", 3);
+    b.inc("x", 4);
+    b.inc("y", 1);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 7u);
+    EXPECT_EQ(a.get("y"), 1u);
+}
+
+TEST(Stats, ToStringListsSorted)
+{
+    StatGroup g;
+    g.inc("b");
+    g.inc("a");
+    EXPECT_EQ(g.toString(), "a=1\nb=1\n");
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(StrUtil, SplitKeepsEmptyFields)
+{
+    auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StrUtil, TrimBothEnds)
+{
+    EXPECT_EQ(trim("  x y\t\n"), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StrUtil, StartsWith)
+{
+    EXPECT_TRUE(startsWith("module foo", "module"));
+    EXPECT_FALSE(startsWith("mod", "module"));
+}
+
+TEST(StrUtil, JoinRoundTripsSplit)
+{
+    std::vector<std::string> v{"p", "q", "r"};
+    EXPECT_EQ(join(v, "/"), "p/q/r");
+    EXPECT_EQ(split(join(v, "/"), '/'), v);
+}
+
+TEST(StrUtil, HexString)
+{
+    EXPECT_EQ(hexString(0x1234, 8), "0x00001234");
+    EXPECT_EQ(hexString(0xff, 2), "0xff");
+}
+
+TEST(StrUtil, Padding)
+{
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("ab", 4), "  ab");
+    EXPECT_EQ(padRight("abcd", 2), "abcd");
+}
+
+TEST(Timer, FormatSeconds)
+{
+    EXPECT_EQ(Timer::formatSeconds(9.5), "9.50s");
+    EXPECT_EQ(Timer::formatSeconds(75), "1m15s");
+    EXPECT_EQ(Timer::formatSeconds(3600 + 120 + 5), "1h2m5s");
+}
+
+TEST(Timer, MeasuresForwardTime)
+{
+    Timer t;
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i)
+        sink = sink + i;
+    EXPECT_GE(t.seconds(), 0.0);
+}
+
+} // namespace
+} // namespace coppelia
