@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_forward_vs_backward.cc" "bench_build/CMakeFiles/bench_fig3_forward_vs_backward.dir/bench_fig3_forward_vs_backward.cc.o" "gcc" "bench_build/CMakeFiles/bench_fig3_forward_vs_backward.dir/bench_fig3_forward_vs_backward.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/coppelia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exploit/CMakeFiles/coppelia_exploit.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmc/CMakeFiles/coppelia_bmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/coppelia_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/coppelia_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/bse/CMakeFiles/coppelia_bse.dir/DependInfo.cmake"
+  "/root/repo/build/src/props/CMakeFiles/coppelia_props.dir/DependInfo.cmake"
+  "/root/repo/build/src/coi/CMakeFiles/coppelia_coi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/coppelia_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/coppelia_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdl/CMakeFiles/coppelia_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/coppelia_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coppelia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_forward_vs_backward"
+  "../bench/bench_fig3_forward_vs_backward.pdb"
+  "CMakeFiles/bench_fig3_forward_vs_backward.dir/bench_fig3_forward_vs_backward.cc.o"
+  "CMakeFiles/bench_fig3_forward_vs_backward.dir/bench_fig3_forward_vs_backward.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_forward_vs_backward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

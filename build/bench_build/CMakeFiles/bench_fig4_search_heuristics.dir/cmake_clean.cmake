@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_search_heuristics"
+  "../bench/bench_fig4_search_heuristics.pdb"
+  "CMakeFiles/bench_fig4_search_heuristics.dir/bench_fig4_search_heuristics.cc.o"
+  "CMakeFiles/bench_fig4_search_heuristics.dir/bench_fig4_search_heuristics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_search_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

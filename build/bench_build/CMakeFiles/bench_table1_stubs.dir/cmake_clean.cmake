@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_stubs"
+  "../bench/bench_table1_stubs.pdb"
+  "CMakeFiles/bench_table1_stubs.dir/bench_table1_stubs.cc.o"
+  "CMakeFiles/bench_table1_stubs.dir/bench_table1_stubs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_stubs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

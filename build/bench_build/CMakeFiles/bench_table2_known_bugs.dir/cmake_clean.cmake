@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_known_bugs"
+  "../bench/bench_table2_known_bugs.pdb"
+  "CMakeFiles/bench_table2_known_bugs.dir/bench_table2_known_bugs.cc.o"
+  "CMakeFiles/bench_table2_known_bugs.dir/bench_table2_known_bugs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_known_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

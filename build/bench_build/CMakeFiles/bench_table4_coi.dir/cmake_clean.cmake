@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_coi"
+  "../bench/bench_table4_coi.pdb"
+  "CMakeFiles/bench_table4_coi.dir/bench_table4_coi.cc.o"
+  "CMakeFiles/bench_table4_coi.dir/bench_table4_coi.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_coi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

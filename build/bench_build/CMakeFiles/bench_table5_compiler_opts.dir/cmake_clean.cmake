@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_compiler_opts"
+  "../bench/bench_table5_compiler_opts.pdb"
+  "CMakeFiles/bench_table5_compiler_opts.dir/bench_table5_compiler_opts.cc.o"
+  "CMakeFiles/bench_table5_compiler_opts.dir/bench_table5_compiler_opts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_compiler_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

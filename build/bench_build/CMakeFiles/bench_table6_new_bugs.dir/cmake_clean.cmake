@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_new_bugs"
+  "../bench/bench_table6_new_bugs.pdb"
+  "CMakeFiles/bench_table6_new_bugs.dir/bench_table6_new_bugs.cc.o"
+  "CMakeFiles/bench_table6_new_bugs.dir/bench_table6_new_bugs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_new_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

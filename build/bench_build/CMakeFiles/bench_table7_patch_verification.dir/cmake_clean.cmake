@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_patch_verification"
+  "../bench/bench_table7_patch_verification.pdb"
+  "CMakeFiles/bench_table7_patch_verification.dir/bench_table7_patch_verification.cc.o"
+  "CMakeFiles/bench_table7_patch_verification.dir/bench_table7_patch_verification.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_patch_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

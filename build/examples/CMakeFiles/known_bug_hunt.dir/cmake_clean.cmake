@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/known_bug_hunt.dir/known_bug_hunt.cpp.o"
+  "CMakeFiles/known_bug_hunt.dir/known_bug_hunt.cpp.o.d"
+  "known_bug_hunt"
+  "known_bug_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/known_bug_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patch_check.dir/patch_check.cpp.o"
+  "CMakeFiles/patch_check.dir/patch_check.cpp.o.d"
+  "patch_check"
+  "patch_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patch_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

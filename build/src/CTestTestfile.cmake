@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("rtl")
+subdirs("hdl")
+subdirs("solver")
+subdirs("sym")
+subdirs("coi")
+subdirs("bse")
+subdirs("props")
+subdirs("cpu")
+subdirs("iss")
+subdirs("bmc")
+subdirs("exploit")
+subdirs("core")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bmc/bmc.cc" "src/bmc/CMakeFiles/coppelia_bmc.dir/bmc.cc.o" "gcc" "src/bmc/CMakeFiles/coppelia_bmc.dir/bmc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sym/CMakeFiles/coppelia_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/props/CMakeFiles/coppelia_props.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/coppelia_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/coppelia_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coppelia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

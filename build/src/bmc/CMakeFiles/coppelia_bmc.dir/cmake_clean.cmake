@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coppelia_bmc.dir/bmc.cc.o"
+  "CMakeFiles/coppelia_bmc.dir/bmc.cc.o.d"
+  "libcoppelia_bmc.a"
+  "libcoppelia_bmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coppelia_bmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

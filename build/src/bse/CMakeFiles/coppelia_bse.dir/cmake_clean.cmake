@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coppelia_bse.dir/engine.cc.o"
+  "CMakeFiles/coppelia_bse.dir/engine.cc.o.d"
+  "libcoppelia_bse.a"
+  "libcoppelia_bse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coppelia_bse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coppelia_coi.dir/coi.cc.o"
+  "CMakeFiles/coppelia_coi.dir/coi.cc.o.d"
+  "libcoppelia_coi.a"
+  "libcoppelia_coi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coppelia_coi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coppelia_core.dir/coppelia.cc.o"
+  "CMakeFiles/coppelia_core.dir/coppelia.cc.o.d"
+  "libcoppelia_core.a"
+  "libcoppelia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coppelia_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/bugs.cc" "src/cpu/CMakeFiles/coppelia_cpu.dir/bugs.cc.o" "gcc" "src/cpu/CMakeFiles/coppelia_cpu.dir/bugs.cc.o.d"
+  "/root/repo/src/cpu/or1k/assertions.cc" "src/cpu/CMakeFiles/coppelia_cpu.dir/or1k/assertions.cc.o" "gcc" "src/cpu/CMakeFiles/coppelia_cpu.dir/or1k/assertions.cc.o.d"
+  "/root/repo/src/cpu/or1k/core.cc" "src/cpu/CMakeFiles/coppelia_cpu.dir/or1k/core.cc.o" "gcc" "src/cpu/CMakeFiles/coppelia_cpu.dir/or1k/core.cc.o.d"
+  "/root/repo/src/cpu/or1k/isa.cc" "src/cpu/CMakeFiles/coppelia_cpu.dir/or1k/isa.cc.o" "gcc" "src/cpu/CMakeFiles/coppelia_cpu.dir/or1k/isa.cc.o.d"
+  "/root/repo/src/cpu/riscv/assertions.cc" "src/cpu/CMakeFiles/coppelia_cpu.dir/riscv/assertions.cc.o" "gcc" "src/cpu/CMakeFiles/coppelia_cpu.dir/riscv/assertions.cc.o.d"
+  "/root/repo/src/cpu/riscv/core.cc" "src/cpu/CMakeFiles/coppelia_cpu.dir/riscv/core.cc.o" "gcc" "src/cpu/CMakeFiles/coppelia_cpu.dir/riscv/core.cc.o.d"
+  "/root/repo/src/cpu/riscv/isa.cc" "src/cpu/CMakeFiles/coppelia_cpu.dir/riscv/isa.cc.o" "gcc" "src/cpu/CMakeFiles/coppelia_cpu.dir/riscv/isa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/coppelia_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/props/CMakeFiles/coppelia_props.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/coppelia_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coppelia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

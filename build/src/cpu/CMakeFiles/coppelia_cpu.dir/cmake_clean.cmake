@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coppelia_cpu.dir/bugs.cc.o"
+  "CMakeFiles/coppelia_cpu.dir/bugs.cc.o.d"
+  "CMakeFiles/coppelia_cpu.dir/or1k/assertions.cc.o"
+  "CMakeFiles/coppelia_cpu.dir/or1k/assertions.cc.o.d"
+  "CMakeFiles/coppelia_cpu.dir/or1k/core.cc.o"
+  "CMakeFiles/coppelia_cpu.dir/or1k/core.cc.o.d"
+  "CMakeFiles/coppelia_cpu.dir/or1k/isa.cc.o"
+  "CMakeFiles/coppelia_cpu.dir/or1k/isa.cc.o.d"
+  "CMakeFiles/coppelia_cpu.dir/riscv/assertions.cc.o"
+  "CMakeFiles/coppelia_cpu.dir/riscv/assertions.cc.o.d"
+  "CMakeFiles/coppelia_cpu.dir/riscv/core.cc.o"
+  "CMakeFiles/coppelia_cpu.dir/riscv/core.cc.o.d"
+  "CMakeFiles/coppelia_cpu.dir/riscv/isa.cc.o"
+  "CMakeFiles/coppelia_cpu.dir/riscv/isa.cc.o.d"
+  "libcoppelia_cpu.a"
+  "libcoppelia_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coppelia_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coppelia_hdl.dir/lexer.cc.o"
+  "CMakeFiles/coppelia_hdl.dir/lexer.cc.o.d"
+  "CMakeFiles/coppelia_hdl.dir/parser.cc.o"
+  "CMakeFiles/coppelia_hdl.dir/parser.cc.o.d"
+  "libcoppelia_hdl.a"
+  "libcoppelia_hdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coppelia_hdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

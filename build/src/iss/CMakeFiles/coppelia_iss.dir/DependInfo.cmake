@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iss/or1k_iss.cc" "src/iss/CMakeFiles/coppelia_iss.dir/or1k_iss.cc.o" "gcc" "src/iss/CMakeFiles/coppelia_iss.dir/or1k_iss.cc.o.d"
+  "/root/repo/src/iss/rv32_iss.cc" "src/iss/CMakeFiles/coppelia_iss.dir/rv32_iss.cc.o" "gcc" "src/iss/CMakeFiles/coppelia_iss.dir/rv32_iss.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/coppelia_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/props/CMakeFiles/coppelia_props.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/coppelia_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/coppelia_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coppelia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

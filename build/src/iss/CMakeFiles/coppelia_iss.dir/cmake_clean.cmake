@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coppelia_iss.dir/or1k_iss.cc.o"
+  "CMakeFiles/coppelia_iss.dir/or1k_iss.cc.o.d"
+  "CMakeFiles/coppelia_iss.dir/rv32_iss.cc.o"
+  "CMakeFiles/coppelia_iss.dir/rv32_iss.cc.o.d"
+  "libcoppelia_iss.a"
+  "libcoppelia_iss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coppelia_iss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

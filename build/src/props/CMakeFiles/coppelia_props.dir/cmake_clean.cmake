@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coppelia_props.dir/assertion.cc.o"
+  "CMakeFiles/coppelia_props.dir/assertion.cc.o.d"
+  "libcoppelia_props.a"
+  "libcoppelia_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coppelia_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

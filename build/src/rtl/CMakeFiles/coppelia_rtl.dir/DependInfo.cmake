@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/design.cc" "src/rtl/CMakeFiles/coppelia_rtl.dir/design.cc.o" "gcc" "src/rtl/CMakeFiles/coppelia_rtl.dir/design.cc.o.d"
+  "/root/repo/src/rtl/passes/passes.cc" "src/rtl/CMakeFiles/coppelia_rtl.dir/passes/passes.cc.o" "gcc" "src/rtl/CMakeFiles/coppelia_rtl.dir/passes/passes.cc.o.d"
+  "/root/repo/src/rtl/sim.cc" "src/rtl/CMakeFiles/coppelia_rtl.dir/sim.cc.o" "gcc" "src/rtl/CMakeFiles/coppelia_rtl.dir/sim.cc.o.d"
+  "/root/repo/src/rtl/value.cc" "src/rtl/CMakeFiles/coppelia_rtl.dir/value.cc.o" "gcc" "src/rtl/CMakeFiles/coppelia_rtl.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/coppelia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coppelia_rtl.dir/design.cc.o"
+  "CMakeFiles/coppelia_rtl.dir/design.cc.o.d"
+  "CMakeFiles/coppelia_rtl.dir/passes/passes.cc.o"
+  "CMakeFiles/coppelia_rtl.dir/passes/passes.cc.o.d"
+  "CMakeFiles/coppelia_rtl.dir/sim.cc.o"
+  "CMakeFiles/coppelia_rtl.dir/sim.cc.o.d"
+  "CMakeFiles/coppelia_rtl.dir/value.cc.o"
+  "CMakeFiles/coppelia_rtl.dir/value.cc.o.d"
+  "libcoppelia_rtl.a"
+  "libcoppelia_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coppelia_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

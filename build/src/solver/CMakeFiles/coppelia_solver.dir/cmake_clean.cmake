@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coppelia_solver.dir/bitblast.cc.o"
+  "CMakeFiles/coppelia_solver.dir/bitblast.cc.o.d"
+  "CMakeFiles/coppelia_solver.dir/sat/sat.cc.o"
+  "CMakeFiles/coppelia_solver.dir/sat/sat.cc.o.d"
+  "CMakeFiles/coppelia_solver.dir/solver.cc.o"
+  "CMakeFiles/coppelia_solver.dir/solver.cc.o.d"
+  "CMakeFiles/coppelia_solver.dir/term.cc.o"
+  "CMakeFiles/coppelia_solver.dir/term.cc.o.d"
+  "libcoppelia_solver.a"
+  "libcoppelia_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coppelia_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoppelia_solver.a"
+)

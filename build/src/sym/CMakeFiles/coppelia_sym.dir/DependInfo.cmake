@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sym/binding.cc" "src/sym/CMakeFiles/coppelia_sym.dir/binding.cc.o" "gcc" "src/sym/CMakeFiles/coppelia_sym.dir/binding.cc.o.d"
+  "/root/repo/src/sym/executor.cc" "src/sym/CMakeFiles/coppelia_sym.dir/executor.cc.o" "gcc" "src/sym/CMakeFiles/coppelia_sym.dir/executor.cc.o.d"
+  "/root/repo/src/sym/lower.cc" "src/sym/CMakeFiles/coppelia_sym.dir/lower.cc.o" "gcc" "src/sym/CMakeFiles/coppelia_sym.dir/lower.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/coppelia_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/coppelia_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coppelia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coppelia_sym.dir/binding.cc.o"
+  "CMakeFiles/coppelia_sym.dir/binding.cc.o.d"
+  "CMakeFiles/coppelia_sym.dir/executor.cc.o"
+  "CMakeFiles/coppelia_sym.dir/executor.cc.o.d"
+  "CMakeFiles/coppelia_sym.dir/lower.cc.o"
+  "CMakeFiles/coppelia_sym.dir/lower.cc.o.d"
+  "libcoppelia_sym.a"
+  "libcoppelia_sym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coppelia_sym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

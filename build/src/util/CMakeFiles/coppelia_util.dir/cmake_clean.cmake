@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coppelia_util.dir/logging.cc.o"
+  "CMakeFiles/coppelia_util.dir/logging.cc.o.d"
+  "CMakeFiles/coppelia_util.dir/stats.cc.o"
+  "CMakeFiles/coppelia_util.dir/stats.cc.o.d"
+  "CMakeFiles/coppelia_util.dir/strutil.cc.o"
+  "CMakeFiles/coppelia_util.dir/strutil.cc.o.d"
+  "CMakeFiles/coppelia_util.dir/timer.cc.o"
+  "CMakeFiles/coppelia_util.dir/timer.cc.o.d"
+  "libcoppelia_util.a"
+  "libcoppelia_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coppelia_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bmc.dir/test_bmc.cc.o"
+  "CMakeFiles/test_bmc.dir/test_bmc.cc.o.d"
+  "test_bmc"
+  "test_bmc.pdb"
+  "test_bmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

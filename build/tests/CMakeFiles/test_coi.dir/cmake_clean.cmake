@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coi.dir/test_coi.cc.o"
+  "CMakeFiles/test_coi.dir/test_coi.cc.o.d"
+  "test_coi"
+  "test_coi.pdb"
+  "test_coi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

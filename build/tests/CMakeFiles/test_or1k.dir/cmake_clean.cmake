@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_or1k.dir/test_or1k.cc.o"
+  "CMakeFiles/test_or1k.dir/test_or1k.cc.o.d"
+  "test_or1k"
+  "test_or1k.pdb"
+  "test_or1k[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_or1k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

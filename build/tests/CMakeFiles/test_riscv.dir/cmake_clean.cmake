@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_riscv.dir/test_riscv.cc.o"
+  "CMakeFiles/test_riscv.dir/test_riscv.cc.o.d"
+  "test_riscv"
+  "test_riscv.pdb"
+  "test_riscv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl_passes.dir/test_rtl_passes.cc.o"
+  "CMakeFiles/test_rtl_passes.dir/test_rtl_passes.cc.o.d"
+  "test_rtl_passes"
+  "test_rtl_passes.pdb"
+  "test_rtl_passes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

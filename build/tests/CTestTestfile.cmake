@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_rtl[1]_include.cmake")
+include("/root/repo/build/tests/test_rtl_passes[1]_include.cmake")
+include("/root/repo/build/tests/test_sat[1]_include.cmake")
+include("/root/repo/build/tests/test_smt[1]_include.cmake")
+include("/root/repo/build/tests/test_sym[1]_include.cmake")
+include("/root/repo/build/tests/test_or1k[1]_include.cmake")
+include("/root/repo/build/tests/test_riscv[1]_include.cmake")
+include("/root/repo/build/tests/test_coi[1]_include.cmake")
+include("/root/repo/build/tests/test_bse[1]_include.cmake")
+include("/root/repo/build/tests/test_hdl[1]_include.cmake")
+include("/root/repo/build/tests/test_exploit[1]_include.cmake")
+include("/root/repo/build/tests/test_bmc[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
