@@ -9,6 +9,7 @@
 #define COPPELIA_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,15 @@ rv32DriverOptions(double time_limit = 120.0)
     opts.engine.timeLimitSeconds = time_limit;
     opts.engine.preconditions = rv32Preconditions();
     return opts;
+}
+
+/** Worker count for campaign-driven harnesses: the
+ *  COPPELIA_CAMPAIGN_WORKERS environment variable, or 0 (= all cores). */
+inline int
+campaignWorkers()
+{
+    const char *env = std::getenv("COPPELIA_CAMPAIGN_WORKERS");
+    return env ? std::atoi(env) : 0;
 }
 
 /** Find the assertion associated with a bug id; nullptr if none. */

@@ -4,10 +4,14 @@
  * assertion sets to new platforms — b32 on the Mor1kx-Espresso (the R0
  * bug persisting into the next OpenRISC generation) and b33/b34/b35 on
  * the PULPino-RI5CY — with trigger lengths and replayability.
+ *
+ * The four runs execute in parallel as one campaign
+ * (COPPELIA_CAMPAIGN_WORKERS overrides the worker count).
  */
 
 #include "bench_common.hh"
 
+#include "campaign/campaign.hh"
 #include "cpu/bugs.hh"
 
 using namespace coppelia;
@@ -24,31 +28,32 @@ main()
              widths);
     printRule(widths);
 
+    campaign::CampaignSpec spec;
+    spec.name = "table6";
+    spec.workers = campaignWorkers();
+    spec.jobTimeLimitSeconds = 90;
+    spec.bound = 6;
+    spec.maxFeedbackRounds = 24;
+    for (const cpu::BugInfo &bug : cpu::bugRegistry()) {
+        if (bug.source != "new")
+            continue;
+        campaign::JobSpec job;
+        job.processor = bug.processor;
+        job.bug = bug.id;
+        spec.jobs.push_back(job);
+    }
+    campaign::CampaignResult result = campaign::runCampaign(spec);
+
     for (const cpu::BugInfo &bug : cpu::bugRegistry()) {
         if (bug.source != "new")
             continue;
 
-        rtl::Design d =
-            bug.processor == cpu::Processor::Mor1kxEspresso
-                ? cpu::or1k::buildMor1kx(cpu::BugConfig::with(bug.id))
-                : cpu::riscv::buildRi5cy(cpu::BugConfig::with(bug.id));
-        auto asserts = bug.processor == cpu::Processor::Mor1kxEspresso
-                           ? cpu::or1k::mor1kxAssertions(d)
-                           : cpu::riscv::ri5cyAssertions(d);
-        const props::Assertion *a = assertionForBug(asserts, bug.name);
-
         std::string instr_meas = "-", rep = "-";
-        if (a) {
-            core::CoppeliaOptions opts =
-                bug.processor == cpu::Processor::Mor1kxEspresso
-                    ? or1200DriverOptions(d, 90)
-                    : rv32DriverOptions(90);
-            core::Coppelia tool(d, bug.processor, opts);
-            core::ExploitResult res = tool.generateExploit(*a);
-            if (res.found()) {
-                instr_meas = std::to_string(res.triggerInstructions);
-                rep = yn(res.replayable());
-            }
+        const campaign::JobRecord *rec =
+            result.find(campaign::JobKind::Exploit, bug.id);
+        if (rec && rec->result.found) {
+            instr_meas = std::to_string(rec->result.triggerInstructions);
+            rep = yn(rec->result.replayable);
         }
         printRow({bug.name, processorName(bug.processor),
                   bug.description.substr(0, 44),
@@ -68,5 +73,8 @@ main()
                     cpu::or1k::mor1kxAssertions(m).size(),
                     cpu::riscv::ri5cyAssertions(r).size());
     }
+    std::printf("\nOrchestration: %d workers, %.1fs wall, %d attempts\n",
+                result.scheduler.workers, result.scheduler.wallSeconds,
+                result.scheduler.attemptsRun);
     return 0;
 }

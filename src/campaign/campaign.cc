@@ -1,0 +1,102 @@
+#include "campaign/campaign.hh"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace coppelia::campaign
+{
+
+const JobRecord *
+CampaignResult::find(JobKind kind, cpu::BugId bug) const
+{
+    for (const JobRecord &r : records) {
+        if (r.spec.kind == kind && r.spec.bug == bug)
+            return &r;
+    }
+    return nullptr;
+}
+
+CampaignResult
+runCampaign(const CampaignSpec &spec, std::ostream *telemetry)
+{
+    ResultStore store;
+    if (telemetry)
+        store.attachTelemetry(*telemetry);
+
+    SchedulerOptions sched_opts;
+    sched_opts.workers = spec.workers;
+    sched_opts.maxRetries = spec.maxRetries;
+    Scheduler scheduler(sched_opts);
+
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+        const JobSpec &job = spec.jobs[i];
+        Task task;
+        task.label = std::string(jobKindName(job.kind)) + ":" +
+                     cpu::bugName(job.bug);
+        // Generous watchdog margin over the engine's own wall-clock
+        // limit: the engine self-terminates; the watchdog only reaps
+        // jobs stuck outside the solver loop.
+        const double limit = job.timeLimitSeconds > 0.0
+                                 ? job.timeLimitSeconds
+                                 : spec.jobTimeLimitSeconds;
+        task.timeoutSeconds = limit > 0.0 ? limit * 2.0 + 10.0 : 0.0;
+        task.fn = [&spec, &store, &job, i](const TaskContext &ctx) {
+            const std::uint64_t seed =
+                deriveJobSeed(spec.seed, static_cast<int>(i), ctx.attempt);
+            JobResult result = runJob(spec, job, seed, ctx.cancel);
+            const bool retry = result.status == JobStatus::Retryable &&
+                               ctx.attempt < spec.maxRetries;
+            if (!retry) {
+                JobRecord record;
+                record.jobIndex = static_cast<int>(i);
+                record.spec = job;
+                if (record.spec.assertionId.empty())
+                    record.spec.assertionId = result.assertionId;
+                record.seed = seed;
+                record.attempts = ctx.attempt + 1;
+                record.workerId = ctx.workerId;
+                record.result = std::move(result);
+                store.add(std::move(record));
+            }
+            return retry ? TaskDisposition::Retry : TaskDisposition::Done;
+        };
+        scheduler.add(std::move(task));
+    }
+
+    CampaignResult out;
+    out.scheduler = scheduler.runAll();
+    out.records = store.sorted();
+    out.stats = store.aggregateStats();
+    if (out.records.size() != spec.jobs.size())
+        warn("campaign '", spec.name, "': ", out.records.size(),
+             " records for ", spec.jobs.size(), " jobs");
+    return out;
+}
+
+CampaignResult
+runCampaignToFiles(const CampaignSpec &spec, const std::string &output_dir)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(output_dir, ec);
+    if (ec)
+        fatal("cannot create output directory '", output_dir, "': ",
+              ec.message());
+
+    const fs::path dir(output_dir);
+    std::ofstream jsonl(dir / "campaign.jsonl");
+    if (!jsonl)
+        fatal("cannot open ", (dir / "campaign.jsonl").string());
+
+    CampaignResult result = runCampaign(spec, &jsonl);
+
+    std::ofstream summary(dir / "summary.txt");
+    if (!summary)
+        fatal("cannot open ", (dir / "summary.txt").string());
+    writeSummary(summary, spec, result.records, result.scheduler);
+    return result;
+}
+
+} // namespace coppelia::campaign

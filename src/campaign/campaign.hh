@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The campaign orchestrator: expands a CampaignSpec into its job matrix,
+ * executes it on the work-stealing scheduler (each job isolated in its
+ * own design elaboration and solver), and collects records, aggregate
+ * statistics, and scheduler accounting. This is the batch engine behind
+ * the `coppelia-campaign` CLI and the Table II/VI benchmark harnesses.
+ */
+
+#ifndef COPPELIA_CAMPAIGN_CAMPAIGN_HH
+#define COPPELIA_CAMPAIGN_CAMPAIGN_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/job.hh"
+#include "campaign/result_store.hh"
+#include "campaign/scheduler.hh"
+#include "campaign/spec.hh"
+#include "campaign/telemetry.hh"
+
+namespace coppelia::campaign
+{
+
+/** Everything a finished campaign produced. */
+struct CampaignResult
+{
+    std::vector<JobRecord> records; ///< sorted by job index
+    StatGroup stats;                ///< merged solver/search counters
+    SchedulerReport scheduler;
+
+    /** Record for a (kind, bug) cell; nullptr when absent. */
+    const JobRecord *find(JobKind kind, cpu::BugId bug) const;
+};
+
+/**
+ * Run the campaign. When @p telemetry is non-null every finished job is
+ * streamed to it as one JSONL line (in completion order) before the call
+ * returns the sorted records.
+ */
+CampaignResult runCampaign(const CampaignSpec &spec,
+                           std::ostream *telemetry = nullptr);
+
+/**
+ * Run the campaign and write `campaign.jsonl` and `summary.txt` under
+ * @p output_dir (created if missing). @return the campaign result.
+ */
+CampaignResult runCampaignToFiles(const CampaignSpec &spec,
+                                  const std::string &output_dir);
+
+} // namespace coppelia::campaign
+
+#endif // COPPELIA_CAMPAIGN_CAMPAIGN_HH

@@ -1,0 +1,218 @@
+#include "campaign/job.hh"
+
+#include "bmc/bmc.hh"
+#include "core/coppelia.hh"
+#include "cpu/or1k/core.hh"
+#include "cpu/riscv/core.hh"
+#include "util/timer.hh"
+
+namespace coppelia::campaign
+{
+
+const char *
+jobStatusName(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::Completed: return "completed";
+      case JobStatus::NoAssertion: return "no-assertion";
+      case JobStatus::Cancelled: return "cancelled";
+      case JobStatus::Retryable: return "retryable";
+    }
+    return "?";
+}
+
+std::uint64_t
+deriveJobSeed(std::uint64_t base, int index, int attempt)
+{
+    // splitmix64 over (base, index, attempt): decorrelated streams per
+    // job, and a retry reshuffles the search rather than replaying it.
+    std::uint64_t x = base + 0x9e3779b97f4a7c15ull *
+                                 (static_cast<std::uint64_t>(index) * 131ull +
+                                  static_cast<std::uint64_t>(attempt) + 1ull);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+namespace
+{
+
+/** Build the job's design; each job owns its elaboration. */
+rtl::Design
+buildDesign(const JobSpec &job)
+{
+    const cpu::BugConfig bugs = cpu::BugConfig::with(job.bug);
+    switch (job.processor) {
+      case cpu::Processor::OR1200:
+        return cpu::or1k::buildOr1200(bugs);
+      case cpu::Processor::Mor1kxEspresso:
+        return cpu::or1k::buildMor1kx(bugs);
+      case cpu::Processor::PulpinoRi5cy:
+        return cpu::riscv::buildRi5cy(bugs);
+    }
+    return cpu::or1k::buildOr1200(bugs);
+}
+
+std::vector<props::Assertion>
+buildAssertions(const JobSpec &job, rtl::Design &design)
+{
+    switch (job.processor) {
+      case cpu::Processor::OR1200:
+        return cpu::or1k::or1200Assertions(design);
+      case cpu::Processor::Mor1kxEspresso:
+        return cpu::or1k::mor1kxAssertions(design);
+      case cpu::Processor::PulpinoRi5cy:
+        return cpu::riscv::ri5cyAssertions(design);
+    }
+    return {};
+}
+
+const props::Assertion *
+selectAssertion(const JobSpec &job,
+                const std::vector<props::Assertion> &asserts)
+{
+    const std::string bug = cpu::bugName(job.bug);
+    for (const props::Assertion &a : asserts) {
+        if (!job.assertionId.empty()) {
+            if (a.id == job.assertionId)
+                return &a;
+        } else if (a.bugId == bug) {
+            return &a;
+        }
+    }
+    return nullptr;
+}
+
+/** Preconditions per processor (§II-E1 parity across every job). */
+bse::PreconditionFn
+preconditionsFor(const JobSpec &job, const rtl::Design &design)
+{
+    const rtl::Design *d = &design;
+    if (job.processor == cpu::Processor::PulpinoRi5cy) {
+        return [](smt::TermManager &tm, const sym::BoundState &bs)
+                   -> std::vector<smt::TermRef> {
+            for (const auto &[sig, var] : bs.inputVars) {
+                (void)sig;
+                if (tm.varWidth(tm.term(var).varId) == 32)
+                    return {cpu::riscv::rvLegalInsnConstraint(tm, var)};
+            }
+            return {};
+        };
+    }
+    return [d](smt::TermManager &tm,
+               const sym::BoundState &bs) -> std::vector<smt::TermRef> {
+        std::vector<smt::TermRef> out =
+            cpu::or1k::stateAssumptions(tm, *d, bs.regVars);
+        for (const auto &[sig, var] : bs.inputVars) {
+            (void)sig;
+            if (tm.varWidth(tm.term(var).varId) == 32)
+                out.push_back(cpu::or1k::legalInsnConstraint(tm, var));
+        }
+        return out;
+    };
+}
+
+double
+jobTimeLimit(const CampaignSpec &spec, const JobSpec &job)
+{
+    return job.timeLimitSeconds > 0.0 ? job.timeLimitSeconds
+                                      : spec.jobTimeLimitSeconds;
+}
+
+JobResult
+runExploitJob(const CampaignSpec &spec, const JobSpec &job,
+              const rtl::Design &design, const props::Assertion &assertion,
+              std::uint64_t seed, const CancelToken *cancel)
+{
+    core::CoppeliaOptions opts;
+    opts.addPayload = spec.addPayload;
+    opts.validateByReplay = spec.validateByReplay;
+    opts.engine.bound = spec.bound;
+    opts.engine.maxFeedbackRounds = spec.maxFeedbackRounds;
+    opts.engine.timeLimitSeconds = jobTimeLimit(spec, job);
+    opts.engine.preconditions = preconditionsFor(job, design);
+    opts.engine.explorer.seed = seed;
+
+    core::Coppelia tool(design, job.processor, opts);
+    core::ExploitResult res = tool.generateExploit(assertion);
+
+    JobResult out;
+    out.outcome = res.outcome;
+    out.found = res.found();
+    out.replayable = res.found() && res.replayable();
+    out.triggerInstructions = res.triggerInstructions;
+    out.iterations = res.iterations;
+    out.seconds = res.seconds;
+    out.stats = res.stats;
+    if (cancel && cancel->cancelled())
+        out.status = JobStatus::Cancelled;
+    else if (res.outcome == bse::Outcome::BudgetExhausted)
+        // The search died on its feedback/time budget without a verdict;
+        // a reseeded retry explores a different frontier order.
+        out.status = JobStatus::Retryable;
+    return out;
+}
+
+JobResult
+runBmcJob(const CampaignSpec &spec, const JobSpec &job,
+          const rtl::Design &design, const props::Assertion &assertion,
+          const CancelToken *cancel)
+{
+    bmc::BmcOptions opts;
+    opts.preset = job.kind == JobKind::BmcIfv ? bmc::Preset::IfvLike
+                                              : bmc::Preset::EbmcLike;
+    opts.maxBound = spec.bmcMaxBound;
+    opts.timeLimitSeconds = jobTimeLimit(spec, job);
+    if (job.processor == cpu::Processor::PulpinoRi5cy) {
+        opts.insnConstraint = [](smt::TermManager &tm, smt::TermRef v) {
+            return cpu::riscv::rvLegalInsnConstraint(tm, v);
+        };
+    } else {
+        opts.insnConstraint = [](smt::TermManager &tm, smt::TermRef v) {
+            return cpu::or1k::legalInsnConstraint(tm, v);
+        };
+    }
+
+    bmc::BmcResult res = bmc::checkAssertion(design, assertion, opts);
+
+    JobResult out;
+    out.found = res.found;
+    out.bmcDepth = res.depth;
+    out.bmcReplayableFromReset = res.replayableFromReset;
+    out.replayable = res.found && res.replayableFromReset;
+    out.triggerInstructions = res.found ? res.depth : 0;
+    out.seconds = res.seconds;
+    out.stats = res.stats;
+    if (cancel && cancel->cancelled())
+        out.status = JobStatus::Cancelled;
+    return out;
+}
+
+} // namespace
+
+JobResult
+runJob(const CampaignSpec &spec, const JobSpec &job, std::uint64_t seed,
+       const CancelToken *cancel)
+{
+    Timer timer;
+    rtl::Design design = buildDesign(job);
+    std::vector<props::Assertion> asserts = buildAssertions(job, design);
+    const props::Assertion *assertion = selectAssertion(job, asserts);
+    if (!assertion) {
+        JobResult out;
+        out.status = JobStatus::NoAssertion;
+        out.seconds = timer.seconds();
+        return out;
+    }
+    JobResult out =
+        job.kind == JobKind::Exploit
+            ? runExploitJob(spec, job, design, *assertion, seed, cancel)
+            : runBmcJob(spec, job, design, *assertion, cancel);
+    out.assertionId = assertion->id;
+    // Charge elaboration + assertion binding to the job, not just the
+    // engine: the campaign's wall-clock accounting covers the whole cell.
+    out.seconds = timer.seconds();
+    return out;
+}
+
+} // namespace coppelia::campaign

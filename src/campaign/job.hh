@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Execution of one campaign job. A job is fully self-contained: the
+ * runner elaborates its own `rtl::Design` for the job's (processor, bug)
+ * pair and the engine builds its own `TermManager`, so concurrent jobs
+ * share no solver or design state — the paper's per-assertion runs are
+ * embarrassingly parallel once that isolation holds.
+ *
+ * Three kinds mirror the Table II columns: the Coppelia end-to-end flow
+ * and the two model-checking baselines (IFV-like and EBMC-like).
+ */
+
+#ifndef COPPELIA_CAMPAIGN_JOB_HH
+#define COPPELIA_CAMPAIGN_JOB_HH
+
+#include <cstdint>
+#include <string>
+
+#include "bse/engine.hh"
+#include "campaign/scheduler.hh"
+#include "campaign/spec.hh"
+#include "util/stats.hh"
+
+namespace coppelia::campaign
+{
+
+/** How a job attempt ended, from the scheduler's point of view. */
+enum class JobStatus
+{
+    Completed,   ///< ran to its own conclusion (found or exhausted)
+    NoAssertion, ///< the bug has no assertion on this core; nothing to run
+    Cancelled,   ///< the watchdog cancelled the attempt past its deadline
+    Retryable,   ///< search/solver budget died; worth a reseeded retry
+};
+
+const char *jobStatusName(JobStatus s);
+
+/** The measured outcome of one job (final attempt). */
+struct JobResult
+{
+    JobStatus status = JobStatus::Completed;
+    /** Assertion actually targeted (resolved from the bug when the spec
+     *  left it empty). */
+    std::string assertionId;
+
+    // Exploit-kind fields.
+    bse::Outcome outcome = bse::Outcome::NoViolation;
+    bool found = false;
+    bool replayable = false;
+    int triggerInstructions = 0;
+    int iterations = 0;
+
+    // Baseline-kind fields.
+    int bmcDepth = 0;
+    bool bmcReplayableFromReset = false;
+
+    double seconds = 0.0;
+    StatGroup stats;
+};
+
+/**
+ * Run one job attempt. @p seed parameterizes every random choice the
+ * search makes (the explorer's frontier shuffling); the same (spec, job,
+ * seed) triple reproduces the same result. @p cancel is the scheduler's
+ * cooperative cancellation token (may be null).
+ */
+JobResult runJob(const CampaignSpec &spec, const JobSpec &job,
+                 std::uint64_t seed, const CancelToken *cancel);
+
+/**
+ * The seed for job @p index at retry @p attempt, derived from the
+ * campaign base seed with splitmix64 so streams are decorrelated and a
+ * retry explores differently than the attempt that exhausted its budget.
+ */
+std::uint64_t deriveJobSeed(std::uint64_t base, int index, int attempt);
+
+} // namespace coppelia::campaign
+
+#endif // COPPELIA_CAMPAIGN_JOB_HH

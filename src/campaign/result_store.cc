@@ -1,0 +1,56 @@
+#include "campaign/result_store.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "campaign/telemetry.hh"
+
+namespace coppelia::campaign
+{
+
+void
+ResultStore::attachTelemetry(std::ostream &out)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    telemetry_ = &out;
+}
+
+void
+ResultStore::add(JobRecord record)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    aggregate_.merge(record.result.stats);
+    if (telemetry_) {
+        writeJsonlRecord(*telemetry_, record);
+        telemetry_->flush();
+    }
+    records_.push_back(std::move(record));
+}
+
+std::vector<JobRecord>
+ResultStore::sorted() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<JobRecord> out = records_;
+    std::sort(out.begin(), out.end(),
+              [](const JobRecord &a, const JobRecord &b) {
+                  return a.jobIndex < b.jobIndex;
+              });
+    return out;
+}
+
+StatGroup
+ResultStore::aggregateStats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return aggregate_;
+}
+
+std::size_t
+ResultStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+}
+
+} // namespace coppelia::campaign

@@ -1,0 +1,222 @@
+#include "campaign/scheduler.hh"
+
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace coppelia::campaign
+{
+
+using Clock = std::chrono::steady_clock;
+
+Scheduler::Scheduler(SchedulerOptions opts) : opts_(opts)
+{
+    if (opts_.workers <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        opts_.workers = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+}
+
+int
+Scheduler::add(Task task)
+{
+    const int id = static_cast<int>(tasks_.size());
+    tasks_.push_back(std::move(task));
+    return id;
+}
+
+bool
+Scheduler::popLocal(int worker_id, QueuedTask *out)
+{
+    WorkerQueue &wq = *queues_[static_cast<std::size_t>(worker_id)];
+    std::lock_guard<std::mutex> lock(wq.mu);
+    if (wq.q.empty())
+        return false;
+    *out = wq.q.back();
+    wq.q.pop_back();
+    return true;
+}
+
+bool
+Scheduler::steal(int thief_id, QueuedTask *out)
+{
+    // Steal from the front of the longest victim queue (oldest task of
+    // the most loaded worker) to keep the load spread.
+    const int n = static_cast<int>(queues_.size());
+    int victim = -1;
+    std::size_t best = 0;
+    for (int i = 0; i < n; ++i) {
+        if (i == thief_id)
+            continue;
+        WorkerQueue &wq = *queues_[static_cast<std::size_t>(i)];
+        std::lock_guard<std::mutex> lock(wq.mu);
+        if (wq.q.size() > best) {
+            best = wq.q.size();
+            victim = i;
+        }
+    }
+    if (victim < 0)
+        return false;
+    WorkerQueue &wq = *queues_[static_cast<std::size_t>(victim)];
+    std::lock_guard<std::mutex> lock(wq.mu);
+    if (wq.q.empty())
+        return false;
+    *out = wq.q.front();
+    wq.q.pop_front();
+    return true;
+}
+
+void
+Scheduler::requeue(QueuedTask task)
+{
+    WorkerQueue &wq = *queues_[static_cast<std::size_t>(task.homeWorker)];
+    std::lock_guard<std::mutex> lock(wq.mu);
+    wq.q.push_back(task);
+}
+
+void
+Scheduler::runOne(int worker_id, QueuedTask qt)
+{
+    const Task &task = tasks_[static_cast<std::size_t>(qt.id)];
+    RunningSlot &slot = *running_[static_cast<std::size_t>(worker_id)];
+    CancelToken token;
+    {
+        std::lock_guard<std::mutex> lock(slot.mu);
+        slot.token = &token;
+        slot.timedOut = false;
+        slot.hasDeadline = task.timeoutSeconds > 0.0;
+        if (slot.hasDeadline) {
+            slot.deadline =
+                Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(task.timeoutSeconds));
+        }
+    }
+
+    TaskContext ctx;
+    ctx.taskId = qt.id;
+    ctx.attempt = qt.attempt;
+    ctx.workerId = worker_id;
+    ctx.cancel = &token;
+    TaskDisposition disp = task.fn(ctx);
+
+    bool timed_out;
+    {
+        std::lock_guard<std::mutex> lock(slot.mu);
+        slot.token = nullptr;
+        slot.hasDeadline = false;
+        timed_out = slot.timedOut;
+    }
+
+    bool finished = true;
+    {
+        std::lock_guard<std::mutex> lock(reportMu_);
+        ++report_.attemptsRun;
+        if (timed_out)
+            ++report_.timeouts;
+        if (worker_id != qt.homeWorker)
+            ++report_.steals;
+        if (disp == TaskDisposition::Retry) {
+            if (qt.attempt < opts_.maxRetries) {
+                ++report_.retriesIssued;
+                finished = false;
+            } else {
+                ++report_.retriesExhausted;
+            }
+        }
+    }
+
+    if (!finished) {
+        // Re-queue on the executing worker: it is idle right now and the
+        // retry keeps any stolen task local from here on.
+        requeue(QueuedTask{qt.id, qt.attempt + 1, worker_id});
+        return;
+    }
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void
+Scheduler::workerLoop(int worker_id)
+{
+    while (true) {
+        QueuedTask qt;
+        if (popLocal(worker_id, &qt) || steal(worker_id, &qt)) {
+            runOne(worker_id, qt);
+            continue;
+        }
+        if (pending_.load(std::memory_order_acquire) == 0)
+            return;
+        // Idle but the campaign is not drained: another worker may still
+        // spawn a retry. Nap briefly and re-scan.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+}
+
+void
+Scheduler::watchdogLoop()
+{
+    const auto period = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(opts_.watchdogPeriodSeconds));
+    while (!shutdown_.load(std::memory_order_acquire)) {
+        const auto now = Clock::now();
+        for (auto &slot_ptr : running_) {
+            RunningSlot &slot = *slot_ptr;
+            std::lock_guard<std::mutex> lock(slot.mu);
+            if (slot.token && slot.hasDeadline && !slot.timedOut &&
+                now >= slot.deadline) {
+                slot.token->cancel();
+                slot.timedOut = true;
+            }
+        }
+        std::this_thread::sleep_for(period);
+    }
+}
+
+SchedulerReport
+Scheduler::runAll()
+{
+    Timer timer;
+    const int workers =
+        std::min<int>(opts_.workers,
+                      std::max<int>(1, static_cast<int>(tasks_.size())));
+    report_ = SchedulerReport{};
+    report_.workers = workers;
+    report_.tasksSubmitted = static_cast<int>(tasks_.size());
+
+    queues_.clear();
+    running_.clear();
+    for (int i = 0; i < workers; ++i) {
+        queues_.push_back(std::make_unique<WorkerQueue>());
+        running_.push_back(std::make_unique<RunningSlot>());
+    }
+
+    // Deal the initial matrix round-robin.
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        queues_[i % static_cast<std::size_t>(workers)]->q.push_back(
+            QueuedTask{static_cast<int>(i), 0,
+                       static_cast<int>(i % static_cast<std::size_t>(
+                                            workers))});
+    }
+    pending_.store(static_cast<int>(tasks_.size()),
+                   std::memory_order_release);
+    shutdown_.store(false, std::memory_order_release);
+
+    if (tasks_.empty()) {
+        report_.wallSeconds = timer.seconds();
+        return report_;
+    }
+
+    std::thread watchdog([this] { watchdogLoop(); });
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+        pool.emplace_back([this, i] { workerLoop(i); });
+    for (std::thread &t : pool)
+        t.join();
+    shutdown_.store(true, std::memory_order_release);
+    watchdog.join();
+
+    report_.wallSeconds = timer.seconds();
+    return report_;
+}
+
+} // namespace coppelia::campaign

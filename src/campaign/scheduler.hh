@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Worker thread pool with a work-stealing queue, per-task cancellation
+ * and timeout enforcement, and bounded retry. The scheduler is generic —
+ * tasks are closures — so the policy machinery (stealing, watchdog,
+ * retry accounting) is testable with synthetic workloads independently of
+ * the exploit-generation jobs the campaign layer submits.
+ *
+ * Execution model:
+ *  - Each worker owns a deque. Initial tasks are dealt round-robin;
+ *    a worker pops from the back of its own deque and, when empty,
+ *    steals from the front of the busiest victim's deque.
+ *  - Every running task gets a CancelToken. A watchdog thread scans the
+ *    running set and cancels tasks past their deadline; tasks observe
+ *    cancellation cooperatively (long-running engine searches also carry
+ *    their own internal wall-clock limit as a second line of defence).
+ *  - A task may report TaskDisposition::Retry; the scheduler re-queues it
+ *    (on the reporting worker's deque) until its retry budget is spent,
+ *    then records it as retries-exhausted and moves on.
+ */
+
+#ifndef COPPELIA_CAMPAIGN_SCHEDULER_HH
+#define COPPELIA_CAMPAIGN_SCHEDULER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace coppelia::campaign
+{
+
+/** Cooperative cancellation flag shared between a task and the watchdog. */
+class CancelToken
+{
+  public:
+    void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+    bool
+    cancelled() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+    void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+/** Per-invocation context handed to a task. */
+struct TaskContext
+{
+    int taskId = 0;   ///< submission index
+    int attempt = 0;  ///< 0 on the first run, +1 per retry
+    int workerId = 0; ///< executing worker
+    const CancelToken *cancel = nullptr;
+
+    bool cancelled() const { return cancel && cancel->cancelled(); }
+};
+
+/** What a task reports back to the scheduler. */
+enum class TaskDisposition
+{
+    Done,  ///< finished (successfully or not); do not re-run
+    Retry, ///< transient resource failure; re-queue if budget remains
+};
+
+/** One schedulable unit. */
+struct Task
+{
+    std::function<TaskDisposition(const TaskContext &)> fn;
+    /** Per-attempt wall-clock budget; 0 disables the watchdog for it. */
+    double timeoutSeconds = 0.0;
+    std::string label;
+};
+
+/** Pool configuration. */
+struct SchedulerOptions
+{
+    /** Worker threads; 0 = hardware concurrency (at least 1). */
+    int workers = 0;
+    /** Retry budget per task (total attempts = 1 + maxRetries). */
+    int maxRetries = 0;
+    /** Watchdog scan period. */
+    double watchdogPeriodSeconds = 0.01;
+};
+
+/** Aggregate accounting for one runAll(). */
+struct SchedulerReport
+{
+    int workers = 0;
+    int tasksSubmitted = 0;
+    int attemptsRun = 0;
+    int retriesIssued = 0;
+    int retriesExhausted = 0;
+    int timeouts = 0; ///< attempts cancelled by the watchdog
+    int steals = 0;   ///< tasks executed by a worker that stole them
+    double wallSeconds = 0.0;
+};
+
+/**
+ * The pool. Usage: construct, add() tasks, runAll() once. The scheduler
+ * owns no task results — closures capture their own output channel (the
+ * campaign layer passes a thread-safe ResultStore).
+ */
+class Scheduler
+{
+  public:
+    explicit Scheduler(SchedulerOptions opts = {});
+
+    /** Submit a task; only valid before runAll(). @return task id. */
+    int add(Task task);
+
+    /** Execute everything; blocks until the queue drains. */
+    SchedulerReport runAll();
+
+  private:
+    struct QueuedTask
+    {
+        int id;
+        int attempt;
+        int homeWorker; ///< deque the task was queued on
+    };
+
+    struct WorkerQueue
+    {
+        std::mutex mu;
+        std::deque<QueuedTask> q;
+    };
+
+    struct RunningSlot
+    {
+        std::mutex mu;
+        CancelToken *token = nullptr;
+        std::chrono::steady_clock::time_point deadline;
+        bool hasDeadline = false;
+        bool timedOut = false;
+    };
+
+    void workerLoop(int worker_id);
+    void watchdogLoop();
+    bool popLocal(int worker_id, QueuedTask *out);
+    bool steal(int thief_id, QueuedTask *out);
+    void requeue(QueuedTask task);
+    void runOne(int worker_id, QueuedTask task);
+
+    SchedulerOptions opts_;
+    std::vector<Task> tasks_;
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::unique_ptr<RunningSlot>> running_;
+    std::atomic<int> pending_{0}; ///< tasks not yet finally disposed
+    std::atomic<bool> shutdown_{false};
+
+    std::mutex reportMu_;
+    SchedulerReport report_;
+};
+
+} // namespace coppelia::campaign
+
+#endif // COPPELIA_CAMPAIGN_SCHEDULER_HH

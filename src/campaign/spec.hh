@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Declarative campaign specifications. A campaign is a *matrix* of
+ * independent exploit-generation (and baseline model-checking) jobs — one
+ * per (processor × bug × assertion) triple, the shape of the paper's
+ * Tables II and VI — plus the execution policy: worker count, per-job
+ * time/iteration budgets, bounded retry, and the base seed from which
+ * every job derives its own deterministic RNG stream.
+ *
+ * Specs can be built programmatically (the benchmark harnesses do) or
+ * loaded from a small line-oriented text format (the CLI does):
+ *
+ *     # table2.campaign — every in-scope OR1200 bug, plus both baselines
+ *     name        table2
+ *     workers     4
+ *     seed        42
+ *     time-limit  90
+ *     bound       6
+ *     retries     1
+ *     matrix      or1200
+ *     matrix      or1200 bmc-ifv
+ *     matrix      or1200 bmc-ebmc
+ *     job         ri5cy  b33
+ *
+ * `matrix PROC [KIND]` expands to one job per in-scope bug of the
+ * processor; `job PROC BUG [KIND]` adds a single job. Processors:
+ * or1200, mor1kx, ri5cy. Kinds: exploit (default), bmc-ifv, bmc-ebmc.
+ */
+
+#ifndef COPPELIA_CAMPAIGN_SPEC_HH
+#define COPPELIA_CAMPAIGN_SPEC_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cpu/bugs.hh"
+
+namespace coppelia::campaign
+{
+
+/** What a job runs: the Coppelia pipeline or one of the BMC baselines. */
+enum class JobKind
+{
+    Exploit,  ///< full Coppelia flow: trigger + payload + replay
+    BmcIfv,   ///< IFV-like baseline (unconstrained initial state)
+    BmcEbmc,  ///< EBMC-like baseline (bounded, from reset)
+};
+
+const char *jobKindName(JobKind k);
+
+/** One cell of the campaign matrix. */
+struct JobSpec
+{
+    JobKind kind = JobKind::Exploit;
+    cpu::Processor processor = cpu::Processor::OR1200;
+    cpu::BugId bug = cpu::BugId::b01;
+    /** Assertion id to target; empty = the bug's associated assertion. */
+    std::string assertionId;
+    /** Per-job wall-clock budget; 0 = inherit the campaign default. */
+    double timeLimitSeconds = 0.0;
+};
+
+/** The campaign: the job matrix plus the execution policy. */
+struct CampaignSpec
+{
+    std::string name = "campaign";
+    /** Worker threads; 0 = hardware concurrency. */
+    int workers = 0;
+    /** Base seed; job i at attempt a derives seed splitmix(seed, i, a). */
+    std::uint64_t seed = 0x434f5050454c4941ull;
+    /** Default per-job wall-clock budget in seconds (0 = unlimited). */
+    double jobTimeLimitSeconds = 90.0;
+    /** Engine iteration budgets (bse::Options::{bound,maxFeedbackRounds}). */
+    int bound = 6;
+    int maxFeedbackRounds = 24;
+    /** BMC baseline unrolling bound (EbmcLike). */
+    int bmcMaxBound = 4;
+    /** Re-queue attempts for jobs that exhaust solver/search budgets. */
+    int maxRetries = 1;
+    /** Coppelia driver toggles. */
+    bool addPayload = true;
+    bool validateByReplay = true;
+
+    std::vector<JobSpec> jobs;
+};
+
+/** Append one job per in-scope bug of @p processor. */
+void addProcessorMatrix(CampaignSpec &spec, cpu::Processor processor,
+                        JobKind kind = JobKind::Exploit);
+
+/** Parse the text spec format; fatal() on malformed input. */
+CampaignSpec parseSpec(std::istream &in, const std::string &origin = "spec");
+
+/** Load a spec file; fatal() when unreadable or malformed. */
+CampaignSpec loadSpecFile(const std::string &path);
+
+/** Render the expanded job list, one line per job (for --list). */
+std::string describeJobs(const CampaignSpec &spec);
+
+/** Parse helpers shared with the CLI. */
+bool parseProcessorName(const std::string &name, cpu::Processor *out);
+bool parseJobKindName(const std::string &name, JobKind *out);
+
+} // namespace coppelia::campaign
+
+#endif // COPPELIA_CAMPAIGN_SPEC_HH

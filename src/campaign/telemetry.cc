@@ -1,0 +1,220 @@
+#include "campaign/telemetry.hh"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "bse/engine.hh"
+#include "util/strutil.hh"
+#include "util/timer.hh"
+
+namespace coppelia::campaign
+{
+
+json::Value
+recordToJson(const JobRecord &record)
+{
+    const JobResult &r = record.result;
+    json::Value v = json::Value::object();
+    v.set("job", json::Value::number(record.jobIndex));
+    v.set("kind", json::Value::string(jobKindName(record.spec.kind)));
+    v.set("processor", json::Value::string(
+                           cpu::processorName(record.spec.processor)));
+    v.set("bug", json::Value::string(cpu::bugName(record.spec.bug)));
+    v.set("assertion", json::Value::string(record.spec.assertionId));
+    v.set("status", json::Value::string(jobStatusName(r.status)));
+    if (record.spec.kind == JobKind::Exploit)
+        v.set("outcome", json::Value::string(bse::outcomeName(r.outcome)));
+    v.set("found", json::Value::boolean(r.found));
+    v.set("replayable", json::Value::boolean(r.replayable));
+    v.set("trigger_instructions",
+          json::Value::number(r.triggerInstructions));
+    if (record.spec.kind == JobKind::Exploit)
+        v.set("iterations", json::Value::number(r.iterations));
+    else
+        v.set("bmc_depth", json::Value::number(r.bmcDepth));
+    v.set("seconds", json::Value::number(r.seconds));
+    v.set("attempts", json::Value::number(record.attempts));
+    v.set("worker", json::Value::number(record.workerId));
+    // As a string: a 64-bit seed does not round-trip through a double.
+    v.set("seed", json::Value::string(std::to_string(record.seed)));
+    json::Value stats = json::Value::object();
+    for (const auto &[name, count] : r.stats.all())
+        stats.set(name, json::Value::number(count));
+    v.set("stats", stats);
+    return v;
+}
+
+void
+writeJsonlRecord(std::ostream &out, const JobRecord &record)
+{
+    out << recordToJson(record).dump() << "\n";
+}
+
+namespace
+{
+
+void
+row(std::ostream &out, const std::vector<std::string> &cells,
+    const std::vector<int> &widths)
+{
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const int w = i < widths.size() ? widths[i] : 12;
+        line += padRight(cells[i], static_cast<std::size_t>(w)) + " ";
+    }
+    out << line << "\n";
+}
+
+void
+rule(std::ostream &out, const std::vector<int> &widths)
+{
+    std::size_t total = 0;
+    for (int w : widths)
+        total += static_cast<std::size_t>(w) + 1;
+    out << std::string(total, '-') << "\n";
+}
+
+std::string
+fmtPpr(int v)
+{
+    return v < 0 ? std::string("-") : std::to_string(v);
+}
+
+std::string
+fmt1(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+    return buf;
+}
+
+/** The per-bug cells of one processor's matrix. */
+struct BugRow
+{
+    const JobRecord *exploit = nullptr;
+    const JobRecord *ifv = nullptr;
+    const JobRecord *ebmc = nullptr;
+};
+
+} // namespace
+
+void
+writeSummary(std::ostream &out, const CampaignSpec &spec,
+             const std::vector<JobRecord> &records,
+             const SchedulerReport &report)
+{
+    out << "campaign '" << spec.name << "': " << records.size()
+        << " jobs on " << report.workers << " workers, "
+        << Timer::formatSeconds(report.wallSeconds) << " wall\n";
+
+    // Group the matrix per processor, joining kinds by bug.
+    std::map<cpu::Processor, std::map<std::string, BugRow>> matrix;
+    bool have_baselines = false;
+    for (const JobRecord &r : records) {
+        BugRow &cell =
+            matrix[r.spec.processor][cpu::bugName(r.spec.bug)];
+        switch (r.spec.kind) {
+          case JobKind::Exploit: cell.exploit = &r; break;
+          case JobKind::BmcIfv: cell.ifv = &r; have_baselines = true; break;
+          case JobKind::BmcEbmc:
+            cell.ebmc = &r;
+            have_baselines = true;
+            break;
+        }
+    }
+
+    for (const auto &[proc, bugs] : matrix) {
+        out << "\n" << cpu::processorName(proc) << "\n";
+        std::vector<int> widths{4, 34, 9, 10, 9};
+        std::vector<std::string> head{"No.", "Synopsis", "Cop(ppr)",
+                                      "Cop(meas)", "rep(meas)"};
+        if (have_baselines) {
+            for (int w : {9, 10, 9, 10})
+                widths.push_back(w);
+            for (const char *h :
+                 {"IFV(ppr)", "IFV(meas)", "EBMC(ppr)", "EBMC(meas)"})
+                head.push_back(h);
+        }
+        row(out, head, widths);
+        rule(out, widths);
+
+        int found = 0, replayable = 0;
+        for (const auto &[bug_name, cell] : bugs) {
+            const cpu::BugInfo *info = nullptr;
+            for (const cpu::BugInfo &b : cpu::bugRegistry()) {
+                if (b.name == bug_name) {
+                    info = &b;
+                    break;
+                }
+            }
+            std::string cop = "-", rep = "-", ifv = "-", ebmc = "-";
+            if (cell.exploit && cell.exploit->result.found) {
+                ++found;
+                cop = std::to_string(
+                    cell.exploit->result.triggerInstructions);
+                if (cell.exploit->result.replayable) {
+                    ++replayable;
+                    rep = "yes";
+                } else {
+                    rep = "no";
+                }
+            }
+            if (cell.ifv && cell.ifv->result.found) {
+                ifv = std::to_string(cell.ifv->result.bmcDepth);
+                if (!cell.ifv->result.bmcReplayableFromReset)
+                    ifv += "*";
+            }
+            if (cell.ebmc && cell.ebmc->result.found)
+                ebmc = std::to_string(cell.ebmc->result.bmcDepth);
+
+            std::vector<std::string> cells{
+                bug_name,
+                info ? info->description.substr(0, 34) : "",
+                info ? fmtPpr(info->paperInstrsCoppelia) : "-", cop, rep};
+            if (have_baselines) {
+                cells.push_back(info ? fmtPpr(info->paperInstrsCadence)
+                                     : "-");
+                cells.push_back(ifv);
+                cells.push_back(info ? fmtPpr(info->paperInstrsEbmc)
+                                     : "-");
+                cells.push_back(ebmc);
+            }
+            row(out, cells, widths);
+        }
+        rule(out, widths);
+        out << "  " << found << " generated, " << replayable
+            << " replayable\n";
+    }
+
+    // §IV-E digest over the exploit jobs.
+    std::vector<double> times;
+    double cpu_seconds = 0.0;
+    for (const JobRecord &r : records) {
+        cpu_seconds += r.result.seconds;
+        if (r.spec.kind == JobKind::Exploit)
+            times.push_back(r.result.seconds);
+    }
+    if (!times.empty()) {
+        std::sort(times.begin(), times.end());
+        const double threshold = 5.0;
+        int fast = 0;
+        for (double t : times)
+            fast += t <= threshold;
+        out << "\nperformance: " << fast << "/" << times.size()
+            << " exploits within " << fmt1(threshold) << "s; median "
+            << fmt1(times[times.size() / 2]) << "s; max "
+            << fmt1(times.back()) << "s\n";
+    }
+    if (report.wallSeconds > 0.0) {
+        out << "parallelism: " << fmt1(cpu_seconds) << "s of job time in "
+            << fmt1(report.wallSeconds) << "s wall ("
+            << fmt1(cpu_seconds / report.wallSeconds) << "x)\n";
+    }
+    out << "scheduler: " << report.attemptsRun << " attempts, "
+        << report.retriesIssued << " retries ("
+        << report.retriesExhausted << " exhausted), " << report.timeouts
+        << " timeouts, " << report.steals << " steals\n";
+}
+
+} // namespace coppelia::campaign

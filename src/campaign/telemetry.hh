@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Campaign telemetry: the JSONL record schema and the end-of-run summary
+ * table. One JSON object per finished job:
+ *
+ *   {"job":0,"kind":"exploit","processor":"OR1200","bug":"b01",
+ *    "assertion":"a01_...","status":"completed","outcome":"found",
+ *    "found":true,"replayable":true,"trigger_instructions":2,
+ *    "iterations":5,"seconds":0.41,"attempts":1,"worker":3,
+ *    "seed":123456789,"stats":{"solver.queries":17,...}}
+ *
+ * The summary reproduces the layout of the paper's Tables II/VI: one row
+ * per bug with the paper-reported values beside the measured ones, a
+ * per-kind totals block, and the §IV-E performance digest.
+ */
+
+#ifndef COPPELIA_CAMPAIGN_TELEMETRY_HH
+#define COPPELIA_CAMPAIGN_TELEMETRY_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/result_store.hh"
+#include "campaign/scheduler.hh"
+#include "util/json.hh"
+
+namespace coppelia::campaign
+{
+
+/** Build the JSON object for one record. */
+json::Value recordToJson(const JobRecord &record);
+
+/** Write one record as a single JSONL line (newline-terminated). */
+void writeJsonlRecord(std::ostream &out, const JobRecord &record);
+
+/**
+ * Write the end-of-run summary: per-processor tables in the Table II/VI
+ * layout (paper-reported columns from the bug registry beside measured
+ * ones, baseline columns when the campaign ran baseline jobs), campaign
+ * totals, scheduler accounting, and the §IV-E performance digest.
+ */
+void writeSummary(std::ostream &out, const CampaignSpec &spec,
+                  const std::vector<JobRecord> &records,
+                  const SchedulerReport &report);
+
+} // namespace coppelia::campaign
+
+#endif // COPPELIA_CAMPAIGN_TELEMETRY_HH

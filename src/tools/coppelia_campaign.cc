@@ -1,0 +1,196 @@
+/**
+ * @file
+ * `coppelia-campaign` — the batch exploit-generation driver. Loads a
+ * declarative campaign spec (or builds a matrix from flags), executes
+ * the (processor × bug × kind) job matrix on the work-stealing worker
+ * pool, and writes `campaign.jsonl` (one telemetry record per job) plus
+ * `summary.txt` (the Table II/VI-layout digest) to the output directory.
+ *
+ *   coppelia-campaign --spec table2.campaign --workers 4 --out results/
+ *   coppelia-campaign --matrix or1200 --baselines --time-limit 60
+ *   coppelia-campaign --spec table2.campaign --list
+ */
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "util/logging.hh"
+
+using namespace coppelia;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "\n"
+        "Campaign definition (one of):\n"
+        "  --spec FILE        load a campaign spec file\n"
+        "  --matrix PROC      all in-scope bugs of PROC (or1200, mor1kx,\n"
+        "                     ri5cy); repeatable\n"
+        "  --job PROC:BUG     a single job (e.g. --job ri5cy:b33);\n"
+        "                     repeatable\n"
+        "\n"
+        "Overrides:\n"
+        "  --baselines        also run the bmc-ifv and bmc-ebmc matrix\n"
+        "                     for every --matrix processor\n"
+        "  --workers N        worker threads (default: spec / all cores)\n"
+        "  --seed S           base RNG seed\n"
+        "  --time-limit SEC   per-job wall-clock budget\n"
+        "  --retries N        retry budget for exhausted searches\n"
+        "  --out DIR          output directory (default: .)\n"
+        "\n"
+        "Modes:\n"
+        "  --list             print the expanded job matrix and exit\n"
+        "  --verbose          inform-level logging\n"
+        "  --help             this text\n",
+        argv0);
+}
+
+[[noreturn]] void
+badArg(const char *argv0, const std::string &why)
+{
+    std::fprintf(stderr, "%s: %s\n\n", argv0, why.c_str());
+    usage(argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    campaign::CampaignSpec spec;
+    bool have_spec = false;
+    bool baselines = false;
+    bool list_only = false;
+    std::string out_dir = ".";
+    std::vector<cpu::Processor> matrix_procs;
+
+    // Overrides are applied after the spec file loads, whatever the flag
+    // order; -1/empty means "not set on the command line".
+    int workers = -1, retries = -1;
+    double time_limit = -1.0;
+    long long seed = -1;
+
+    auto value = [&](int &i, const char *flag) -> std::string {
+        if (i + 1 >= argc)
+            badArg(argv[0], std::string("missing value for ") + flag);
+        return argv[++i];
+    };
+    auto numeric = [&](int &i, const char *flag, auto parse) {
+        const std::string v = value(i, flag);
+        try {
+            return parse(v);
+        } catch (...) {
+            badArg(argv[0],
+                   std::string("bad value '") + v + "' for " + flag);
+        }
+        return parse("0");
+    };
+    auto to_int = [](const std::string &s) { return std::stoi(s); };
+    auto to_ll = [](const std::string &s) { return std::stoll(s); };
+    auto to_double = [](const std::string &s) { return std::stod(s); };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--spec") {
+            spec = campaign::loadSpecFile(value(i, "--spec"));
+            have_spec = true;
+        } else if (arg == "--matrix") {
+            cpu::Processor proc;
+            const std::string name = value(i, "--matrix");
+            if (!campaign::parseProcessorName(name, &proc))
+                badArg(argv[0], "unknown processor '" + name + "'");
+            matrix_procs.push_back(proc);
+        } else if (arg == "--job") {
+            const std::string pair = value(i, "--job");
+            const std::size_t colon = pair.find(':');
+            if (colon == std::string::npos)
+                badArg(argv[0], "--job wants PROC:BUG, got '" + pair + "'");
+            campaign::JobSpec job;
+            if (!campaign::parseProcessorName(pair.substr(0, colon),
+                                              &job.processor))
+                badArg(argv[0], "unknown processor in '" + pair + "'");
+            bool found = false;
+            for (const cpu::BugInfo &info : cpu::bugRegistry()) {
+                if (info.name == pair.substr(colon + 1)) {
+                    job.bug = info.id;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                badArg(argv[0], "unknown bug in '" + pair + "'");
+            spec.jobs.push_back(job);
+            have_spec = true;
+        } else if (arg == "--baselines") {
+            baselines = true;
+        } else if (arg == "--workers") {
+            workers = numeric(i, "--workers", to_int);
+        } else if (arg == "--seed") {
+            seed = numeric(i, "--seed", to_ll);
+        } else if (arg == "--time-limit") {
+            time_limit = numeric(i, "--time-limit", to_double);
+        } else if (arg == "--retries") {
+            retries = numeric(i, "--retries", to_int);
+        } else if (arg == "--out") {
+            out_dir = value(i, "--out");
+        } else if (arg == "--list") {
+            list_only = true;
+        } else if (arg == "--verbose") {
+            setLogLevel(LogLevel::Inform);
+        } else {
+            badArg(argv[0], "unknown option '" + arg + "'");
+        }
+    }
+
+    for (cpu::Processor proc : matrix_procs) {
+        campaign::addProcessorMatrix(spec, proc);
+        if (baselines) {
+            campaign::addProcessorMatrix(spec, proc,
+                                         campaign::JobKind::BmcIfv);
+            campaign::addProcessorMatrix(spec, proc,
+                                         campaign::JobKind::BmcEbmc);
+        }
+        have_spec = true;
+    }
+    if (!have_spec)
+        badArg(argv[0], "no campaign: give --spec, --matrix, or --job");
+    if (spec.jobs.empty())
+        badArg(argv[0], "campaign spec expands to zero jobs");
+
+    if (workers >= 0)
+        spec.workers = workers;
+    if (retries >= 0)
+        spec.maxRetries = retries;
+    if (time_limit >= 0.0)
+        spec.jobTimeLimitSeconds = time_limit;
+    if (seed >= 0)
+        spec.seed = static_cast<std::uint64_t>(seed);
+
+    if (list_only) {
+        std::printf("%s", campaign::describeJobs(spec).c_str());
+        return 0;
+    }
+
+    campaign::CampaignResult result =
+        campaign::runCampaignToFiles(spec, out_dir);
+
+    // Mirror the summary on stdout; the files carry the durable copy.
+    std::ostringstream os;
+    campaign::writeSummary(os, spec, result.records, result.scheduler);
+    std::printf("%s", os.str().c_str());
+    std::printf("\nwrote %s/campaign.jsonl and %s/summary.txt\n",
+                out_dir.c_str(), out_dir.c_str());
+    return 0;
+}

@@ -1,0 +1,367 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace coppelia::json
+{
+
+void
+Value::set(const std::string &key, Value v)
+{
+    for (auto &[k, existing] : obj_) {
+        if (k == key) {
+            existing = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    for (const auto &[k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+void
+dumpNumber(std::ostringstream &os, double n)
+{
+    // Integers (the common case for counters) print without a fraction.
+    if (std::isfinite(n) && n == std::floor(n) && std::fabs(n) < 1e15) {
+        os << static_cast<std::int64_t>(n);
+    } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", n);
+        os << buf;
+    }
+}
+
+void
+dumpValue(std::ostringstream &os, const Value &v)
+{
+    switch (v.kind()) {
+      case Value::Kind::Null:
+        os << "null";
+        break;
+      case Value::Kind::Bool:
+        os << (v.asBool() ? "true" : "false");
+        break;
+      case Value::Kind::Number:
+        dumpNumber(os, v.asNumber());
+        break;
+      case Value::Kind::String:
+        os << '"' << escape(v.asString()) << '"';
+        break;
+      case Value::Kind::Array: {
+        os << '[';
+        bool first = true;
+        for (const Value &e : v.items()) {
+            if (!first)
+                os << ',';
+            first = false;
+            dumpValue(os, e);
+        }
+        os << ']';
+        break;
+      }
+      case Value::Kind::Object: {
+        os << '{';
+        bool first = true;
+        for (const auto &[k, e] : v.members()) {
+            if (!first)
+                os << ',';
+            first = false;
+            os << '"' << escape(k) << "\":";
+            dumpValue(os, e);
+        }
+        os << '}';
+        break;
+      }
+    }
+}
+
+/** Recursive-descent parser over a string, tracking the failure offset. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {}
+
+    Value
+    run()
+    {
+        Value v = parseValue();
+        if (failed_)
+            return Value();
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing characters");
+            return Value();
+        }
+        return v;
+    }
+
+  private:
+    void
+    fail(const std::string &why)
+    {
+        if (!failed_ && error_)
+            *error_ = why + " at offset " + std::to_string(pos_);
+        failed_ = true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Value
+    parseValue()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return Value();
+        }
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return Value::string(parseString());
+        if (literal("null"))
+            return Value::null();
+        if (literal("true"))
+            return Value::boolean(true);
+        if (literal("false"))
+            return Value::boolean(false);
+        return parseNumber();
+    }
+
+    std::string
+    parseString()
+    {
+        std::string out;
+        if (!consume('"')) {
+            fail("expected string");
+            return out;
+        }
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                    return out;
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    code <<= 4;
+                    const char h = text_[pos_++];
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        fail("bad \\u escape");
+                        return out;
+                    }
+                }
+                // Telemetry strings are ASCII; encode BMP code points as
+                // UTF-8 without surrogate-pair handling.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("bad escape");
+                return out;
+            }
+        }
+        if (!consume('"'))
+            fail("unterminated string");
+        return out;
+    }
+
+    Value
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '-' ||
+                text_[pos_] == '+'))
+            ++pos_;
+        if (pos_ == start) {
+            fail("expected value");
+            return Value();
+        }
+        try {
+            return Value::number(std::stod(text_.substr(start, pos_ - start)));
+        } catch (...) {
+            fail("bad number");
+            return Value();
+        }
+    }
+
+    Value
+    parseArray()
+    {
+        Value v = Value::array();
+        consume('[');
+        skipWs();
+        if (consume(']'))
+            return v;
+        while (!failed_) {
+            v.push(parseValue());
+            if (consume(']'))
+                return v;
+            if (!consume(',')) {
+                fail("expected ',' or ']'");
+                return v;
+            }
+        }
+        return v;
+    }
+
+    Value
+    parseObject()
+    {
+        Value v = Value::object();
+        consume('{');
+        skipWs();
+        if (consume('}'))
+            return v;
+        while (!failed_) {
+            skipWs();
+            std::string key = parseString();
+            if (failed_)
+                return v;
+            if (!consume(':')) {
+                fail("expected ':'");
+                return v;
+            }
+            v.set(key, parseValue());
+            if (consume('}'))
+                return v;
+            if (!consume(',')) {
+                fail("expected ',' or '}'");
+                return v;
+            }
+        }
+        return v;
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace
+
+std::string
+Value::dump() const
+{
+    std::ostringstream os;
+    dumpValue(os, *this);
+    return os.str();
+}
+
+Value
+parse(const std::string &text, std::string *error)
+{
+    return Parser(text, error).run();
+}
+
+} // namespace coppelia::json

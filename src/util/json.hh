@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Minimal JSON document model with a serializer and a recursive-descent
+ * parser. Used by the campaign telemetry log (one JSON object per line,
+ * JSONL) and its tests; deliberately small — no external dependency, no
+ * streaming, objects keep insertion order so emitted records are stable.
+ */
+
+#ifndef COPPELIA_UTIL_JSON_HH
+#define COPPELIA_UTIL_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace coppelia::json
+{
+
+/** One JSON value (null, bool, number, string, array, or object). */
+class Value
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Value() = default;
+
+    static Value null() { return Value(); }
+    static Value
+    boolean(bool b)
+    {
+        Value v;
+        v.kind_ = Kind::Bool;
+        v.bool_ = b;
+        return v;
+    }
+    static Value
+    number(double n)
+    {
+        Value v;
+        v.kind_ = Kind::Number;
+        v.num_ = n;
+        return v;
+    }
+    static Value number(std::uint64_t n)
+    {
+        return number(static_cast<double>(n));
+    }
+    static Value number(int n) { return number(static_cast<double>(n)); }
+    static Value
+    string(std::string s)
+    {
+        Value v;
+        v.kind_ = Kind::String;
+        v.str_ = std::move(s);
+        return v;
+    }
+    static Value
+    array()
+    {
+        Value v;
+        v.kind_ = Kind::Array;
+        return v;
+    }
+    static Value
+    object()
+    {
+        Value v;
+        v.kind_ = Kind::Object;
+        return v;
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const { return bool_; }
+    double asNumber() const { return num_; }
+    std::int64_t asInt() const { return static_cast<std::int64_t>(num_); }
+    const std::string &asString() const { return str_; }
+
+    /** Array elements (valid for Kind::Array). */
+    const std::vector<Value> &items() const { return arr_; }
+    void push(Value v) { arr_.push_back(std::move(v)); }
+
+    /** Object members in insertion order (valid for Kind::Object). */
+    const std::vector<std::pair<std::string, Value>> &members() const
+    {
+        return obj_;
+    }
+    /** Insert or overwrite a member. */
+    void set(const std::string &key, Value v);
+    /** Find a member; nullptr when absent. */
+    const Value *find(const std::string &key) const;
+
+    /** Serialize on one line (no trailing newline). */
+    std::string dump() const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Value> arr_;
+    std::vector<std::pair<std::string, Value>> obj_;
+};
+
+/** Escape a string for embedding in a JSON document (no quotes added). */
+std::string escape(const std::string &s);
+
+/**
+ * Parse one JSON document. On failure returns a Null value and, when
+ * @p error is non-null, stores a message with the failing offset.
+ */
+Value parse(const std::string &text, std::string *error = nullptr);
+
+} // namespace coppelia::json
+
+#endif // COPPELIA_UTIL_JSON_HH

@@ -1,6 +1,8 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace coppelia
 {
@@ -8,20 +10,28 @@ namespace coppelia
 namespace
 {
 
-LogLevel globalLevel = LogLevel::Warn;
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+
+/** Serializes sink writes so concurrent workers never interleave lines. */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
 
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 namespace detail
@@ -30,6 +40,7 @@ namespace detail
 void
 emit(const char *tag, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
     std::fflush(stderr);
 }
