@@ -57,7 +57,10 @@ checkAssertion(const rtl::Design &design,
     Timer timer;
     BmcResult res;
     smt::TermManager tm;
-    smt::Solver solver(tm);
+    smt::SolverOptions solver_opts;
+    solver_opts.incremental = opts.incrementalSolver;
+    solver_opts.conflictBudget = opts.solverConflictBudget;
+    smt::Solver solver(tm, solver_opts);
 
     // Initial state: reset constants (EbmcLike) or free variables
     // (IfvLike).
@@ -131,7 +134,21 @@ checkAssertion(const rtl::Design &design,
         res.stats.inc("bmc_queries");
 
         smt::Model model;
-        if (solver.check(query, &model) == smt::Result::Sat) {
+        smt::Result qr = solver.check(query, &model);
+        if (qr == smt::Result::Unknown) {
+            // Budget died: retry once with headroom. A still-Unknown depth
+            // is recorded as incomplete — "no violation up to bound k"
+            // would otherwise silently include unexplored depths.
+            res.stats.inc("solver_unknowns");
+            if (opts.solverConflictBudget > 0)
+                qr = solver.checkWithBudget(query, &model,
+                                            opts.solverConflictBudget * 4);
+            if (qr == smt::Result::Unknown) {
+                res.stats.inc("solver_unknowns_final");
+                res.solverIncomplete = true;
+            }
+        }
+        if (qr == smt::Result::Sat) {
             res.found = true;
             res.depth = depth;
             for (const auto &[sig, var] : initial_vars)
@@ -155,6 +172,15 @@ checkAssertion(const rtl::Design &design,
     }
 
     res.stats.inc("solver_sat_calls", solver.stats().get("sat_calls"));
+    res.stats.inc("solver_incremental_queries",
+                  solver.stats().get("incremental_queries"));
+    res.stats.inc("solver_blast_cache_hits",
+                  solver.stats().get("blast_cache_hits"));
+    res.stats.inc("solver_blast_terms_lowered",
+                  solver.stats().get("blast_terms_lowered"));
+    res.stats.inc("solver_learnts_retained",
+                  solver.stats().get("learnts_retained"));
+    res.stats.inc("solver_solve_us", solver.stats().get("solve_us"));
     res.seconds = timer.seconds();
     return res;
 }

@@ -53,6 +53,12 @@ struct BmcOptions
     int maxBound = 6;
     /** Wall-clock limit in seconds (0 = unlimited). */
     double timeLimitSeconds = 0.0;
+    /** Persistent incremental SAT backend across per-depth queries (the
+     *  depth-k query shares the whole depth-(k-1) unrolling prefix). */
+    bool incrementalSolver = true;
+    /** Per-query SAT conflict budget (-1 = unlimited); Unknowns retry
+     *  once at 4x, then mark the result incomplete. */
+    std::int64_t solverConflictBudget = -1;
     /** Constrain instruction inputs to legal opcodes (§II-E1 parity with
      *  the Coppelia runs, as the paper does for both tools). */
     std::function<smt::TermRef(smt::TermManager &, smt::TermRef)>
@@ -78,6 +84,9 @@ struct BmcResult
     /** True when replaying the trace inputs from reset fires the
      *  assertion (checked concretely). */
     bool replayableFromReset = false;
+    /** True when a depth's query stayed Unknown after the retry: "not
+     *  found" then means the check was incomplete, not depth-clean. */
+    bool solverIncomplete = false;
     double seconds = 0.0;
     StatGroup stats;
 };

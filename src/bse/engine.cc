@@ -88,12 +88,67 @@ stateKey(const std::unordered_map<SignalId, std::uint64_t> &state)
 TriggerResult
 BackwardEngine::buildTrigger(const props::Assertion &assertion)
 {
+    TriggerResult result = searchTrigger(assertion, opts_.incrementalSolver);
+    if (!opts_.incrementalSolver || !opts_.incrementalFallback)
+        return result;
+    if (result.outcome != Outcome::BudgetExhausted || result.solverIncomplete)
+        return result;
+
+    // Witness-sensitivity fallback: the stitching search steers by the
+    // concrete witnesses the backend returns, and the persistent
+    // instance's retained clauses and variable numbering can select
+    // models that send a search wandering where the fresh backend's
+    // all-False bias converges. When the incremental attempt exhausts its
+    // budget (and not because of an explicit conflict-budget Unknown,
+    // which would hit the fresh backend identically), rerun once with the
+    // known-good fresh witness stream before reporting failure.
+    TriggerResult fresh = searchTrigger(assertion, /*use_incremental=*/false);
+    fresh.stats.merge(result.stats);
+    fresh.stats.inc("incremental_fallbacks");
+    fresh.iterations += result.iterations;
+    fresh.feedbackRounds += result.feedbackRounds;
+    fresh.seconds += result.seconds;
+    return fresh;
+}
+
+TriggerResult
+BackwardEngine::searchTrigger(const props::Assertion &assertion,
+                              bool use_incremental)
+{
     Timer timer;
     TriggerResult result;
 
     smt::TermManager tm;
-    smt::Solver solver(tm);
+    smt::SolverOptions solver_opts;
+    solver_opts.incremental = use_incremental;
+    solver_opts.conflictBudget = opts_.solverConflictBudget;
+    smt::Solver solver(tm, solver_opts);
     sym::CycleExplorer explorer(design_, tm, solver, opts_.explorer);
+
+    // Three-valued check with a bounded retry: Unknown means the conflict
+    // budget died, NOT that the query is unsat. One retry at 4x the
+    // budget recovers most near-misses; a still-Unknown query taints the
+    // whole search as incomplete (a non-Found outcome can then no longer
+    // claim no violation exists).
+    bool solver_incomplete = false;
+    auto checkSolver = [&](const std::vector<TermRef> &query,
+                           Model *model) -> smt::Result {
+        smt::Result r = solver.check(query, model);
+        if (r != smt::Result::Unknown)
+            return r;
+        result.stats.inc("solver_unknowns");
+        if (opts_.solverConflictBudget > 0) {
+            r = solver.checkWithBudget(query, model,
+                                       opts_.solverConflictBudget * 4);
+            if (r != smt::Result::Unknown) {
+                result.stats.inc("solver_unknown_retries_recovered");
+                return r;
+            }
+        }
+        result.stats.inc("solver_unknowns_final");
+        solver_incomplete = true;
+        return smt::Result::Unknown;
+    };
 
     const std::vector<SignalId> sym_regs = symbolicRegisters(assertion);
     const std::unordered_set<SignalId> sym_set(sym_regs.begin(),
@@ -197,6 +252,18 @@ BackwardEngine::buildTrigger(const props::Assertion &assertion)
             break;
         }
 
+        // Incremental-attempt patience: a search this far past the typical
+        // convergence point has almost certainly been derailed by witness
+        // selection; concede to the fresh fallback instead of wandering to
+        // full budget exhaustion.
+        if (use_incremental && opts_.incrementalFallback &&
+            opts_.incrementalPatienceIterations > 0 &&
+            iteration_counter >= opts_.incrementalPatienceIterations) {
+            result.stats.inc("incremental_patience_exhausted");
+            result.outcome = Outcome::BudgetExhausted;
+            break;
+        }
+
         Level &level = levels.back();
         const std::size_t depth = levels.size();
         ++iteration_counter;
@@ -254,6 +321,50 @@ BackwardEngine::buildTrigger(const props::Assertion &assertion)
             reset_pins.push_back(
                 tm.mkEq(var, tm.mkConst(w, reset_bits(sig))));
         }
+
+        // §II-D6 minimality: the witness a backend happens to return is not
+        // canonical (the persistent instance's retained clauses and variable
+        // numbering steer model selection differently from a fresh solver's
+        // all-False bias), and every register a model leaves away from reset
+        // becomes part of the next stitching target. One greedy pass — pin
+        // each non-reset register back to reset, keep the pin if the query
+        // stays satisfiable — makes the stitched state near-minimal
+        // regardless of backend. Only the incremental backend needs it: the
+        // fresh backend's zero bias already lands near-minimal, and its
+        // witness stream is the ablation baseline, kept bit-for-bit intact.
+        auto shrinkTowardReset = [&](const std::vector<TermRef> &query,
+                                     Model *model) {
+            if (!use_incremental)
+                return;
+            std::vector<std::pair<SignalId, TermRef>> regs(
+                level.bound.regVars.begin(), level.bound.regVars.end());
+            std::sort(regs.begin(), regs.end());
+            std::vector<TermRef> pinned = query;
+            for (const auto &[sig, var] : regs) {
+                const int w = design_.signal(sig).width;
+                const std::uint64_t cur = tm.eval(var, *model);
+                if (cur == reset_bits(sig)) {
+                    pinned.push_back(tm.mkEq(var, tm.mkConst(w, cur)));
+                    continue;
+                }
+                std::vector<TermRef> trial = pinned;
+                trial.push_back(
+                    tm.mkEq(var, tm.mkConst(w, reset_bits(sig))));
+                Model m;
+                result.stats.inc("shrink_queries");
+                // Plain check(), not checkSolver(): shrinking is
+                // best-effort, so an Unknown here must not taint the
+                // search as incomplete — the candidate's Sat verdict is
+                // already established.
+                if (solver.check(trial, &m) == smt::Result::Sat) {
+                    result.stats.inc("shrink_pins");
+                    *model = m;
+                    pinned = std::move(trial);
+                } else {
+                    pinned.push_back(tm.mkEq(var, tm.mkConst(w, cur)));
+                }
+            }
+        };
 
         for (int diff_bound : diff_schedule) {
         std::vector<TermRef> bounded_preconds = preconds;
@@ -317,7 +428,7 @@ BackwardEngine::buildTrigger(const props::Assertion &assertion)
                                    reset_pins.end());
                 result.stats.inc("reset_checks");
                 Model rmodel;
-                if (solver.check(reset_query, &rmodel) ==
+                if (checkSolver(reset_query, &rmodel) ==
                     smt::Result::Sat) {
                     closed_from_reset = true;
                     closing_model = rmodel;
@@ -332,7 +443,8 @@ BackwardEngine::buildTrigger(const props::Assertion &assertion)
                     query.push_back(target);
                     result.stats.inc("violation_queries");
                     Model model;
-                    if (solver.check(query, &model) == smt::Result::Sat) {
+                    if (checkSolver(query, &model) == smt::Result::Sat) {
+                        shrinkTowardReset(query, &model);
                         found_candidate = true;
                         candidate_model = model;
                         candidate_leaf = leaf;
@@ -544,11 +656,28 @@ BackwardEngine::buildTrigger(const props::Assertion &assertion)
 
     if (result.outcome != Outcome::Found)
         result.cycles.clear();
+    // A search that pruned un-refuted branches cannot claim completeness:
+    // downgrade "no violation exists" to a budget verdict and surface the
+    // incompleteness so the campaign can schedule a retry.
+    result.solverIncomplete = solver_incomplete;
+    if (solver_incomplete && result.outcome == Outcome::NoViolation)
+        result.outcome = Outcome::BudgetExhausted;
     result.stats.merge(explorer.stats());
     result.stats.inc("solver_queries", solver.stats().get("queries"));
     result.stats.inc("solver_sat_calls", solver.stats().get("sat_calls"));
     result.stats.inc("solver_cache_hits",
                      solver.stats().get("cache_hits"));
+    result.stats.inc("solver_incremental_queries",
+                     solver.stats().get("incremental_queries"));
+    result.stats.inc("solver_blast_cache_hits",
+                     solver.stats().get("blast_cache_hits"));
+    result.stats.inc("solver_blast_terms_lowered",
+                     solver.stats().get("blast_terms_lowered"));
+    result.stats.inc("solver_learnts_retained",
+                     solver.stats().get("learnts_retained"));
+    result.stats.inc("solver_cache_evictions",
+                     solver.stats().get("cache_evictions"));
+    result.stats.inc("solver_solve_us", solver.stats().get("solve_us"));
     result.seconds = timer.seconds();
     return result;
 }

@@ -88,6 +88,32 @@ struct Options
     bool pinAssertionState = false;
     /** §II-D7: total feedback re-exploration budget. */
     int maxFeedbackRounds = 128;
+    /** Persistent incremental SAT backend for the search's queries (the
+     *  `--no-incremental` ablation flips this off for a fresh SAT
+     *  instance per query). */
+    bool incrementalSolver = true;
+    /** Per-query SAT conflict budget (-1 = unlimited). A query that
+     *  exhausts it is retried once with 4x the budget; a still-Unknown
+     *  query marks the search incomplete instead of pruning the branch. */
+    std::int64_t solverConflictBudget = -1;
+    /**
+     * Witness-sensitivity fallback: the stitching heuristics steer by the
+     * concrete models the solver returns, so a backend whose witness
+     * selection differs (the persistent instance's retained clauses and
+     * variable numbering) can derail a search the fresh backend closes in
+     * a handful of iterations. With this on, an incremental search that
+     * exhausts its budget — and not because of conflict-budget Unknowns,
+     * which would recur — is rerun once on the fresh backend.
+     */
+    bool incrementalFallback = true;
+    /**
+     * Iteration patience for the incremental attempt when the fallback is
+     * armed: past this many iterations the search concedes to the fresh
+     * rerun instead of wandering to full budget exhaustion (converging
+     * searches close within a handful of iterations; derailed ones run to
+     * hundreds). 0 disables the early concession.
+     */
+    int incrementalPatienceIterations = 16;
     /** Per-level cap on rejected candidate models before backtracking. */
     int maxCandidatesPerLevel = 32;
     /** Wall-clock limit in seconds (0 = unlimited). */
@@ -130,6 +156,13 @@ struct TriggerResult
     int iterations = 0;
     /** Feedback re-entries taken (§II-D7). */
     int feedbackRounds = 0;
+    /**
+     * True when at least one solver query stayed Unknown (conflict budget
+     * exhausted) even after the retry. The search then pruned a branch it
+     * never refuted, so a non-Found outcome means "incomplete search",
+     * not "no violation exists".
+     */
+    bool solverIncomplete = false;
     double seconds = 0.0;
     StatGroup stats;
 
@@ -151,6 +184,10 @@ class BackwardEngine
     symbolicRegisters(const props::Assertion &assertion) const;
 
   private:
+    /** One full search on the chosen backend (buildTrigger may run two). */
+    TriggerResult searchTrigger(const props::Assertion &assertion,
+                                bool use_incremental);
+
     const rtl::Design &design_;
     Options opts_;
 };

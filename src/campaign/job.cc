@@ -132,6 +132,8 @@ runExploitJob(const CampaignSpec &spec, const JobSpec &job,
     opts.engine.timeLimitSeconds = jobTimeLimit(spec, job);
     opts.engine.preconditions = preconditionsFor(job, design);
     opts.engine.explorer.seed = seed;
+    opts.engine.incrementalSolver = spec.incrementalSolver;
+    opts.engine.solverConflictBudget = spec.solverConflictBudget;
 
     core::Coppelia tool(design, job.processor, opts);
     core::ExploitResult res = tool.generateExploit(assertion);
@@ -142,6 +144,7 @@ runExploitJob(const CampaignSpec &spec, const JobSpec &job,
     out.replayable = res.found() && res.replayable();
     out.triggerInstructions = res.triggerInstructions;
     out.iterations = res.iterations;
+    out.solverIncomplete = res.solverIncomplete;
     out.seconds = res.seconds;
     out.stats = res.stats;
     if (cancel && cancel->cancelled())
@@ -163,6 +166,8 @@ runBmcJob(const CampaignSpec &spec, const JobSpec &job,
                                               : bmc::Preset::EbmcLike;
     opts.maxBound = spec.bmcMaxBound;
     opts.timeLimitSeconds = jobTimeLimit(spec, job);
+    opts.incrementalSolver = spec.incrementalSolver;
+    opts.solverConflictBudget = spec.solverConflictBudget;
     if (job.processor == cpu::Processor::PulpinoRi5cy) {
         opts.insnConstraint = [](smt::TermManager &tm, smt::TermRef v) {
             return cpu::riscv::rvLegalInsnConstraint(tm, v);
@@ -179,6 +184,7 @@ runBmcJob(const CampaignSpec &spec, const JobSpec &job,
     out.found = res.found;
     out.bmcDepth = res.depth;
     out.bmcReplayableFromReset = res.replayableFromReset;
+    out.solverIncomplete = res.solverIncomplete;
     out.replayable = res.found && res.replayableFromReset;
     out.triggerInstructions = res.found ? res.depth : 0;
     out.seconds = res.seconds;

@@ -54,6 +54,10 @@ struct JobResult
     int bmcDepth = 0;
     bool bmcReplayableFromReset = false;
 
+    /** A solver query stayed Unknown (budget-exhausted): a negative result
+     *  means the search was incomplete, not that no violation exists. */
+    bool solverIncomplete = false;
+
     double seconds = 0.0;
     StatGroup stats;
 };

@@ -144,6 +144,10 @@ parseSpec(std::istream &in, const std::string &origin)
             spec.bmcMaxBound = intWord("value");
         } else if (key == "retries") {
             spec.maxRetries = intWord("count");
+        } else if (key == "incremental") {
+            spec.incrementalSolver = word("on/off") == "on";
+        } else if (key == "conflict-budget") {
+            spec.solverConflictBudget = intWord("count");
         } else if (key == "payload") {
             spec.addPayload = word("on/off") == "on";
         } else if (key == "replay") {

@@ -79,6 +79,11 @@ struct CampaignSpec
     int bmcMaxBound = 4;
     /** Re-queue attempts for jobs that exhaust solver/search budgets. */
     int maxRetries = 1;
+    /** Incremental SAT backend for every job's solver; `incremental off`
+     *  (or the CLI's `--no-incremental`) is the fresh-instance ablation. */
+    bool incrementalSolver = true;
+    /** Per-query SAT conflict budget (-1 = unlimited). */
+    std::int64_t solverConflictBudget = -1;
     /** Coppelia driver toggles. */
     bool addPayload = true;
     bool validateByReplay = true;

@@ -27,6 +27,7 @@ recordToJson(const JobRecord &record)
         v.set("outcome", json::Value::string(bse::outcomeName(r.outcome)));
     v.set("found", json::Value::boolean(r.found));
     v.set("replayable", json::Value::boolean(r.replayable));
+    v.set("solver_incomplete", json::Value::boolean(r.solverIncomplete));
     v.set("trigger_instructions",
           json::Value::number(r.triggerInstructions));
     if (record.spec.kind == JobKind::Exploit)

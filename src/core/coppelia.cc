@@ -57,9 +57,11 @@ Coppelia::generateExploit(const props::Assertion &assertion)
         bse::TriggerResult second = retry.buildTrigger(assertion);
         second.seconds += trigger.seconds;
         second.iterations += trigger.iterations;
+        second.solverIncomplete |= trigger.solverIncomplete;
         trigger = std::move(second);
     }
     res.outcome = trigger.outcome;
+    res.solverIncomplete = trigger.solverIncomplete;
     res.seconds = trigger.seconds;
     res.iterations = trigger.iterations;
     res.stats = trigger.stats;

@@ -53,6 +53,9 @@ struct ExploitResult
     int triggerInstructions = 0;
     double seconds = 0.0;
     int iterations = 0;
+    /** Some solver query stayed Unknown: a non-Found outcome means the
+     *  search was incomplete, not that no violation exists. */
+    bool solverIncomplete = false;
     StatGroup stats;
 
     bool found() const { return outcome == bse::Outcome::Found; }

@@ -120,8 +120,10 @@ const std::vector<Lit> &
 BitBlaster::blast(TermRef ref)
 {
     auto it = cache_.find(ref);
-    if (it != cache_.end())
+    if (it != cache_.end()) {
+        ++cacheHits_;
         return it->second;
+    }
 
     // Iterative post-order so deep path-condition DAGs cannot overflow the
     // C stack.
@@ -141,6 +143,7 @@ BitBlaster::blast(TermRef ref)
             continue;
         }
         cache_[r] = lower(t);
+        ++termsLowered_;
     }
     return cache_.at(ref);
 }

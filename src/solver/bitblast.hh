@@ -34,6 +34,14 @@ class BitBlaster
      *  empty if the variable never appeared in an asserted term. */
     const std::vector<sat::Lit> *varLits(int var_id) const;
 
+    /** Top-level blast() requests answered from the term cache. Over a
+     *  persistent blaster this is the incremental-reuse measure: a hit
+     *  means a whole term DAG was already in CNF from an earlier query. */
+    std::uint64_t cacheHits() const { return cacheHits_; }
+
+    /** Term nodes newly lowered to CNF (cache misses, counted per node). */
+    std::uint64_t termsLowered() const { return termsLowered_; }
+
   private:
     // Gate constructors returning the output literal.
     sat::Lit mkAnd(sat::Lit a, sat::Lit b);
@@ -60,6 +68,8 @@ class BitBlaster
     sat::Lit trueLit_;
     std::unordered_map<TermRef, std::vector<sat::Lit>> cache_;
     std::unordered_map<int, std::vector<sat::Lit>> varBits_;
+    std::uint64_t cacheHits_ = 0;
+    std::uint64_t termsLowered_ = 0;
 };
 
 } // namespace coppelia::smt

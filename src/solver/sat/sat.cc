@@ -83,6 +83,22 @@ Solver::heapUpdate(Var v)
         siftUp(heapPos_[v]);
 }
 
+void
+Solver::resetDecisionState()
+{
+    varInc_ = 1.0;
+    std::fill(activity_.begin(), activity_.end(), 0.0);
+    std::fill(savedPhase_.begin(), savedPhase_.end(), LBool::False);
+    heap_.clear();
+    std::fill(heapPos_.begin(), heapPos_.end(), -1);
+    // Rebuild in index order: with all activities equal, the heap then
+    // serves variables in the same relative order a fresh solver's would.
+    for (Var v = 0; v < numVars(); ++v) {
+        if (assign_[v] == LBool::Undef)
+            heapInsert(v);
+    }
+}
+
 Var
 Solver::heapPop()
 {

@@ -128,6 +128,35 @@ class Solver
     /** True if the clause database is already unsat at level 0. */
     bool inconsistent() const { return !ok_; }
 
+    /**
+     * Backtrack to decision level 0, invalidating the current model.
+     * Incremental callers must do this after reading a Sat model and
+     * before adding the next query's clauses (addClause requires the
+     * root level; only DB-implied level-0 units survive).
+     */
+    void cancelToRoot() { cancelUntil(0); }
+
+    /**
+     * Reset the decision heuristics — variable activities, saved phases,
+     * and the decision-heap order — to the state a fresh solver starts
+     * from, keeping the clause database (problem and learned clauses)
+     * and level-0 assignments. Incremental callers run this per query:
+     * phase saving otherwise reproduces the previous query's model, and
+     * callers that steer by model content (the BSEE stitches registers
+     * whose model values stay near reset, i.e. mostly zero) need the
+     * fresh solver's all-False phase bias, not last query's witness.
+     */
+    void resetDecisionState();
+
+    /** Learned clauses currently retained in the database. Across
+     *  incremental solve() calls this measures clause-learning reuse:
+     *  learnt clauses are implied by the problem clauses alone, so they
+     *  stay valid for every later query over the same database. */
+    std::size_t numLearnts() const { return learnts_.size(); }
+
+    /** Total clauses (problem + learned) in the database. */
+    std::size_t numClauses() const { return clauses_.size(); }
+
   private:
     struct Clause
     {

@@ -5,19 +5,14 @@
 #include "solver/bitblast.hh"
 #include "solver/sat/sat.hh"
 #include "util/logging.hh"
+#include "util/timer.hh"
 
 namespace coppelia::smt
 {
 
-namespace
-{
-
-/** Cap on remembered models for counterexample reuse. */
-constexpr std::size_t MaxRecentModels = 64;
-
-} // namespace
-
 Solver::Solver(TermManager &tm, SolverOptions opts) : tm_(tm), opts_(opts) {}
+
+Solver::~Solver() = default;
 
 std::vector<TermRef>
 Solver::canonicalKey(const std::vector<TermRef> &assertions)
@@ -37,6 +32,35 @@ Solver::modelSatisfies(const std::vector<TermRef> &assertions,
             return false;
     }
     return true;
+}
+
+void
+Solver::cacheInsert(const std::vector<TermRef> &key, CacheEntry entry)
+{
+    auto [it, inserted] = cache_.insert_or_assign(key, std::move(entry));
+    if (!inserted)
+        return;
+    cacheOrder_.push_back(it);
+    while (opts_.cacheMaxEntries && cache_.size() > opts_.cacheMaxEntries) {
+        stats_.inc("cache_evictions");
+        cache_.erase(cacheOrder_.front());
+        cacheOrder_.pop_front();
+    }
+}
+
+void
+Solver::rememberModel(const Model &model)
+{
+    if (opts_.maxRecentModels == 0)
+        return;
+    if (recentModels_.size() < opts_.maxRecentModels) {
+        recentModels_.push_back(model);
+        return;
+    }
+    // Ring replacement: overwrite the oldest slot instead of the previous
+    // O(n) front-erase of the vector.
+    recentModels_[recentNext_] = model;
+    recentNext_ = (recentNext_ + 1) % recentModels_.size();
 }
 
 Result
@@ -71,7 +95,7 @@ Solver::check(const std::vector<TermRef> &assertions, Model *model)
                 stats_.inc("model_reuse_hits");
                 if (model)
                     *model = m;
-                cache_[key] = CacheEntry{Result::Sat, m};
+                cacheInsert(key, CacheEntry{Result::Sat, m});
                 return Result::Sat;
             }
         }
@@ -83,13 +107,21 @@ Solver::check(const std::vector<TermRef> &assertions, Model *model)
         *model = local;
 
     if (opts_.useCache && r != Result::Unknown) {
-        cache_[key] = CacheEntry{r, r == Result::Sat ? local : Model{}};
-        if (r == Result::Sat) {
-            recentModels_.push_back(local);
-            if (recentModels_.size() > MaxRecentModels)
-                recentModels_.erase(recentModels_.begin());
-        }
+        cacheInsert(key, CacheEntry{r, r == Result::Sat ? local : Model{}});
+        if (r == Result::Sat)
+            rememberModel(local);
     }
+    return r;
+}
+
+Result
+Solver::checkWithBudget(const std::vector<TermRef> &assertions, Model *model,
+                        std::int64_t conflict_budget)
+{
+    const std::int64_t saved = opts_.conflictBudget;
+    opts_.conflictBudget = conflict_budget;
+    Result r = check(assertions, model);
+    opts_.conflictBudget = saved;
     return r;
 }
 
@@ -97,6 +129,40 @@ Result
 Solver::solveCore(const std::vector<TermRef> &assertions, Model *model)
 {
     stats_.inc("sat_calls");
+    Timer timer;
+    Result r = opts_.incremental ? solveIncremental(assertions, model)
+                                 : solveFresh(assertions, model);
+    stats_.inc("solve_us",
+               static_cast<std::uint64_t>(timer.seconds() * 1e6));
+    return r;
+}
+
+void
+Solver::readModel(const BitBlaster &blaster, const sat::Solver &sat,
+                  const std::vector<TermRef> &assertions, Model *model) const
+{
+    // Read back every theory variable that occurs in the assertions.
+    std::vector<int> vars;
+    for (TermRef a : assertions)
+        tm_.collectVars(a, vars);
+    std::sort(vars.begin(), vars.end());
+    vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+    for (int v : vars) {
+        const std::vector<sat::Lit> *lits = blaster.varLits(v);
+        std::uint64_t bits = 0;
+        if (lits) {
+            for (std::size_t i = 0; i < lits->size(); ++i) {
+                if (sat.value((*lits)[i]) == sat::LBool::True)
+                    bits |= 1ull << i;
+            }
+        }
+        model->set(v, bits);
+    }
+}
+
+Result
+Solver::solveFresh(const std::vector<TermRef> &assertions, Model *model)
+{
     sat::Solver sat;
     BitBlaster blaster(tm_, sat);
 
@@ -123,25 +189,76 @@ Solver::solveCore(const std::vector<TermRef> &assertions, Model *model)
         break;
     }
 
-    if (model) {
-        // Read back every theory variable that was blasted.
-        std::vector<int> vars;
-        for (TermRef a : assertions)
-            tm_.collectVars(a, vars);
-        std::sort(vars.begin(), vars.end());
-        vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
-        for (int v : vars) {
-            const std::vector<sat::Lit> *lits = blaster.varLits(v);
-            std::uint64_t bits = 0;
-            if (lits) {
-                for (std::size_t i = 0; i < lits->size(); ++i) {
-                    if (sat.value((*lits)[i]) == sat::LBool::True)
-                        bits |= 1ull << i;
-                }
-            }
-            model->set(v, bits);
-        }
+    if (model)
+        readModel(blaster, sat, assertions, model);
+    return Result::Sat;
+}
+
+Result
+Solver::solveIncremental(const std::vector<TermRef> &assertions, Model *model)
+{
+    if (!incSat_) {
+        incSat_ = std::make_unique<sat::Solver>();
+        incBlaster_ = std::make_unique<BitBlaster>(tm_, *incSat_);
     }
+    stats_.inc("incremental_queries");
+    // Learnt clauses present before this query were derived while solving
+    // earlier ones; they are implied by the (purely definitional) Tseitin
+    // clauses, so carrying them over is sound and prunes this query too.
+    stats_.inc("learnts_retained", incSat_->numLearnts());
+
+    const std::uint64_t hits0 = incBlaster_->cacheHits();
+    const std::uint64_t lowered0 = incBlaster_->termsLowered();
+
+    // The previous query's model (a full trail above level 0) must be
+    // undone before this query's Tseitin clauses can be installed.
+    incSat_->cancelToRoot();
+    // Canonical decision state per query: retained clauses keep their
+    // pruning power, but model selection must not be steered by earlier
+    // queries' saved phases — phase saving reproduces the previous
+    // witness, and the BSE engine's stitching heuristics depend on the
+    // fresh solver's all-False bias (model values near reset).
+    incSat_->resetDecisionState();
+
+    // Each assertion becomes an assumption on its indicator literal rather
+    // than a unit clause: the frame it opens closes automatically when the
+    // next query assumes a different set, and nothing asserted for one
+    // candidate can leak into another.
+    std::vector<sat::Lit> assumptions;
+    assumptions.reserve(assertions.size());
+    for (TermRef a : assertions) {
+        if (tm_.widthOf(a) != 1)
+            fatal("solver assertion is not boolean");
+        assumptions.push_back(incBlaster_->blast(a)[0]);
+    }
+    stats_.inc("blast_cache_hits", incBlaster_->cacheHits() - hits0);
+    stats_.inc("blast_terms_lowered",
+               incBlaster_->termsLowered() - lowered0);
+
+    if (incSat_->inconsistent())
+        return Result::Unsat;
+
+    const std::uint64_t c0 = incSat_->stats().get("conflicts");
+    const std::uint64_t d0 = incSat_->stats().get("decisions");
+    const std::uint64_t p0 = incSat_->stats().get("propagations");
+    sat::SatResult sr = incSat_->solve(assumptions, opts_.conflictBudget);
+    stats_.inc("sat_conflicts", incSat_->stats().get("conflicts") - c0);
+    stats_.inc("sat_decisions", incSat_->stats().get("decisions") - d0);
+    stats_.inc("sat_propagations",
+               incSat_->stats().get("propagations") - p0);
+
+    switch (sr) {
+      case sat::SatResult::Unsat:
+        return Result::Unsat;
+      case sat::SatResult::Unknown:
+        stats_.inc("budget_exhausted");
+        return Result::Unknown;
+      case sat::SatResult::Sat:
+        break;
+    }
+
+    if (model)
+        readModel(*incBlaster_, *incSat_, assertions, model);
     return Result::Sat;
 }
 
@@ -158,7 +275,16 @@ void
 Solver::clearCache()
 {
     cache_.clear();
+    cacheOrder_.clear();
     recentModels_.clear();
+    recentNext_ = 0;
+}
+
+void
+Solver::resetIncremental()
+{
+    incBlaster_.reset();
+    incSat_.reset();
 }
 
 } // namespace coppelia::smt

@@ -1,26 +1,53 @@
 /**
  * @file
- * The query-level solver facade: takes a conjunction of boolean terms,
- * bit-blasts into a fresh CDCL instance, and returns SAT with a model or
- * UNSAT. A counterexample cache in front of the SAT core mirrors KLEE's
+ * The query-level solver facade: takes a conjunction of boolean terms and
+ * returns SAT with a model or UNSAT. Two backends share the interface:
+ *
+ *  - Incremental (default): one persistent `sat::Solver` and one persistent
+ *    `BitBlaster` live for the facade's lifetime. Every asserted term is
+ *    bit-blasted once to an indicator literal; the Tseitin definitions stay
+ *    in the clause database (they are pure definitions, satisfiable on
+ *    their own) and each query solves under the assumption literals of its
+ *    assertion set. Because learnt clauses are implied by the definition
+ *    clauses alone, they remain valid — and retained — across queries.
+ *    This is the assumption-frame scheme of incremental MiniSat/STP: the
+ *    shared transition-relation terms of the BSEE's thousands of
+ *    closely-related queries (§II-D6/D7) blast once, and conflict clauses
+ *    learned refuting one candidate prune the next.
+ *
+ *  - Fresh (escape hatch, `SolverOptions::incremental = false`): a brand
+ *    new SAT instance per query, re-blasting everything — the original
+ *    behavior, kept for ablations and differential testing.
+ *
+ * A counterexample cache in front of either backend mirrors KLEE's
  * counterexample caching (enabled in the paper's "Original KLEE" baseline
  * configuration): exact query hits are answered immediately, and models
  * from previous satisfiable queries are tried against new queries before
- * paying for a SAT call.
+ * paying for a SAT call. The cache is size-capped with FIFO eviction so a
+ * long campaign job cannot grow it without bound.
  */
 
 #ifndef COPPELIA_SOLVER_SOLVER_HH
 #define COPPELIA_SOLVER_SOLVER_HH
 
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "solver/term.hh"
 #include "util/stats.hh"
 
+namespace coppelia::sat
+{
+class Solver;
+} // namespace coppelia::sat
+
 namespace coppelia::smt
 {
+
+class BitBlaster;
 
 /** Outcome of a satisfiability query. */
 enum class Result
@@ -33,18 +60,29 @@ enum class Result
 /** Solver configuration. */
 struct SolverOptions
 {
-    bool useCache = true;          ///< counterexample cache
+    bool useCache = true;             ///< counterexample cache
     std::int64_t conflictBudget = -1; ///< per-query SAT conflict limit
+    /** Keep one SAT instance across queries (assumption-based frames,
+     *  memoized bit-blasting, learnt-clause retention). */
+    bool incremental = true;
+    /** Counterexample-cache entry cap (0 = unbounded); oldest entries are
+     *  evicted first. */
+    std::size_t cacheMaxEntries = 1u << 16;
+    /** Cap on remembered models for counterexample reuse. */
+    std::size_t maxRecentModels = 64;
 };
 
 /**
- * Stateless-per-query solver over a shared TermManager. Thread-compatible
- * (one instance per thread); not thread-safe.
+ * Query-level solver over a shared TermManager. Thread-compatible (one
+ * instance per thread); not thread-safe. In incremental mode the instance
+ * carries SAT state across queries, so one Solver should span exactly the
+ * term lifetime of its TermManager (one BSE search / BMC run).
  */
 class Solver
 {
   public:
     explicit Solver(TermManager &tm, SolverOptions opts = {});
+    ~Solver();
 
     /**
      * Check satisfiability of the conjunction of @p assertions (each a
@@ -62,16 +100,29 @@ class Solver
     }
 
     /**
+     * check() under a one-off conflict budget (overriding the configured
+     * one). Used to retry budget-exhausted (Unknown) queries with a larger
+     * budget before a caller treats them as dead ends.
+     */
+    Result checkWithBudget(const std::vector<TermRef> &assertions,
+                           Model *model, std::int64_t conflict_budget);
+
+    /**
      * True iff the conjunction of assertions is satisfiable; fatal on
      * Unknown (used where a budget overrun indicates a tool bug).
      */
     bool isSat(const std::vector<TermRef> &assertions);
 
-    /** Work counters: queries, cache hits, SAT calls, conflicts. */
+    /** Work counters: queries, cache hits, SAT calls, conflicts, and the
+     *  incremental-reuse measures (blast_cache_hits, learnts_retained). */
     const StatGroup &stats() const { return stats_; }
 
     /** Drop all cached query results. */
     void clearCache();
+
+    /** Drop the persistent SAT instance (incremental mode); the next query
+     *  re-blasts from scratch. */
+    void resetIncremental();
 
   private:
     struct CacheEntry
@@ -80,6 +131,8 @@ class Solver
         Model model; // valid when result == Sat
     };
 
+    using Cache = std::map<std::vector<TermRef>, CacheEntry>;
+
     /** Canonical cache key: sorted, deduplicated assertion refs. */
     static std::vector<TermRef>
     canonicalKey(const std::vector<TermRef> &assertions);
@@ -87,13 +140,33 @@ class Solver
     bool modelSatisfies(const std::vector<TermRef> &assertions,
                         const Model &model) const;
 
+    /** Insert with FIFO eviction against cacheMaxEntries. */
+    void cacheInsert(const std::vector<TermRef> &key, CacheEntry entry);
+
+    /** Remember a model for counterexample reuse (ring buffer). */
+    void rememberModel(const Model &model);
+
     Result solveCore(const std::vector<TermRef> &assertions, Model *model);
+    Result solveFresh(const std::vector<TermRef> &assertions, Model *model);
+    Result solveIncremental(const std::vector<TermRef> &assertions,
+                            Model *model);
+
+    /** Read back every theory variable of @p assertions from @p sat. */
+    void readModel(const BitBlaster &blaster, const sat::Solver &sat,
+                   const std::vector<TermRef> &assertions,
+                   Model *model) const;
 
     TermManager &tm_;
     SolverOptions opts_;
-    std::map<std::vector<TermRef>, CacheEntry> cache_;
-    std::vector<Model> recentModels_; ///< for counterexample reuse
+    Cache cache_;
+    std::deque<Cache::iterator> cacheOrder_; ///< insertion order (FIFO)
+    std::vector<Model> recentModels_;        ///< counterexample-reuse ring
+    std::size_t recentNext_ = 0;             ///< ring replacement cursor
     StatGroup stats_;
+
+    // Incremental backend (lazily created on the first query).
+    std::unique_ptr<sat::Solver> incSat_;
+    std::unique_ptr<BitBlaster> incBlaster_;
 };
 
 } // namespace coppelia::smt

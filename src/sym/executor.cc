@@ -167,10 +167,16 @@ CycleExplorer::explore(const Binding &binding,
 
             if (opts_.checkForkFeasibility) {
                 stats_.inc("feasibility_queries");
-                if (!solver_.isSat(child.pathCond)) {
+                // Three-valued on purpose: only a proven-Unsat branch may
+                // be pruned. Unknown (conflict budget exhausted) keeps the
+                // branch — pruning it would silently drop feasible paths.
+                smt::Result fr = solver_.check(child.pathCond, nullptr);
+                if (fr == smt::Result::Unsat) {
                     stats_.inc("infeasible_pruned");
                     continue;
                 }
+                if (fr == smt::Result::Unknown)
+                    stats_.inc("feasibility_unknowns");
             }
             searcher.push(std::move(child));
         }

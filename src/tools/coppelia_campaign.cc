@@ -44,6 +44,10 @@ usage(const char *argv0)
         "  --seed S           base RNG seed\n"
         "  --time-limit SEC   per-job wall-clock budget\n"
         "  --retries N        retry budget for exhausted searches\n"
+        "  --no-incremental   fresh SAT instance per solver query (the\n"
+        "                     incremental-backend ablation)\n"
+        "  --conflict-budget N  per-query SAT conflict cap (default:\n"
+        "                     unlimited); Unknowns mark jobs incomplete\n"
         "  --out DIR          output directory (default: .)\n"
         "\n"
         "Modes:\n"
@@ -78,6 +82,8 @@ main(int argc, char **argv)
     int workers = -1, retries = -1;
     double time_limit = -1.0;
     long long seed = -1;
+    long long conflict_budget = -2; // -1 means "explicitly unlimited"
+    bool no_incremental = false;
 
     auto value = [&](int &i, const char *flag) -> std::string {
         if (i + 1 >= argc)
@@ -143,6 +149,10 @@ main(int argc, char **argv)
             time_limit = numeric(i, "--time-limit", to_double);
         } else if (arg == "--retries") {
             retries = numeric(i, "--retries", to_int);
+        } else if (arg == "--no-incremental") {
+            no_incremental = true;
+        } else if (arg == "--conflict-budget") {
+            conflict_budget = numeric(i, "--conflict-budget", to_ll);
         } else if (arg == "--out") {
             out_dir = value(i, "--out");
         } else if (arg == "--list") {
@@ -177,6 +187,10 @@ main(int argc, char **argv)
         spec.jobTimeLimitSeconds = time_limit;
     if (seed >= 0)
         spec.seed = static_cast<std::uint64_t>(seed);
+    if (no_incremental)
+        spec.incrementalSolver = false;
+    if (conflict_budget >= -1)
+        spec.solverConflictBudget = conflict_budget;
 
     if (list_only) {
         std::printf("%s", campaign::describeJobs(spec).c_str());

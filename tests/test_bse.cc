@@ -200,6 +200,109 @@ TEST_F(ToyBse, AllSearchModesFind)
     }
 }
 
+TEST_F(ToyBse, IncrementalAndFreshSolversAgreeOnTriggers)
+{
+    // The incremental backend must not change what the engine produces:
+    // same outcome, and the generated triggers replay identically.
+    std::vector<TriggerResult> results;
+    for (bool incremental : {true, false}) {
+        Assertion a = toyAssertion(
+            d, incremental ? "cnt2_inc" : "cnt2_fresh",
+            ne(b.read("cnt"), b.lit(4, 2)));
+        Options opts;
+        opts.incrementalSolver = incremental;
+        BackwardEngine engine(d, opts);
+        results.push_back(engine.buildTrigger(a));
+        ASSERT_EQ(results.back().outcome, Outcome::Found)
+            << (incremental ? "incremental" : "fresh");
+        EXPECT_TRUE(replayTrigger(d, a, results.back().cycles))
+            << (incremental ? "incremental" : "fresh");
+    }
+    ASSERT_EQ(results[0].cycles.size(), results[1].cycles.size());
+    for (std::size_t i = 0; i < results[0].cycles.size(); ++i)
+        EXPECT_EQ(results[0].cycles[i].inputs, results[1].cycles[i].inputs)
+            << "cycle " << i;
+    // Only the incremental run reports backend reuse.
+    EXPECT_GT(results[0].stats.get("solver_incremental_queries"), 0u);
+    EXPECT_EQ(results[1].stats.get("solver_incremental_queries"), 0u);
+}
+
+TEST_F(ToyBse, PatienceFallbackRestartsOnFreshBackend)
+{
+    // Patience 1 forces the incremental attempt to concede on a search
+    // that needs two stitching iterations; the engine must transparently
+    // rerun on the fresh backend and still produce a replayable trigger.
+    Assertion a = toyAssertion(
+        d, "cnt2_fallback", ne(b.read("cnt"), b.lit(4, 2)));
+    Options opts;
+    opts.incrementalPatienceIterations = 1;
+    BackwardEngine engine(d, opts);
+    TriggerResult r = engine.buildTrigger(a);
+    ASSERT_EQ(r.outcome, Outcome::Found);
+    EXPECT_EQ(r.cycles.size(), 2u);
+    EXPECT_TRUE(replayTrigger(d, a, r.cycles));
+    EXPECT_EQ(r.stats.get("incremental_fallbacks"), 1u);
+    EXPECT_GE(r.stats.get("incremental_patience_exhausted"), 1u);
+    // Merged stats still carry the incremental attempt's work.
+    EXPECT_GT(r.stats.get("solver_incremental_queries"), 0u);
+}
+
+TEST_F(ToyBse, PatienceIsDisarmedWithoutFallback)
+{
+    // Without the fresh fallback armed there is nothing to concede to:
+    // the same patience setting must not cut the incremental search off.
+    Assertion a = toyAssertion(
+        d, "cnt2_no_fb", ne(b.read("cnt"), b.lit(4, 2)));
+    Options opts;
+    opts.incrementalPatienceIterations = 1;
+    opts.incrementalFallback = false;
+    BackwardEngine engine(d, opts);
+    TriggerResult r = engine.buildTrigger(a);
+    ASSERT_EQ(r.outcome, Outcome::Found);
+    EXPECT_TRUE(replayTrigger(d, a, r.cycles));
+    EXPECT_EQ(r.stats.get("incremental_fallbacks"), 0u);
+}
+
+/**
+ * An arithmetic tautology the simplifier cannot fold: 3*acc and
+ * acc+acc+acc are distinct terms (operand canonicalization does not
+ * cross operators), so refuting the negation takes real SAT conflicts.
+ */
+Node
+mul3Miter(Builder &b)
+{
+    return eq(b.read("acc") * b.lit(8, 3),
+              (b.read("acc") + b.read("acc")) + b.read("acc"));
+}
+
+TEST_F(ToyBse, UnlimitedBudgetProvesMiterSafe)
+{
+    Assertion a = toyAssertion(d, "mul3_safe", mul3Miter(b));
+    BackwardEngine engine(d);
+    TriggerResult r = engine.buildTrigger(a);
+    EXPECT_EQ(r.outcome, Outcome::NoViolation);
+    EXPECT_FALSE(r.solverIncomplete);
+}
+
+TEST_F(ToyBse, SolverUnknownReportsIncompleteNotNoViolation)
+{
+    // Regression for the Unknown/Unsat conflation bug: with a conflict
+    // budget too small to refute the miter, every violation query comes
+    // back Unknown. The engine must NOT claim "no violation exists" — it
+    // pruned branches it never refuted — and must surface the
+    // incompleteness for the campaign retry logic.
+    Assertion a = toyAssertion(d, "mul3_budget", mul3Miter(b));
+    Options opts;
+    opts.solverConflictBudget = 1;
+    BackwardEngine engine(d, opts);
+    TriggerResult r = engine.buildTrigger(a);
+    EXPECT_NE(r.outcome, Outcome::Found);
+    EXPECT_NE(r.outcome, Outcome::NoViolation);
+    EXPECT_TRUE(r.solverIncomplete);
+    EXPECT_GE(r.stats.get("solver_unknowns"), 1u);
+    EXPECT_GE(r.stats.get("solver_unknowns_final"), 1u);
+}
+
 TEST_F(ToyBse, ConeRestrictionShrinksSymbolicState)
 {
     // An assertion over cnt alone needs only cnt symbolic.

@@ -358,6 +358,207 @@ TEST(BlastSoundness, ConcatExtractSextRoundTrip)
     EXPECT_EQ(s.check(bad, nullptr), Result::Unsat);
 }
 
+/**
+ * Differential property: the incremental backend (persistent SAT instance,
+ * memoized blaster, assumption frames) must be observationally identical to
+ * a fresh solver per query — same SAT/UNSAT verdicts, and every Sat model
+ * must satisfy the query it answers. Runs deterministic randomized query
+ * sequences whose members share structure, the shape the BSEE hot path
+ * produces (common transition-relation terms + varying stitching pins).
+ */
+TEST(Incremental, DifferentialAgainstFreshSolver)
+{
+    for (std::uint64_t seed : {11u, 42u, 20260806u}) {
+        coppelia::Rng rng(seed);
+        TermManager tm;
+
+        SolverOptions inc_opts;
+        inc_opts.incremental = true;
+        inc_opts.useCache = false; // exercise the backend, not the cache
+        SolverOptions fresh_opts;
+        fresh_opts.incremental = false;
+        fresh_opts.useCache = false;
+        Solver inc(tm, inc_opts);
+        Solver fresh(tm, fresh_opts);
+
+        TermRef x = tm.mkVar("x", 12);
+        TermRef y = tm.mkVar("y", 12);
+        TermRef zv = tm.mkVar("z", 12);
+        // Shared "transition relation" pool: every query draws from these,
+        // so the incremental blaster should hit its memo table constantly.
+        std::vector<TermRef> pool{
+            tm.mkUlt(x, tm.mkConst(12, 900)),
+            tm.mkEq(tm.mkAnd(y, tm.mkConst(12, 0xf0)), tm.mkConst(12, 0x30)),
+            tm.mkUlt(tm.mkAdd(x, y), tm.mkConst(12, 2000)),
+            tm.mkEq(tm.mkXor(zv, x), y),
+            tm.mkNot(tm.mkEq(zv, tm.mkConst(12, 77))),
+            tm.mkUlt(tm.mkConst(12, 100), tm.mkMul(x, tm.mkConst(12, 3))),
+        };
+
+        for (int q = 0; q < 60; ++q) {
+            std::vector<TermRef> cs;
+            for (TermRef p : pool) {
+                if (rng.flip())
+                    cs.push_back(p);
+            }
+            // Per-query pins (the stitching/exclusion role): often make the
+            // query UNSAT against the pool, so both verdicts get exercised.
+            if (rng.flip())
+                cs.push_back(tm.mkEq(x, tm.mkConst(12, rng.below(4096))));
+            if (rng.flip())
+                cs.push_back(tm.mkEq(y, tm.mkConst(12, rng.below(4096))));
+            if (cs.empty())
+                cs.push_back(pool[q % pool.size()]);
+
+            Model mi, mf;
+            Result ri = inc.check(cs, &mi);
+            Result rf = fresh.check(cs, &mf);
+            ASSERT_EQ(ri, rf) << "seed " << seed << " query " << q;
+            if (ri == Result::Sat) {
+                for (TermRef c : cs) {
+                    EXPECT_EQ(tm.eval(c, mi), 1u)
+                        << "incremental model, seed " << seed << " q " << q;
+                    EXPECT_EQ(tm.eval(c, mf), 1u)
+                        << "fresh model, seed " << seed << " q " << q;
+                }
+            }
+        }
+        // The memoized blaster must have reused translations across queries.
+        EXPECT_GT(inc.stats().get("blast_cache_hits"), 0u);
+        EXPECT_EQ(inc.stats().get("incremental_queries"),
+                  inc.stats().get("sat_calls"));
+    }
+}
+
+TEST(Incremental, ResetDiscardsSolverStateButStaysCorrect)
+{
+    TermManager tm;
+    SolverOptions opts;
+    opts.useCache = false;
+    Solver s(tm, opts);
+    TermRef x = tm.mkVar("x", 8);
+    ASSERT_EQ(s.check(tm.mkEq(x, tm.mkConst(8, 3)), nullptr), Result::Sat);
+    std::uint64_t lowered = s.stats().get("blast_terms_lowered");
+    s.resetIncremental();
+    // Same query after a reset: terms must be re-lowered from scratch and
+    // the verdict must not change.
+    Model m;
+    ASSERT_EQ(s.check(tm.mkEq(x, tm.mkConst(8, 3)), &m), Result::Sat);
+    EXPECT_EQ(m.value(tm.term(x).varId), 3u);
+    EXPECT_GT(s.stats().get("blast_terms_lowered"), lowered);
+}
+
+/**
+ * Regression for the Unknown/Unsat conflation fix: a query that needs at
+ * least one conflict, solved under conflictBudget that the budget check
+ * trips on, must come back Unknown — never Unsat — and a follow-up
+ * checkWithBudget with an unlimited budget must reach the real verdict on
+ * the same (still-live) incremental instance.
+ */
+TEST(SolverFacade, ExhaustedBudgetIsUnknownNotUnsat)
+{
+    TermManager tm;
+    SolverOptions opts;
+    opts.conflictBudget = 1; // first learned conflict trips the budget
+    Solver s(tm, opts);
+    TermRef a = tm.mkVar("a", 1);
+    TermRef b = tm.mkVar("b", 1);
+    TermRef c = tm.mkVar("c", 1);
+    // XOR triangle: pairwise-xor constraints are 2-watched with no unit
+    // propagation from the assertions alone, so refutation requires a
+    // decision and at least one conflict.
+    std::vector<TermRef> cs{tm.mkXor(a, b), tm.mkXor(b, c), tm.mkXor(a, c)};
+
+    EXPECT_EQ(s.check(cs, nullptr), Result::Unknown);
+    EXPECT_GE(s.stats().get("budget_exhausted"), 1u);
+
+    // The retry path the engines use: same query, larger budget.
+    EXPECT_EQ(s.checkWithBudget(cs, nullptr, -1), Result::Unsat);
+    // checkWithBudget must restore the configured budget afterwards.
+    EXPECT_EQ(s.check(cs, nullptr), Result::Unsat); // now cached
+}
+
+TEST(SolverFacade, UnknownIsNeverCached)
+{
+    TermManager tm;
+    SolverOptions opts;
+    opts.conflictBudget = 1;
+    Solver s(tm, opts);
+    TermRef a = tm.mkVar("a", 1);
+    TermRef b = tm.mkVar("b", 1);
+    TermRef c = tm.mkVar("c", 1);
+    std::vector<TermRef> cs{tm.mkXor(a, b), tm.mkXor(b, c), tm.mkXor(a, c)};
+    ASSERT_EQ(s.check(cs, nullptr), Result::Unknown);
+    // The second attempt may refute outright (retained learnt clauses can
+    // finish the proof without a new conflict) but must never report Sat,
+    // and must hit the SAT core again: a cached Unknown would be a lie the
+    // retry path could never recover from.
+    EXPECT_NE(s.check(cs, nullptr), Result::Sat);
+    EXPECT_EQ(s.stats().get("cache_hits"), 0u);
+    EXPECT_EQ(s.stats().get("sat_calls"), 2u);
+}
+
+TEST(SolverFacade, SolverStillUsableAfterUnknown)
+{
+    TermManager tm;
+    SolverOptions opts;
+    opts.conflictBudget = 1;
+    Solver s(tm, opts);
+    TermRef a = tm.mkVar("a", 1);
+    TermRef b = tm.mkVar("b", 1);
+    TermRef c = tm.mkVar("c", 1);
+    std::vector<TermRef> triangle{tm.mkXor(a, b), tm.mkXor(b, c),
+                                  tm.mkXor(a, c)};
+    ASSERT_EQ(s.check(triangle, nullptr), Result::Unknown);
+    // The persistent instance must answer an easy satisfiable query
+    // correctly after a budget abort.
+    TermRef x = tm.mkVar("x", 8);
+    Model m;
+    ASSERT_EQ(s.check(tm.mkEq(x, tm.mkConst(8, 9)), &m), Result::Sat);
+    EXPECT_EQ(m.value(tm.term(x).varId), 9u);
+}
+
+TEST(SolverFacade, CacheCapEvictsOldestEntries)
+{
+    TermManager tm;
+    SolverOptions opts;
+    opts.cacheMaxEntries = 8;
+    opts.maxRecentModels = 4;
+    Solver s(tm, opts);
+    TermRef x = tm.mkVar("x", 8);
+    for (int i = 0; i < 32; ++i) {
+        ASSERT_EQ(s.check(tm.mkEq(x, tm.mkConst(8, i)), nullptr),
+                  Result::Sat);
+    }
+    // 32 distinct pinned queries through an 8-entry cache: the FIFO must
+    // have evicted, and re-asking an evicted query must still be correct.
+    EXPECT_GE(s.stats().get("cache_evictions"), 24u);
+    Model m;
+    ASSERT_EQ(s.check(tm.mkEq(x, tm.mkConst(8, 0)), &m), Result::Sat);
+    EXPECT_EQ(m.value(tm.term(x).varId), 0u);
+}
+
+TEST(SolverFacade, RecentModelRingStaysBoundedAndCorrect)
+{
+    TermManager tm;
+    SolverOptions opts;
+    opts.maxRecentModels = 2; // tiny ring: force wraparound quickly
+    Solver s(tm, opts);
+    TermRef x = tm.mkVar("x", 8);
+    for (int i = 0; i < 10; ++i) {
+        Model m;
+        ASSERT_EQ(s.check(tm.mkEq(x, tm.mkConst(8, 100 + i)), &m),
+                  Result::Sat);
+        EXPECT_EQ(m.value(tm.term(x).varId), 100u + i);
+    }
+    // A loose query is answered from a ring slot (whichever survived).
+    std::uint64_t calls_before = s.stats().get("sat_calls");
+    Model m;
+    ASSERT_EQ(s.check(tm.mkUlt(tm.mkConst(8, 50), x), &m), Result::Sat);
+    EXPECT_EQ(s.stats().get("sat_calls"), calls_before);
+    EXPECT_GT(m.value(tm.term(x).varId), 50u);
+}
+
 TEST(BlastSoundness, NonByteWidthRangeConstraint)
 {
     // Width-5 variable can reach 31 but never 32 (the paper's §II-E1 range
