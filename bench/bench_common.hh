@@ -2,14 +2,18 @@
  * @file
  * Shared helpers for the benchmark harnesses: standard engine options for
  * each processor (preconditioned to legal opcodes, §II-E1), the bug ->
- * assertion mapping, and fixed-width table printing.
+ * assertion mapping, the common command line (--smoke/--json/--trace),
+ * and fixed-width table printing.
  */
 
 #ifndef COPPELIA_BENCH_BENCH_COMMON_HH
 #define COPPELIA_BENCH_BENCH_COMMON_HH
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -25,6 +29,90 @@
 
 namespace coppelia::bench
 {
+
+/**
+ * The command line every bench binary accepts. Smoke mode is the CI
+ * fast path: a 2-3 bug subset with tight budgets, same checks.
+ */
+struct BenchOptions
+{
+    bool smoke = false;     ///< tiny budgets, reduced bug set
+    std::string jsonPath;   ///< machine-readable results (--json FILE)
+    std::string tracePath;  ///< Chrome trace-event timeline (--trace FILE)
+};
+
+inline void
+benchUsage(const char *argv0)
+{
+    std::printf("usage: %s [--smoke] [--json FILE] [--trace FILE]\n"
+                "  --smoke       CI fast path: 2-3 bugs, tight budgets\n"
+                "  --json FILE   write machine-readable results as JSON\n"
+                "  --trace FILE  record a Chrome trace-event timeline\n",
+                argv0);
+}
+
+/** Parse the shared bench flags; unknown arguments print usage and
+ *  exit 2, so CI logs always name the bad flag. */
+inline BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    BenchOptions opts;
+    auto value = [&](int &i, const char *flag) -> std::string {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s: missing value for %s\n\n", argv[0],
+                         flag);
+            benchUsage(argv[0]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            benchUsage(argv[0]);
+            std::exit(0);
+        } else if (arg == "--smoke") {
+            opts.smoke = true;
+        } else if (arg == "--json") {
+            opts.jsonPath = value(i, "--json");
+        } else if (arg == "--trace") {
+            opts.tracePath = value(i, "--trace");
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n\n", argv[0],
+                         arg.c_str());
+            benchUsage(argv[0]);
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+/** Open an input file, or print the path and the OS reason and exit 1 —
+ *  a missing file must be diagnosable from CI logs, not a bare abort. */
+inline std::ifstream
+openInputOrDie(const char *argv0, const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "%s: cannot open input '%s': %s\n", argv0,
+                     path.c_str(), std::strerror(errno));
+        std::exit(1);
+    }
+    return in;
+}
+
+/** Open an output file for --json/--trace; path + reason on failure. */
+inline std::ofstream
+openOutputOrDie(const char *argv0, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "%s: cannot open output '%s': %s\n", argv0,
+                     path.c_str(), std::strerror(errno));
+        std::exit(1);
+    }
+    return out;
+}
 
 /** Preconditions restricting the 32-bit instruction input to the ISA. */
 inline bse::PreconditionFn

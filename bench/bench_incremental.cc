@@ -26,6 +26,9 @@
 
 #include <cinttypes>
 
+#include "trace/trace.hh"
+#include "util/json.hh"
+
 using namespace coppelia;
 using namespace coppelia::bench;
 
@@ -40,14 +43,14 @@ struct RunResult
 };
 
 RunResult
-runOnce(cpu::BugId bug, const char *assert_id, bool incremental)
+runOnce(cpu::BugId bug, const char *assert_id, bool incremental, bool smoke)
 {
     rtl::Design d = cpu::or1k::buildOr1200(cpu::BugConfig::with(bug));
     auto asserts = cpu::or1k::or1200Assertions(d);
     const props::Assertion &a = props::findAssertion(asserts, assert_id);
 
     bse::Options opts;
-    opts.bound = 4;
+    opts.bound = smoke ? 3 : 4;
     opts.preconditions = or1kPreconditions(d);
     opts.incrementalSolver = incremental;
 
@@ -84,13 +87,18 @@ fmtSecs(double s)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const struct
+    const BenchOptions bench = parseBenchArgs(argc, argv);
+    if (!bench.tracePath.empty())
+        trace::setEnabled(true);
+
+    struct Row
     {
         cpu::BugId bug;
         const char *assertId;
-    } rows[] = {
+    };
+    std::vector<Row> rows{
         {cpu::BugId::b03, "a03_rfe_restores_sr"},
         {cpu::BugId::b05, "a05_src_a"},
         {cpu::BugId::b09, "a09_epcr_sys"},
@@ -98,9 +106,12 @@ main()
         {cpu::BugId::b13, "a13_src_b"},
         {cpu::BugId::b24, "a24_gpr0_zero"},
     };
+    if (bench.smoke)
+        rows.resize(3); // b03/b05/b09: the fastest-converging subset
 
     std::printf("Incremental SMT backend ablation (Table II "
-                "single-instruction OR1200 bugs)\n");
+                "single-instruction OR1200 bugs)%s\n",
+                bench.smoke ? " [smoke]" : "");
     std::printf("solver = cumulative time inside the solver facade; "
                 "total = end-to-end engine time\n\n");
     const std::vector<int> widths{5, 12, 12, 9, 12, 12, 10, 9};
@@ -113,8 +124,9 @@ main()
     double inc_total = 0.0, fresh_total = 0.0;
     bool all_same = true, same_outcomes = true, any_1_5x_same = false;
     for (const auto &row : rows) {
-        RunResult inc = runOnce(row.bug, row.assertId, true);
-        RunResult fresh = runOnce(row.bug, row.assertId, false);
+        RunResult inc = runOnce(row.bug, row.assertId, true, bench.smoke);
+        RunResult fresh =
+            runOnce(row.bug, row.assertId, false, bench.smoke);
         inc_solver += inc.solverSeconds;
         fresh_solver += fresh.solverSeconds;
         inc_total += inc.seconds;
@@ -159,6 +171,41 @@ main()
                 "byte-identical trigger on at least one bug: %s\n",
                 yn(same_outcomes).c_str(), yn(all_same).c_str(),
                 yn(any_1_5x_same).c_str());
+
+    if (!bench.jsonPath.empty()) {
+        // The shape scripts/check_bench_regression.py gates on.
+        json::Value v = json::Value::object();
+        v.set("bench", json::Value::string("bench_incremental"));
+        v.set("smoke", json::Value::boolean(bench.smoke));
+        v.set("bugs",
+              json::Value::number(static_cast<double>(rows.size())));
+        v.set("total_solver_inc_seconds", json::Value::number(inc_solver));
+        v.set("total_solver_fresh_seconds",
+              json::Value::number(fresh_solver));
+        v.set("total_inc_seconds", json::Value::number(inc_total));
+        v.set("total_fresh_seconds", json::Value::number(fresh_total));
+        v.set("solver_speedup",
+              json::Value::number(inc_solver > 0.0
+                                      ? fresh_solver / inc_solver
+                                      : 0.0));
+        v.set("same_outcomes", json::Value::boolean(same_outcomes));
+        v.set("any_1_5x_same", json::Value::boolean(any_1_5x_same));
+        std::ofstream out =
+            openOutputOrDie(argv[0], bench.jsonPath);
+        out << v.dump() << "\n";
+        std::printf("wrote %s\n", bench.jsonPath.c_str());
+    }
+    if (!bench.tracePath.empty()) {
+        trace::setEnabled(false);
+        if (!trace::writeChromeTraceFile(bench.tracePath)) {
+            std::fprintf(stderr, "%s: cannot write trace '%s'\n", argv[0],
+                         bench.tracePath.c_str());
+            return 1;
+        }
+        std::printf("wrote %s (%llu events)\n", bench.tracePath.c_str(),
+                    static_cast<unsigned long long>(trace::eventCount()));
+    }
+
     // Make the harness meaningful under `for b in build/bench/*`: fail
     // loudly if the backend changes behavior or stops paying off.
     return same_outcomes && any_1_5x_same ? 0 : 1;

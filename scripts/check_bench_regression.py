@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Gate bench results against a committed baseline.
+
+Usage:
+    check_bench_regression.py CURRENT.json BASELINE.json [--tolerance 0.25]
+
+CURRENT.json is what `bench_incremental --smoke --json CURRENT.json`
+just wrote; BASELINE.json is the committed BENCH_baseline.json. The gate
+fails (exit 1) when:
+
+  - total solver time regressed by more than the tolerance (default 25%),
+  - or a correctness check the bench reports (same_outcomes,
+    any_1_5x_same) went false.
+
+Refresh the baseline by re-running the bench and committing its output:
+    build/bench/bench_incremental --smoke --json BENCH_baseline.json
+"""
+
+import argparse
+import json
+import sys
+
+GATED_TIME_KEY = "total_solver_inc_seconds"
+GATED_BOOL_KEYS = ("same_outcomes", "any_1_5x_same")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        sys.exit(f"cannot open '{path}': {e.strerror}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"malformed JSON in '{path}': {e}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional solver-time increase "
+                         "(default 0.25 = +25%%)")
+    args = ap.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    failures = []
+    for key in GATED_BOOL_KEYS:
+        if current.get(key) is not True:
+            failures.append(f"check '{key}' is {current.get(key)!r}, "
+                            f"expected true")
+
+    base_t = baseline.get(GATED_TIME_KEY)
+    cur_t = current.get(GATED_TIME_KEY)
+    if not isinstance(base_t, (int, float)) or base_t <= 0:
+        sys.exit(f"baseline '{args.baseline}' lacks a positive "
+                 f"'{GATED_TIME_KEY}'")
+    if not isinstance(cur_t, (int, float)):
+        sys.exit(f"current '{args.current}' lacks '{GATED_TIME_KEY}'")
+
+    limit = base_t * (1.0 + args.tolerance)
+    ratio = cur_t / base_t
+    print(f"{GATED_TIME_KEY}: current {cur_t:.3f}s vs baseline "
+          f"{base_t:.3f}s ({ratio:.2f}x, limit {limit:.3f}s)")
+    if cur_t > limit:
+        failures.append(
+            f"solver time regressed {ratio:.2f}x over baseline "
+            f"(> +{args.tolerance:.0%})")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print("bench regression gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Formatting gate: checks only the lines changed since the merge base
+# with the given ref (default origin/main), so pre-existing style stays
+# grandfathered while every new or edited line must satisfy the
+# committed .clang-format. Used by the CI lint job; run locally as
+#
+#   scripts/check_format.sh [BASE_REF]
+#
+# Requires clang-format and its git-clang-format wrapper (both ship in
+# the clang-format package).
+set -euo pipefail
+
+base="${1:-origin/main}"
+binary="${CLANG_FORMAT:-clang-format}"
+
+if ! command -v "$binary" >/dev/null 2>&1; then
+    echo "error: '$binary' not found (set CLANG_FORMAT to override)" >&2
+    exit 2
+fi
+if ! git rev-parse --verify --quiet "$base" >/dev/null; then
+    echo "error: unknown base ref '$base'" >&2
+    exit 2
+fi
+
+merge_base=$(git merge-base "$base" HEAD)
+# git-clang-format exits nonzero when it would reformat something; keep
+# its output either way so the log shows the exact diff to apply.
+out=$(git clang-format --binary "$binary" --diff --quiet \
+          "$merge_base" -- '*.cc' '*.hh' 2>&1) && status=0 || status=$?
+
+if [ "$status" -ne 0 ] && [ -n "$out" ]; then
+    echo "$out"
+    echo "" >&2
+    echo "error: changed lines are not clang-format clean; apply with" >&2
+    echo "  git clang-format $merge_base" >&2
+    exit 1
+fi
+echo "formatting OK (vs $(git rev-parse --short "$merge_base"))"

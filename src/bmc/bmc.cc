@@ -1,6 +1,7 @@
 #include "bmc/bmc.hh"
 
 #include "rtl/sim.hh"
+#include "trace/trace.hh"
 #include "sym/lower.hh"
 #include "util/logging.hh"
 #include "util/timer.hh"
@@ -54,6 +55,7 @@ BmcResult
 checkAssertion(const rtl::Design &design,
                const props::Assertion &assertion, const BmcOptions &opts)
 {
+    trace::Span span("bmc.check", "bmc");
     Timer timer;
     BmcResult res;
     smt::TermManager tm;

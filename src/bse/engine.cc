@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "coi/coi.hh"
+#include "trace/trace.hh"
 #include "util/logging.hh"
 #include "util/timer.hh"
 
@@ -102,6 +103,7 @@ BackwardEngine::buildTrigger(const props::Assertion &assertion)
     // budget (and not because of an explicit conflict-budget Unknown,
     // which would hit the fresh backend identically), rerun once with the
     // known-good fresh witness stream before reporting failure.
+    trace::instant("bse.fallback", "bse");
     TriggerResult fresh = searchTrigger(assertion, /*use_incremental=*/false);
     fresh.stats.merge(result.stats);
     fresh.stats.inc("incremental_fallbacks");
@@ -115,6 +117,7 @@ TriggerResult
 BackwardEngine::searchTrigger(const props::Assertion &assertion,
                               bool use_incremental)
 {
+    trace::Span search_span("bse.search", "bse");
     Timer timer;
     TriggerResult result;
 
@@ -264,6 +267,10 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
             break;
         }
 
+        // One span per backward iteration (One Instruction Generation +
+        // the validation/stitching that follows); every continue/break
+        // path below closes it.
+        trace::Span iteration_span("bse.iteration", "bse");
         Level &level = levels.back();
         const std::size_t depth = levels.size();
         ++iteration_counter;
@@ -336,6 +343,7 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
                                      Model *model) {
             if (!use_incremental)
                 return;
+            trace::Span shrink_span("bse.shrink", "bse");
             std::vector<std::pair<SignalId, TermRef>> regs(
                 level.bound.regVars.begin(), level.bound.regVars.end());
             std::sort(regs.begin(), regs.end());
@@ -470,6 +478,7 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
             // unpinned state inconsistent): a rejected trigger excludes
             // this closing assignment and the search continues.
             if (opts_.validator && !opts_.validator(result.cycles)) {
+                trace::instant("bse.replay_reject", "bse");
                 result.stats.inc("replay_validation_rejects");
                 top.excludes.push_back(modelExclusion(
                     top, closing_model, /*include_inputs=*/true));
@@ -492,6 +501,7 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
                               : Outcome::NoViolation;
                 break;
             }
+            trace::instant("bse.feedback", "bse");
             levels.pop_back();
             Level &prev = levels.back();
             prev.excludes.push_back(
@@ -635,6 +645,7 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
                                                : Outcome::BudgetExhausted;
                     break;
                 }
+                trace::instant("bse.feedback", "bse");
                 levels.pop_back();
                 Level &prev = levels.back();
                 prev.excludes.push_back(modelExclusion(
@@ -651,6 +662,7 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
 
         // --- Stitching Cycles (§II-D6): open the next iteration ----------
         result.stats.inc("stitched_cycles");
+        trace::instant("bse.stitch", "bse");
         levels.push_back(makeLevel(level.predState));
     }
 

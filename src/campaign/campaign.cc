@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "trace/trace.hh"
 #include "util/logging.hh"
 
 namespace coppelia::campaign
@@ -21,6 +22,17 @@ CampaignResult::find(JobKind kind, cpu::BugId bug) const
 CampaignResult
 runCampaign(const CampaignSpec &spec, std::ostream *telemetry)
 {
+    // Trace lifecycle: a spec-level trace file scopes recording to this
+    // campaign. A caller that enabled tracing itself (empty traceFile)
+    // keeps full control of buffers and export.
+    const bool manage_trace = !spec.traceFile.empty();
+    if (manage_trace) {
+        trace::clear();
+        trace::setEnabled(true);
+        trace::setThreadName("campaign");
+    }
+    trace::Span campaign_span("campaign.run", "campaign");
+
     ResultStore store;
     if (telemetry)
         store.attachTelemetry(*telemetry);
@@ -59,6 +71,8 @@ runCampaign(const CampaignSpec &spec, std::ostream *telemetry)
                 record.workerId = ctx.workerId;
                 record.result = std::move(result);
                 store.add(std::move(record));
+                trace::counter("campaign.jobs_completed",
+                               static_cast<double>(store.size()));
             }
             return retry ? TaskDisposition::Retry : TaskDisposition::Done;
         };
@@ -72,6 +86,14 @@ runCampaign(const CampaignSpec &spec, std::ostream *telemetry)
     if (out.records.size() != spec.jobs.size())
         warn("campaign '", spec.name, "': ", out.records.size(),
              " records for ", spec.jobs.size(), " jobs");
+
+    campaign_span.close();
+    if (manage_trace) {
+        trace::setEnabled(false);
+        if (trace::writeChromeTraceFile(spec.traceFile))
+            inform("campaign '", spec.name, "': wrote trace ",
+                   spec.traceFile, " (", trace::eventCount(), " events)");
+    }
     return out;
 }
 

@@ -4,6 +4,7 @@
 #include "core/coppelia.hh"
 #include "cpu/or1k/core.hh"
 #include "cpu/riscv/core.hh"
+#include "trace/trace.hh"
 #include "util/timer.hh"
 
 namespace coppelia::campaign
@@ -200,24 +201,47 @@ JobResult
 runJob(const CampaignSpec &spec, const JobSpec &job, std::uint64_t seed,
        const CancelToken *cancel)
 {
+    // The job span nests the whole cell — elaboration, assertion binding,
+    // search, replay — on the executing worker's track; a campaign with
+    // tracing on renders as one timeline of these per worker.
+    const std::size_t trace_before = trace::enabled()
+                                         ? trace::threadEventCount()
+                                         : 0;
+    trace::Span job_span(
+        trace::enabled()
+            ? trace::internString(std::string(jobKindName(job.kind)) + ":" +
+                                  cpu::bugName(job.bug))
+            : "campaign.job",
+        "campaign");
     Timer timer;
-    rtl::Design design = buildDesign(job);
-    std::vector<props::Assertion> asserts = buildAssertions(job, design);
-    const props::Assertion *assertion = selectAssertion(job, asserts);
-    if (!assertion) {
-        JobResult out;
-        out.status = JobStatus::NoAssertion;
-        out.seconds = timer.seconds();
-        return out;
+    JobResult out;
+    {
+        trace::Span elaborate_span("hdl.elaborate", "hdl");
+        rtl::Design design = buildDesign(job);
+        elaborate_span.close();
+
+        trace::Span bind_span("rtl.assertions", "rtl");
+        std::vector<props::Assertion> asserts =
+            buildAssertions(job, design);
+        const props::Assertion *assertion = selectAssertion(job, asserts);
+        bind_span.close();
+
+        if (!assertion) {
+            out.status = JobStatus::NoAssertion;
+        } else {
+            out = job.kind == JobKind::Exploit
+                      ? runExploitJob(spec, job, design, *assertion, seed,
+                                      cancel)
+                      : runBmcJob(spec, job, design, *assertion, cancel);
+            out.assertionId = assertion->id;
+        }
     }
-    JobResult out =
-        job.kind == JobKind::Exploit
-            ? runExploitJob(spec, job, design, *assertion, seed, cancel)
-            : runBmcJob(spec, job, design, *assertion, cancel);
-    out.assertionId = assertion->id;
     // Charge elaboration + assertion binding to the job, not just the
     // engine: the campaign's wall-clock accounting covers the whole cell.
     out.seconds = timer.seconds();
+    job_span.close();
+    if (trace::enabled())
+        out.traceEvents = trace::threadEventCount() - trace_before;
     return out;
 }
 

@@ -58,6 +58,10 @@ struct JobResult
      *  means the search was incomplete, not that no violation exists. */
     bool solverIncomplete = false;
 
+    /** Trace events this job emitted on its worker (0 when tracing is
+     *  disabled); ties each JSONL record to its timeline slice. */
+    std::uint64_t traceEvents = 0;
+
     double seconds = 0.0;
     StatGroup stats;
 };

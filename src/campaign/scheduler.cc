@@ -1,5 +1,6 @@
 #include "campaign/scheduler.hh"
 
+#include "trace/trace.hh"
 #include "util/logging.hh"
 #include "util/timer.hh"
 
@@ -97,7 +98,13 @@ Scheduler::runOne(int worker_id, QueuedTask qt)
     ctx.attempt = qt.attempt;
     ctx.workerId = worker_id;
     ctx.cancel = &token;
-    TaskDisposition disp = task.fn(ctx);
+    TaskDisposition disp;
+    {
+        trace::Span task_span("scheduler.task", "scheduler");
+        if (trace::enabled() && worker_id != qt.homeWorker)
+            trace::instant("scheduler.steal", "scheduler");
+        disp = task.fn(ctx);
+    }
 
     bool timed_out;
     {
@@ -137,6 +144,9 @@ Scheduler::runOne(int worker_id, QueuedTask qt)
 void
 Scheduler::workerLoop(int worker_id)
 {
+    if (trace::enabled())
+        trace::setThreadName("worker " + std::to_string(worker_id));
+    trace::Span worker_span("scheduler.worker", "scheduler");
     while (true) {
         QueuedTask qt;
         if (popLocal(worker_id, &qt) || steal(worker_id, &qt)) {
@@ -154,6 +164,8 @@ Scheduler::workerLoop(int worker_id)
 void
 Scheduler::watchdogLoop()
 {
+    if (trace::enabled())
+        trace::setThreadName("watchdog");
     const auto period = std::chrono::duration_cast<Clock::duration>(
         std::chrono::duration<double>(opts_.watchdogPeriodSeconds));
     while (!shutdown_.load(std::memory_order_acquire)) {
@@ -165,6 +177,7 @@ Scheduler::watchdogLoop()
                 now >= slot.deadline) {
                 slot.token->cancel();
                 slot.timedOut = true;
+                trace::instant("scheduler.timeout", "scheduler");
             }
         }
         std::this_thread::sleep_for(period);

@@ -1,5 +1,7 @@
 #include "campaign/spec.hh"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -152,6 +154,8 @@ parseSpec(std::istream &in, const std::string &origin)
             spec.addPayload = word("on/off") == "on";
         } else if (key == "replay") {
             spec.validateByReplay = word("on/off") == "on";
+        } else if (key == "trace") {
+            spec.traceFile = word("file");
         } else if (key == "matrix") {
             cpu::Processor proc;
             if (!parseProcessorName(word("processor"), &proc))
@@ -184,7 +188,8 @@ loadSpecFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        fatal("cannot open campaign spec '", path, "'");
+        fatal("cannot open campaign spec '", path,
+              "': ", std::strerror(errno));
     return parseSpec(in, path);
 }
 

@@ -25,6 +25,7 @@
  * `matrix PROC [KIND]` expands to one job per in-scope bug of the
  * processor; `job PROC BUG [KIND]` adds a single job. Processors:
  * or1200, mor1kx, ri5cy. Kinds: exploit (default), bmc-ifv, bmc-ebmc.
+ * `trace FILE` records the run as a Chrome trace-event timeline.
  */
 
 #ifndef COPPELIA_CAMPAIGN_SPEC_HH
@@ -87,6 +88,10 @@ struct CampaignSpec
     /** Coppelia driver toggles. */
     bool addPayload = true;
     bool validateByReplay = true;
+    /** Chrome trace-event output path (`trace FILE` / `--trace`); empty
+     *  disables tracing. The file loads in Perfetto / chrome://tracing
+     *  and folds with `coppelia-trace report`. */
+    std::string traceFile;
 
     std::vector<JobSpec> jobs;
 };

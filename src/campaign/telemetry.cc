@@ -11,6 +11,38 @@
 namespace coppelia::campaign
 {
 
+const std::vector<JsonlField> &
+jsonlSchema()
+{
+    static const std::vector<JsonlField> schema{
+        {"job", "job index within the expanded campaign matrix"},
+        {"kind", "job kind: exploit, bmc-ifv, or bmc-ebmc"},
+        {"processor", "processor the design was elaborated for"},
+        {"bug", "bug id from the registry (bNN)"},
+        {"assertion", "assertion id actually targeted"},
+        {"status", "scheduler-level status: completed, no-assertion, "
+                   "cancelled, or retryable"},
+        {"outcome", "engine outcome (exploit kind only): found, "
+                    "no-violation, bound-exceeded, budget-exhausted"},
+        {"found", "a violation was found"},
+        {"replayable", "the exploit replayed on the concrete simulator"},
+        {"solver_incomplete", "a solver query stayed Unknown; negative "
+                              "results are inconclusive"},
+        {"trigger_instructions", "trigger length in instructions"},
+        {"iterations", "backward-engine iterations (exploit kind only)"},
+        {"bmc_depth", "unrolling depth reached (baseline kinds only)"},
+        {"seconds", "end-to-end job wall-clock seconds"},
+        {"attempts", "1 + reseeded retries taken"},
+        {"worker", "worker thread that ran the final attempt"},
+        {"seed", "RNG seed of the final attempt (decimal string)"},
+        {"trace_events", "trace events emitted by this job (0 when "
+                         "tracing is disabled)"},
+        {"stats", "solver/search work counters (object; counter names "
+                  "are additive but individually unstable)"},
+    };
+    return schema;
+}
+
 json::Value
 recordToJson(const JobRecord &record)
 {
@@ -39,6 +71,7 @@ recordToJson(const JobRecord &record)
     v.set("worker", json::Value::number(record.workerId));
     // As a string: a 64-bit seed does not round-trip through a double.
     v.set("seed", json::Value::string(std::to_string(record.seed)));
+    v.set("trace_events", json::Value::number(r.traceEvents));
     json::Value stats = json::Value::object();
     for (const auto &[name, count] : r.stats.all())
         stats.set(name, json::Value::number(count));

@@ -28,6 +28,22 @@
 namespace coppelia::campaign
 {
 
+/**
+ * One documented top-level field of the JSONL record. The schema is a
+ * compatibility contract: every key recordToJson emits must appear here
+ * (the schema test enforces it), and removing or renaming a key is a
+ * breaking change for downstream consumers of campaign.jsonl.
+ */
+struct JsonlField
+{
+    const char *key;
+    const char *description;
+};
+
+/** The documented JSONL record schema, in emission order. Keys marked
+ *  kind-specific in their description appear on a subset of records. */
+const std::vector<JsonlField> &jsonlSchema();
+
 /** Build the JSON object for one record. */
 json::Value recordToJson(const JobRecord &record);
 

@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "trace/trace.hh"
 #include "util/logging.hh"
 
 namespace coppelia::coi
@@ -14,6 +15,7 @@ using rtl::SignalId;
 DependencyGraph
 buildDependencyGraph(const Design &design)
 {
+    trace::Span span("coi.depgraph", "coi");
     DependencyGraph dg;
     const int np = design.numProcesses();
     dg.edges.assign(np, {});
@@ -95,6 +97,7 @@ CoiResult
 analyze(const Design &design, const std::vector<SignalId> &vars_in_assert,
         Granularity granularity)
 {
+    trace::Span span("coi.analyze", "coi");
     CoiResult res;
     DependencyGraph dg = buildDependencyGraph(design);
     const int np = design.numProcesses();

@@ -10,6 +10,8 @@
 
 #include "hdl/hdl.hh"
 
+#include "trace/trace.hh"
+
 #include <map>
 #include <memory>
 #include <optional>
@@ -723,6 +725,7 @@ Parser::elabStmts(Builder &b, const std::vector<StmtP> &stmts,
 void
 Parser::elaborate(Design &design)
 {
+    trace::Span span("hdl.elaborate", "hdl");
     Builder b(design);
 
     // Clock inputs drive the implicit clock; they are not data inputs.
@@ -801,12 +804,15 @@ bool
 tryParseVerilog(const std::string &source, rtl::Design &out,
                 HdlError &error)
 {
+    trace::Span parse_span("hdl.parse", "hdl");
     Lexer lexer(source);
+    trace::Span lex_span("hdl.lex", "hdl");
     if (!lexer.run()) {
         error.line = lexer.errorLine();
         error.message = lexer.error();
         return false;
     }
+    lex_span.close();
     try {
         Parser parser(lexer.tokens());
         out = parser.parseModule();

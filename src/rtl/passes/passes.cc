@@ -3,6 +3,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "trace/trace.hh"
 #include "util/logging.hh"
 
 namespace coppelia::rtl
@@ -355,6 +356,7 @@ Design
 optimizeDesign(const Design &design, const PassOptions &opts,
                const std::vector<SignalId> &keep_roots, PassStats *stats)
 {
+    trace::Span span("rtl.optimize", "rtl");
     PassStats local;
     PassStats &st = stats ? *stats : local;
     st = PassStats{};

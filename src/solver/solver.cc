@@ -4,6 +4,7 @@
 
 #include "solver/bitblast.hh"
 #include "solver/sat/sat.hh"
+#include "trace/trace.hh"
 #include "util/logging.hh"
 #include "util/timer.hh"
 
@@ -129,6 +130,10 @@ Result
 Solver::solveCore(const std::vector<TermRef> &assertions, Model *model)
 {
     stats_.inc("sat_calls");
+    // The span brackets exactly the region the solve_us counter times, so
+    // a folded trace's smt.solve total and the solver_solve_us telemetry
+    // agree (the acceptance cross-check between the two systems).
+    trace::Span span("smt.solve", "solver");
     Timer timer;
     Result r = opts_.incremental ? solveIncremental(assertions, model)
                                  : solveFresh(assertions, model);

@@ -1,5 +1,6 @@
 #include "sym/executor.hh"
 
+#include "trace/trace.hh"
 #include "util/logging.hh"
 #include "util/timer.hh"
 
@@ -84,6 +85,7 @@ CycleExplorer::explore(const Binding &binding,
                        const std::vector<TermRef> &preconditions,
                        const LeafCallback &on_leaf)
 {
+    trace::Span span("sym.explore", "sym");
     Timer timer;
     Searcher searcher(opts_.search, opts_.bfsQuota, opts_.dfsQuota,
                       opts_.seed);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "campaign/campaign.hh"
+#include "trace/fold.hh"
 #include "util/logging.hh"
 
 using namespace coppelia;
@@ -49,6 +50,10 @@ usage(const char *argv0)
         "  --conflict-budget N  per-query SAT conflict cap (default:\n"
         "                     unlimited); Unknowns mark jobs incomplete\n"
         "  --out DIR          output directory (default: .)\n"
+        "  --trace FILE       record a Chrome trace-event timeline of the\n"
+        "                     run (open in Perfetto; fold with\n"
+        "                     coppelia-trace report); prints the per-phase\n"
+        "                     breakdown after the summary\n"
         "\n"
         "Modes:\n"
         "  --list             print the expanded job matrix and exit\n"
@@ -84,6 +89,7 @@ main(int argc, char **argv)
     long long seed = -1;
     long long conflict_budget = -2; // -1 means "explicitly unlimited"
     bool no_incremental = false;
+    std::string trace_file;
 
     auto value = [&](int &i, const char *flag) -> std::string {
         if (i + 1 >= argc)
@@ -155,6 +161,8 @@ main(int argc, char **argv)
             conflict_budget = numeric(i, "--conflict-budget", to_ll);
         } else if (arg == "--out") {
             out_dir = value(i, "--out");
+        } else if (arg == "--trace") {
+            trace_file = value(i, "--trace");
         } else if (arg == "--list") {
             list_only = true;
         } else if (arg == "--verbose") {
@@ -191,6 +199,8 @@ main(int argc, char **argv)
         spec.incrementalSolver = false;
     if (conflict_budget >= -1)
         spec.solverConflictBudget = conflict_budget;
+    if (!trace_file.empty())
+        spec.traceFile = trace_file;
 
     if (list_only) {
         std::printf("%s", campaign::describeJobs(spec).c_str());
@@ -203,6 +213,11 @@ main(int argc, char **argv)
     // Mirror the summary on stdout; the files carry the durable copy.
     std::ostringstream os;
     campaign::writeSummary(os, spec, result.records, result.scheduler);
+    if (!spec.traceFile.empty()) {
+        // Fold the just-recorded buffers rather than re-parsing the file.
+        os << "\n";
+        trace::writeFoldReport(os, trace::foldLive());
+    }
     std::printf("%s", os.str().c_str());
     std::printf("\nwrote %s/campaign.jsonl and %s/summary.txt\n",
                 out_dir.c_str(), out_dir.c_str());

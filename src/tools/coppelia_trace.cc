@@ -1,0 +1,117 @@
+/**
+ * @file
+ * `coppelia-trace` — offline trace analysis. Loads a Chrome trace-event
+ * JSON file recorded by `--trace` / the `trace` spec directive and folds
+ * it into the per-phase time breakdown (count, total, self time per span
+ * name) that backs the paper's Tables III/IV.
+ *
+ *   coppelia-trace report campaign.trace.json
+ *   coppelia-trace report --phase smt.solve campaign.trace.json
+ */
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/fold.hh"
+
+using namespace coppelia;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s report [options] TRACE.json\n"
+        "\n"
+        "Fold a Chrome trace-event file (written by coppelia-campaign\n"
+        "--trace or a `trace FILE` spec directive) into a per-phase time\n"
+        "breakdown: call count, total (inclusive) and self (exclusive)\n"
+        "time per span name.\n"
+        "\n"
+        "Options:\n"
+        "  --phase NAME   print one phase's row as `NAME total_us self_us\n"
+        "                 count` (machine-readable; exits 1 when absent)\n"
+        "  --help         this text\n",
+        argv0);
+}
+
+[[noreturn]] void
+badArg(const char *argv0, const std::string &why)
+{
+    std::fprintf(stderr, "%s: %s\n\n", argv0, why.c_str());
+    usage(argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string mode;
+    std::string phase;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--phase") {
+            if (i + 1 >= argc)
+                badArg(argv[0], "missing value for --phase");
+            phase = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            badArg(argv[0], "unknown option '" + arg + "'");
+        } else if (mode.empty()) {
+            mode = arg;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (mode.empty())
+        badArg(argv[0], "missing mode (expected 'report')");
+    if (mode != "report")
+        badArg(argv[0], "unknown mode '" + mode + "'");
+    if (paths.empty())
+        badArg(argv[0], "missing trace file");
+
+    int status = 0;
+    for (const std::string &path : paths) {
+        std::vector<trace::TrackEvents> tracks;
+        std::string error;
+        if (!trace::loadChromeTraceFile(path, &tracks, &error)) {
+            std::fprintf(stderr, "%s: cannot load trace '%s': %s\n",
+                         argv[0], path.c_str(), error.c_str());
+            return 1;
+        }
+        const trace::FoldReport report = trace::foldTracks(tracks);
+
+        if (!phase.empty()) {
+            const trace::FoldRow *row = report.find(phase);
+            if (!row) {
+                std::fprintf(stderr, "%s: no phase '%s' in '%s'\n",
+                             argv[0], phase.c_str(), path.c_str());
+                status = 1;
+                continue;
+            }
+            std::printf("%s %llu %llu %llu\n", row->name.c_str(),
+                        static_cast<unsigned long long>(row->totalUs),
+                        static_cast<unsigned long long>(row->selfUs),
+                        static_cast<unsigned long long>(row->count));
+            continue;
+        }
+
+        if (paths.size() > 1)
+            std::printf("== %s ==\n", path.c_str());
+        std::ostringstream os;
+        trace::writeFoldReport(os, report);
+        std::printf("%s", os.str().c_str());
+    }
+    return status;
+}

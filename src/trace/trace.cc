@@ -1,0 +1,303 @@
+#include "trace/trace.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string_view>
+#include <unordered_set>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace coppelia::trace
+{
+
+namespace
+{
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_dropped{0};
+std::atomic<std::size_t> g_max_per_thread{std::size_t(1) << 22};
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point
+epoch()
+{
+    static const Clock::time_point t0 = Clock::now();
+    return t0;
+}
+
+/** Per-thread event buffer; owned jointly by the registry (for export
+ *  after the thread exits) and the thread_local handle. */
+struct ThreadBuffer
+{
+    std::mutex mu;
+    int tid = 0;
+    std::string name;
+    std::vector<Event> events;
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    /** Interned dynamic strings; deque keeps pointers stable. */
+    std::deque<std::string> arena;
+    std::unordered_set<std::string_view> arenaIndex;
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry(); // leaked: outlives exiting threads
+    return *r;
+}
+
+ThreadBuffer &
+threadBuffer()
+{
+    thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+        auto b = std::make_shared<ThreadBuffer>();
+        Registry &reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mu);
+        b->tid = static_cast<int>(reg.buffers.size()) + 1;
+        reg.buffers.push_back(b);
+        return b;
+    }();
+    return *buf;
+}
+
+void
+push(const Event &ev)
+{
+    ThreadBuffer &buf = threadBuffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    if (buf.events.size() >= g_max_per_thread.load(std::memory_order_relaxed)) {
+        g_dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    buf.events.push_back(ev);
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    // Pin the epoch before the first event so timestamps stay small and
+    // positive relative to it.
+    epoch();
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t
+nowUs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              epoch())
+            .count());
+}
+
+const char *
+internString(const std::string &s)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.arenaIndex.find(std::string_view(s));
+    if (it != reg.arenaIndex.end())
+        return it->data();
+    reg.arena.push_back(s);
+    reg.arenaIndex.insert(std::string_view(reg.arena.back()));
+    return reg.arena.back().c_str();
+}
+
+void
+setThreadName(const std::string &name)
+{
+    ThreadBuffer &buf = threadBuffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    buf.name = name;
+}
+
+void
+counter(const char *name, double value)
+{
+    if (!enabled())
+        return;
+    Event ev;
+    ev.name = name;
+    ev.phase = 'C';
+    ev.startUs = nowUs();
+    ev.value = value;
+    push(ev);
+}
+
+void
+instant(const char *name, const char *category)
+{
+    if (!enabled())
+        return;
+    Event ev;
+    ev.name = name;
+    ev.category = category;
+    ev.phase = 'i';
+    ev.startUs = nowUs();
+    push(ev);
+}
+
+void
+Span::record()
+{
+    Event ev;
+    ev.name = name_;
+    ev.category = category_;
+    ev.phase = 'X';
+    ev.startUs = startUs_;
+    ev.durUs = nowUs() - startUs_;
+    push(ev);
+}
+
+std::size_t
+eventCount()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    std::size_t n = 0;
+    for (const auto &buf : reg.buffers) {
+        std::lock_guard<std::mutex> blk(buf->mu);
+        n += buf->events.size();
+    }
+    return n;
+}
+
+std::size_t
+threadEventCount()
+{
+    ThreadBuffer &buf = threadBuffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    return buf.events.size();
+}
+
+std::uint64_t
+droppedEventCount()
+{
+    return g_dropped.load(std::memory_order_relaxed);
+}
+
+void
+setMaxEventsPerThread(std::size_t cap)
+{
+    g_max_per_thread.store(cap > 0 ? cap : 1, std::memory_order_relaxed);
+}
+
+void
+clear()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (const auto &buf : reg.buffers) {
+        std::lock_guard<std::mutex> blk(buf->mu);
+        buf->events.clear();
+    }
+    g_dropped.store(0, std::memory_order_relaxed);
+}
+
+std::vector<TrackEvents>
+snapshot()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    std::vector<TrackEvents> out;
+    out.reserve(reg.buffers.size());
+    for (const auto &buf : reg.buffers) {
+        std::lock_guard<std::mutex> blk(buf->mu);
+        TrackEvents track;
+        track.tid = buf->tid;
+        track.threadName = buf->name;
+        track.events = buf->events;
+        out.push_back(std::move(track));
+    }
+    return out;
+}
+
+void
+writeChromeTrace(std::ostream &out)
+{
+    const std::vector<TrackEvents> tracks = snapshot();
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            out << ",\n";
+        first = false;
+    };
+
+    sep();
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+           "\"args\":{\"name\":\"coppelia\"}}";
+    for (const TrackEvents &track : tracks) {
+        if (track.threadName.empty())
+            continue;
+        sep();
+        out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+            << track.tid << ",\"args\":{\"name\":\""
+            << json::escape(track.threadName) << "\"}}";
+    }
+
+    char buf[64];
+    for (const TrackEvents &track : tracks) {
+        for (const Event &ev : track.events) {
+            sep();
+            out << "{\"name\":\"" << json::escape(ev.name ? ev.name : "")
+                << "\",\"ph\":\"" << ev.phase << "\",\"pid\":1,\"tid\":"
+                << track.tid << ",\"ts\":" << ev.startUs;
+            if (ev.category)
+                out << ",\"cat\":\"" << json::escape(ev.category) << "\"";
+            switch (ev.phase) {
+                case 'X':
+                    out << ",\"dur\":" << ev.durUs << ",\"args\":{}";
+                    break;
+                case 'C':
+                    std::snprintf(buf, sizeof(buf), "%.17g", ev.value);
+                    out << ",\"args\":{\"value\":" << buf << "}";
+                    break;
+                default:
+                    out << ",\"s\":\"t\",\"args\":{}";
+                    break;
+            }
+            out << "}";
+        }
+    }
+    out << "\n]}\n";
+}
+
+bool
+writeChromeTraceFile(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("trace: cannot open '", path, "' for writing");
+        return false;
+    }
+    writeChromeTrace(out);
+    out.flush();
+    if (!out) {
+        warn("trace: write to '", path, "' failed");
+        return false;
+    }
+    return true;
+}
+
+} // namespace coppelia::trace

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Structured tracing for the exploit-generation pipeline. The paper's
+ * evaluation (Tables II-VII, Fig. 3-4) is an accounting of where time
+ * goes — forward vs. backward search, heuristic ablations, COI reduction
+ * — and this subsystem is the measurement substrate behind that: every
+ * phase of the pipeline (HDL elaboration, RTL passes, COI slicing, BSEE
+ * iterations, SAT/SMT solves, replay validation, campaign scheduling)
+ * opens an RAII Span, and a whole campaign renders as one navigable
+ * timeline with per-worker tracks.
+ *
+ * Design constraints:
+ *  - ~zero cost when disabled (the default): constructing a Span is one
+ *    relaxed atomic load and three pointer stores; no allocation, no
+ *    locking, no clock read.
+ *  - thread-safe when enabled: each thread appends to its own buffer
+ *    (registered once in a global registry); the only cross-thread
+ *    synchronization on the hot path is an uncontended per-buffer mutex
+ *    taken for the duration of a vector push.
+ *  - timestamps are monotonic (steady_clock) microseconds relative to a
+ *    process-wide epoch, so spans recorded on different threads line up
+ *    on one timeline.
+ *
+ * The export format is the Chrome trace-event JSON array ("X" complete
+ * events, "C" counters, "M" thread-name metadata), which loads directly
+ * in Perfetto (ui.perfetto.dev) and chrome://tracing. fold.hh turns the
+ * same events into the per-phase time breakdown table (the data behind
+ * the paper's Tables III/IV).
+ *
+ * Event names and categories must be string literals (or otherwise live
+ * for the process lifetime); dynamic labels go through internString().
+ */
+
+#ifndef COPPELIA_TRACE_TRACE_HH
+#define COPPELIA_TRACE_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace coppelia::trace
+{
+
+/** One recorded event. Names point at static or interned storage. */
+struct Event
+{
+    const char *name = nullptr;
+    const char *category = nullptr;
+    /** Microseconds since the process trace epoch. */
+    std::uint64_t startUs = 0;
+    /** Span duration ('X' events); 0 otherwise. */
+    std::uint64_t durUs = 0;
+    /** Counter value ('C' events). */
+    double value = 0.0;
+    /** Chrome trace phase: 'X' span, 'C' counter, 'i' instant. */
+    char phase = 'X';
+};
+
+/** Global enable flag. Disabled by default; flipping it on/off is safe at
+ *  any time, but export should only run while recording threads are
+ *  quiescent (the campaign exports after its worker pool joins). */
+bool enabled();
+void setEnabled(bool on);
+
+/** Monotonic microseconds since the process trace epoch. */
+std::uint64_t nowUs();
+
+/**
+ * Copy @p s into the process-lifetime string arena and return a stable
+ * pointer, for dynamic span names / labels (job ids, worker names).
+ * Deduplicates: interning the same string twice returns the same pointer.
+ */
+const char *internString(const std::string &s);
+
+/** Name the calling thread's track in the exported timeline. */
+void setThreadName(const std::string &name);
+
+/** Record a counter sample on the calling thread's track. */
+void counter(const char *name, double value);
+
+/** Record a zero-duration instant event. */
+void instant(const char *name, const char *category = nullptr);
+
+/**
+ * RAII span: the interval between construction and destruction becomes
+ * one 'X' event on the calling thread's track. Inert when tracing is
+ * disabled at construction time.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name, const char *category = nullptr)
+        : name_(name), category_(category), active_(enabled())
+    {
+        if (active_)
+            startUs_ = nowUs();
+    }
+
+    ~Span() { close(); }
+
+    /** End the span early (idempotent). */
+    void
+    close()
+    {
+        if (!active_)
+            return;
+        active_ = false;
+        record();
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    void record();
+
+    const char *name_;
+    const char *category_;
+    std::uint64_t startUs_ = 0;
+    bool active_;
+};
+
+/** Total events buffered across all threads (approximate while threads
+ *  are still recording). */
+std::size_t eventCount();
+
+/** Events buffered by the calling thread. The delta across a job run is
+ *  that job's event count (each campaign job runs on one worker). */
+std::size_t threadEventCount();
+
+/** Events dropped because a thread buffer hit its cap. */
+std::uint64_t droppedEventCount();
+
+/** Cap on buffered events per thread (drop + count past it). */
+void setMaxEventsPerThread(std::size_t cap);
+
+/** Discard all buffered events (thread names and the enable flag stay). */
+void clear();
+
+/** Snapshot every thread's buffered events, with the registration-order
+ *  thread id alongside. */
+struct TrackEvents
+{
+    int tid = 0;
+    std::string threadName;
+    std::vector<Event> events;
+};
+std::vector<TrackEvents> snapshot();
+
+/** Serialize everything buffered as a Chrome trace-event JSON document. */
+void writeChromeTrace(std::ostream &out);
+
+/** writeChromeTrace into @p path; returns false (with a logged warning
+ *  naming the path) when the file cannot be written. */
+bool writeChromeTraceFile(const std::string &path);
+
+} // namespace coppelia::trace
+
+#endif // COPPELIA_TRACE_TRACE_HH

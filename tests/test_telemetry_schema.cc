@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The campaign JSONL schema contract: every key recordToJson emits is
+ * documented in jsonlSchema(), every documented key is actually emitted
+ * by some record kind, and emission order matches the documented order —
+ * so downstream consumers of campaign.jsonl can rely on the key set, and
+ * adding a key without documenting it fails here, not in a dashboard.
+ */
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "campaign/telemetry.hh"
+
+using namespace coppelia;
+using namespace coppelia::campaign;
+
+namespace
+{
+
+JobRecord
+exploitRecord()
+{
+    JobRecord rec;
+    rec.jobIndex = 0;
+    rec.spec.kind = JobKind::Exploit;
+    rec.spec.processor = cpu::Processor::OR1200;
+    rec.spec.bug = cpu::BugId::b01;
+    rec.spec.assertionId = "a01_test";
+    rec.seed = 0xdeadbeefcafef00dull;
+    rec.attempts = 2;
+    rec.workerId = 3;
+    rec.result.found = true;
+    rec.result.replayable = true;
+    rec.result.triggerInstructions = 2;
+    rec.result.iterations = 5;
+    rec.result.seconds = 0.5;
+    rec.result.traceEvents = 42;
+    rec.result.stats.set("solver_solve_us", 1234);
+    return rec;
+}
+
+JobRecord
+bmcRecord()
+{
+    JobRecord rec = exploitRecord();
+    rec.spec.kind = JobKind::BmcIfv;
+    rec.result.bmcDepth = 3;
+    return rec;
+}
+
+std::vector<std::string>
+emittedKeys(const JobRecord &rec)
+{
+    const json::Value v = recordToJson(rec);
+    std::vector<std::string> keys;
+    for (const auto &[key, value] : v.members())
+        keys.push_back(key);
+    return keys;
+}
+
+std::set<std::string>
+schemaKeys()
+{
+    std::set<std::string> keys;
+    for (const JsonlField &field : jsonlSchema())
+        keys.insert(field.key);
+    return keys;
+}
+
+TEST(TelemetrySchema, SchemaIsWellFormed)
+{
+    std::set<std::string> seen;
+    for (const JsonlField &field : jsonlSchema()) {
+        EXPECT_TRUE(seen.insert(field.key).second)
+            << "duplicate schema key " << field.key;
+        EXPECT_NE(field.description, nullptr);
+        EXPECT_GT(std::string(field.description).size(), 0u)
+            << field.key << " lacks a description";
+    }
+}
+
+TEST(TelemetrySchema, EveryEmittedKeyIsDocumented)
+{
+    const std::set<std::string> schema = schemaKeys();
+    for (const JobRecord &rec : {exploitRecord(), bmcRecord()}) {
+        for (const std::string &key : emittedKeys(rec))
+            EXPECT_TRUE(schema.count(key))
+                << "recordToJson emits undocumented key '" << key
+                << "' — document it in jsonlSchema()";
+    }
+}
+
+TEST(TelemetrySchema, EveryDocumentedKeyIsEmitted)
+{
+    std::set<std::string> emitted;
+    for (const JobRecord &rec : {exploitRecord(), bmcRecord()}) {
+        for (const std::string &key : emittedKeys(rec))
+            emitted.insert(key);
+    }
+    for (const std::string &key : schemaKeys())
+        EXPECT_TRUE(emitted.count(key))
+            << "documented key '" << key
+            << "' is never emitted — stale schema entry?";
+}
+
+TEST(TelemetrySchema, EmissionFollowsDocumentedOrder)
+{
+    // The emitted key sequence must be a subsequence of the schema order
+    // (kind-conditional keys may be absent, but never reordered).
+    std::vector<std::string> order;
+    for (const JsonlField &field : jsonlSchema())
+        order.push_back(field.key);
+    for (const JobRecord &rec : {exploitRecord(), bmcRecord()}) {
+        std::size_t pos = 0;
+        for (const std::string &key : emittedKeys(rec)) {
+            const auto it =
+                std::find(order.begin() + static_cast<long>(pos),
+                          order.end(), key);
+            ASSERT_NE(it, order.end())
+                << "key '" << key << "' out of documented order";
+            pos = static_cast<std::size_t>(it - order.begin()) + 1;
+        }
+    }
+}
+
+TEST(TelemetrySchema, StableKeysKeepTheirMeaning)
+{
+    // Spot-check load-bearing fields: the seed must round-trip as a
+    // string (64-bit values do not survive a double), trace_events must
+    // always be present (0 when tracing is off), stats is an object.
+    const json::Value v = recordToJson(exploitRecord());
+    const json::Value *seed = v.find("seed");
+    ASSERT_NE(seed, nullptr);
+    ASSERT_TRUE(seed->isString());
+    EXPECT_EQ(seed->asString(),
+              std::to_string(0xdeadbeefcafef00dull));
+
+    const json::Value *trace_events = v.find("trace_events");
+    ASSERT_NE(trace_events, nullptr);
+    EXPECT_EQ(trace_events->asInt(), 42);
+
+    const json::Value *stats = v.find("stats");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_TRUE(stats->isObject());
+
+    // Kind-specific keys: iterations on exploit records, bmc_depth on
+    // baseline records, never both.
+    EXPECT_NE(v.find("iterations"), nullptr);
+    EXPECT_EQ(v.find("bmc_depth"), nullptr);
+    const json::Value b = recordToJson(bmcRecord());
+    EXPECT_EQ(b.find("iterations"), nullptr);
+    EXPECT_NE(b.find("bmc_depth"), nullptr);
+}
+
+} // namespace
