@@ -2,15 +2,22 @@
 """Gate bench results against a committed baseline.
 
 Usage:
-    check_bench_regression.py CURRENT.json BASELINE.json [--tolerance 0.25]
+    check_bench_regression.py CURRENT.json BASELINE.json
+        [--tolerance 0.25] [--key-tolerance KEY=FRAC ...]
 
 CURRENT.json is what `bench_incremental --smoke --json CURRENT.json`
 just wrote; BASELINE.json is the committed BENCH_baseline.json. The gate
 fails (exit 1) when:
 
-  - total solver time regressed by more than the tolerance (default 25%),
+  - a gated time metric regressed by more than its tolerance (the
+    per-key default below, overridable with --key-tolerance; --tolerance
+    shifts the default for keys without their own entry),
   - or a correctness check the bench reports (same_outcomes,
     any_1_5x_same) went false.
+
+A gated key missing from either file is a hard error that names the key
+and the file, so a bench schema drift fails loudly instead of silently
+ungating the metric.
 
 Refresh the baseline by re-running the bench and committing its output:
     build/bench/bench_incremental --smoke --json BENCH_baseline.json
@@ -20,7 +27,12 @@ import argparse
 import json
 import sys
 
-GATED_TIME_KEY = "total_solver_inc_seconds"
+# Gated time metrics -> default fractional regression tolerance. The
+# incremental solver time is the headline number and carries the default
+# tolerance; None means "use --tolerance".
+GATED_TIME_KEYS = {
+    "total_solver_inc_seconds": None,
+}
 GATED_BOOL_KEYS = ("same_outcomes", "any_1_5x_same")
 
 
@@ -34,40 +46,80 @@ def load(path):
         sys.exit(f"malformed JSON in '{path}': {e}")
 
 
+def parse_key_tolerance(entries):
+    overrides = {}
+    for entry in entries:
+        key, sep, frac = entry.partition("=")
+        if not sep or not key:
+            sys.exit(f"--key-tolerance wants KEY=FRACTION, got '{entry}'")
+        try:
+            overrides[key] = float(frac)
+        except ValueError:
+            sys.exit(f"bad fraction '{frac}' in --key-tolerance '{entry}'")
+        if overrides[key] < 0:
+            sys.exit(f"negative tolerance in --key-tolerance '{entry}'")
+    return overrides
+
+
+def gated_number(doc, path, key, positive=False):
+    value = doc.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        sys.exit(f"'{path}' lacks gated numeric key '{key}' "
+                 f"(found {value!r}); refresh the file or update the "
+                 f"gated key set in {sys.argv[0]}")
+    if positive and value <= 0:
+        sys.exit(f"'{path}' has non-positive '{key}' ({value!r}); a "
+                 f"usable baseline needs a positive value")
+    return value
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current")
     ap.add_argument("baseline")
     ap.add_argument("--tolerance", type=float, default=0.25,
-                    help="allowed fractional solver-time increase "
+                    help="default allowed fractional time increase for "
+                         "keys without their own entry "
                          "(default 0.25 = +25%%)")
+    ap.add_argument("--key-tolerance", action="append", default=[],
+                    metavar="KEY=FRAC",
+                    help="per-key tolerance override, e.g. "
+                         "total_solver_inc_seconds=0.4; repeatable")
     args = ap.parse_args()
 
     current = load(args.current)
     baseline = load(args.baseline)
+    overrides = parse_key_tolerance(args.key_tolerance)
+    unknown = set(overrides) - set(GATED_TIME_KEYS)
+    if unknown:
+        sys.exit(f"--key-tolerance names ungated key(s): "
+                 f"{', '.join(sorted(unknown))} "
+                 f"(gated: {', '.join(sorted(GATED_TIME_KEYS))})")
 
     failures = []
     for key in GATED_BOOL_KEYS:
+        if key not in current:
+            sys.exit(f"'{args.current}' lacks gated check '{key}'; "
+                     f"refresh the file or update the gated key set in "
+                     f"{sys.argv[0]}")
         if current.get(key) is not True:
             failures.append(f"check '{key}' is {current.get(key)!r}, "
                             f"expected true")
 
-    base_t = baseline.get(GATED_TIME_KEY)
-    cur_t = current.get(GATED_TIME_KEY)
-    if not isinstance(base_t, (int, float)) or base_t <= 0:
-        sys.exit(f"baseline '{args.baseline}' lacks a positive "
-                 f"'{GATED_TIME_KEY}'")
-    if not isinstance(cur_t, (int, float)):
-        sys.exit(f"current '{args.current}' lacks '{GATED_TIME_KEY}'")
-
-    limit = base_t * (1.0 + args.tolerance)
-    ratio = cur_t / base_t
-    print(f"{GATED_TIME_KEY}: current {cur_t:.3f}s vs baseline "
-          f"{base_t:.3f}s ({ratio:.2f}x, limit {limit:.3f}s)")
-    if cur_t > limit:
-        failures.append(
-            f"solver time regressed {ratio:.2f}x over baseline "
-            f"(> +{args.tolerance:.0%})")
+    for key, default_tol in GATED_TIME_KEYS.items():
+        tolerance = overrides.get(
+            key, default_tol if default_tol is not None else args.tolerance)
+        base_t = gated_number(baseline, args.baseline, key, positive=True)
+        cur_t = gated_number(current, args.current, key)
+        limit = base_t * (1.0 + tolerance)
+        ratio = cur_t / base_t
+        print(f"{key}: current {cur_t:.3f}s vs baseline {base_t:.3f}s "
+              f"({ratio:.2f}x, limit {limit:.3f}s, "
+              f"tolerance +{tolerance:.0%})")
+        if cur_t > limit:
+            failures.append(
+                f"'{key}' regressed {ratio:.2f}x over baseline "
+                f"(> +{tolerance:.0%})")
 
     if failures:
         for f in failures:

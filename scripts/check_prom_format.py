@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition (format 0.0.4) document.
+
+Usage:
+    check_prom_format.py METRICS.txt
+
+CI curls the campaign monitor's /metrics endpoint into a file and runs
+this over it. Checks, each failing with a named line number:
+
+  - every line is a comment, blank, or `name[{labels}] value` sample,
+  - metric and label names match the Prometheus grammar,
+  - a family's `# TYPE` appears at most once and before its samples,
+  - histogram families have monotone non-decreasing `le` buckets closed
+    by `+Inf`, a `_sum`, and a `_count` equal to the `+Inf` bucket,
+  - no duplicate (name, labels) sample,
+  - at least one sample is present.
+
+Exits non-zero on the first structural parse problem or any accumulated
+semantic failure.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)(?:\s+(-?\d+))?$")
+
+
+def base_family(name):
+    """The family a sample belongs to (strips histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_labels(body, lineno, failures):
+    labels = {}
+    if not body:
+        return labels
+    # Split on commas outside quoted values.
+    parts, cur, in_quotes, escaped = [], "", False, False
+    for ch in body:
+        if escaped:
+            cur += ch
+            escaped = False
+        elif ch == "\\" and in_quotes:
+            cur += ch
+            escaped = True
+        elif ch == '"':
+            cur += ch
+            in_quotes = not in_quotes
+        elif ch == "," and not in_quotes:
+            parts.append(cur)
+            cur = ""
+        else:
+            cur += ch
+    parts.append(cur)
+    for part in parts:
+        m = LABEL_RE.match(part.strip())
+        if not m:
+            failures.append(f"line {lineno}: bad label pair '{part}'")
+            continue
+        if m.group(1) in labels:
+            failures.append(
+                f"line {lineno}: duplicate label '{m.group(1)}'")
+        labels[m.group(1)] = m.group(2)
+    return labels
+
+
+def parse_value(text, lineno, failures):
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float("nan") if text == "NaN" else float(text.strip("+"))
+    try:
+        return float(text)
+    except ValueError:
+        failures.append(f"line {lineno}: unparsable value '{text}'")
+        return None
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    path = sys.argv[1]
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        sys.exit(f"cannot open '{path}': {e.strerror}")
+
+    failures = []
+    types = {}          # family -> declared type
+    seen_samples = set()  # (name, labels-tuple)
+    families_with_samples = set()
+    histograms = {}     # family -> {"buckets": [(le, val)], "sum": v,
+                        #            "count": v} keyed per label-set-
+                        # without-le
+    sample_count = 0
+
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = re.match(r"^# (HELP|TYPE) ([^ ]+)(?: (.*))?$", line)
+            if not m:
+                failures.append(f"line {lineno}: malformed comment "
+                                f"'{line}'")
+                continue
+            kind, family = m.group(1), m.group(2)
+            if not NAME_RE.match(family):
+                failures.append(f"line {lineno}: bad metric name "
+                                f"'{family}' in # {kind}")
+            if kind == "TYPE":
+                if family in types:
+                    failures.append(f"line {lineno}: second # TYPE for "
+                                    f"'{family}'")
+                if family in families_with_samples:
+                    failures.append(f"line {lineno}: # TYPE for "
+                                    f"'{family}' after its samples")
+                types[family] = (m.group(3) or "").strip()
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            failures.append(f"line {lineno}: unparsable sample '{line}'")
+            continue
+        name, label_body, value_text = m.group(1), m.group(2), m.group(3)
+        if not NAME_RE.match(name):
+            failures.append(f"line {lineno}: bad metric name '{name}'")
+        labels = parse_labels(label_body or "", lineno, failures)
+        value = parse_value(value_text, lineno, failures)
+        if value is None:
+            continue
+        sample_count += 1
+
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen_samples:
+            failures.append(f"line {lineno}: duplicate sample "
+                            f"{name}{{{label_body or ''}}}")
+        seen_samples.add(key)
+
+        family = base_family(name)
+        families_with_samples.add(family)
+        families_with_samples.add(name)
+
+        if types.get(family) == "histogram":
+            series = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"))
+            h = histograms.setdefault(family, {}).setdefault(
+                series, {"buckets": [], "sum": None, "count": None})
+            if name == family + "_bucket":
+                if "le" not in labels:
+                    failures.append(f"line {lineno}: histogram bucket "
+                                    f"without an le label")
+                else:
+                    le = labels["le"]
+                    h["buckets"].append(
+                        (lineno, le,
+                         float("inf") if le == "+Inf" else float(le),
+                         value))
+            elif name == family + "_sum":
+                h["sum"] = value
+            elif name == family + "_count":
+                h["count"] = value
+
+    for family, series_map in histograms.items():
+        for series, h in series_map.items():
+            where = f"histogram '{family}'" + (
+                f" {{{dict(series)}}}" if series else "")
+            if not h["buckets"]:
+                failures.append(f"{where}: no buckets")
+                continue
+            les = [b[2] for b in h["buckets"]]
+            if les != sorted(les):
+                failures.append(f"{where}: le bounds out of order")
+            if les[-1] != float("inf"):
+                failures.append(f"{where}: not closed by an +Inf bucket")
+            counts = [b[3] for b in h["buckets"]]
+            if counts != sorted(counts):
+                failures.append(
+                    f"{where}: bucket counts are not cumulative")
+            if h["sum"] is None:
+                failures.append(f"{where}: missing _sum")
+            if h["count"] is None:
+                failures.append(f"{where}: missing _count")
+            elif les[-1] == float("inf") and h["count"] != counts[-1]:
+                failures.append(
+                    f"{where}: _count {h['count']} != +Inf bucket "
+                    f"{counts[-1]}")
+
+    if sample_count == 0:
+        failures.append("no samples in the document")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"prometheus format OK: {sample_count} samples, "
+          f"{len(types)} typed families, "
+          f"{len(histograms)} histogram families")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "coi/coi.hh"
+#include "metrics/metrics.hh"
 #include "trace/trace.hh"
 #include "util/logging.hh"
 #include "util/timer.hh"
@@ -276,6 +277,17 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
         ++iteration_counter;
         ++result.iterations;
         result.stats.inc("one_instruction_generations");
+        // Live search heartbeat: iteration count and frontier depth land
+        // in this worker's slot every iteration, so the scheduler's
+        // stall detector (and /status) can tell "still iterating" from
+        // "wedged inside one solve" long before the watchdog deadline.
+        static metrics::Counter *iterations_total = metrics::counter(
+            "bse_iterations",
+            "backward-engine One Instruction Generation iterations");
+        iterations_total->inc();
+        metrics::heartbeat("bse.iteration",
+                           static_cast<std::uint64_t>(iteration_counter),
+                           depth);
 
         // Preconditioned symbolic execution (§II-E1).
         std::vector<TermRef> preconds;

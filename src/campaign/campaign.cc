@@ -1,13 +1,154 @@
 #include "campaign/campaign.hh"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 
+#include "metrics/metrics.hh"
 #include "trace/trace.hh"
 #include "util/logging.hh"
 
 namespace coppelia::campaign
 {
+
+namespace
+{
+
+/** Campaign-level live metrics; interned once per process. */
+struct CampaignMetrics
+{
+    metrics::Counter *jobsCompleted = metrics::counter(
+        "campaign_jobs_completed", "jobs recorded with status completed");
+    metrics::Counter *jobsFailed = metrics::counter(
+        "campaign_jobs_failed",
+        "jobs recorded with a non-completed status");
+    metrics::Counter *jobsRetried = metrics::counter(
+        "campaign_jobs_retried", "job attempts sent back for retry");
+    metrics::Histogram *jobUs = metrics::histogram(
+        "campaign.job_us",
+        {100000, 1000000, 5000000, 15000000, 60000000, 300000000},
+        "end-to-end job wall time in microseconds");
+};
+
+CampaignMetrics &
+campaignMetrics()
+{
+    static CampaignMetrics m;
+    return m;
+}
+
+/** Cumulative counter values at the previous /status request, for the
+ *  per-scrape rate columns. Touched only under the server's provider
+ *  lock (requests are handled sequentially). */
+struct RateState
+{
+    std::uint64_t us = 0;
+    std::uint64_t iterations = 0;
+    std::uint64_t queries = 0;
+};
+
+json::Value
+buildStatus(const CampaignSpec &spec, Scheduler &scheduler,
+            ResultStore &store, std::uint64_t start_us,
+            RateState &rates)
+{
+    const std::uint64_t now_us = metrics::nowUs();
+    json::Value doc = json::Value::object();
+    doc.set("campaign", json::Value::string(spec.name));
+    doc.set("uptime_seconds",
+            json::Value::number(
+                static_cast<double>(now_us - start_us) / 1e6));
+
+    json::Value jobs = json::Value::object();
+    jobs.set("total", json::Value::number(
+                          static_cast<std::uint64_t>(spec.jobs.size())));
+    jobs.set("done", json::Value::number(
+                         static_cast<std::uint64_t>(store.size())));
+    jobs.set("pending", json::Value::number(scheduler.pendingTasks()));
+    jobs.set("queue_depth",
+             json::Value::number(
+                 static_cast<std::uint64_t>(scheduler.queuedTasks())));
+    doc.set("jobs", std::move(jobs));
+
+    json::Value workers = json::Value::array();
+    for (const WorkerSnapshot &w : scheduler.workerSnapshots()) {
+        json::Value wj = json::Value::object();
+        wj.set("worker", json::Value::number(w.worker));
+        wj.set("busy", json::Value::boolean(w.busy));
+        if (w.busy) {
+            wj.set("task", json::Value::number(w.taskId));
+            wj.set("job", json::Value::string(w.label));
+            wj.set("attempt", json::Value::number(w.attempt + 1));
+            wj.set("seconds_in_job", json::Value::number(w.secondsInJob));
+            if (w.phase) {
+                wj.set("phase", json::Value::string(w.phase));
+                wj.set("iteration", json::Value::number(w.heartbeatA));
+                wj.set("frontier", json::Value::number(w.heartbeatB));
+            }
+            wj.set("progress_age_seconds",
+                   json::Value::number(w.progressAgeSeconds));
+        }
+        workers.push(std::move(wj));
+    }
+    doc.set("workers", std::move(workers));
+
+    // Per-scrape rates from the cumulative registry counters: delta
+    // since the previous /status request on this server.
+    const std::uint64_t iters =
+        metrics::counter("bse_iterations")->value();
+    const std::uint64_t queries =
+        metrics::counter("solver_queries")->value();
+    const std::uint64_t sat_calls =
+        metrics::counter("solver_sat_calls")->value();
+    const std::uint64_t unknowns =
+        metrics::counter("solver_budget_exhausted")->value();
+    json::Value rate = json::Value::object();
+    if (rates.us > 0 && now_us > rates.us) {
+        const double dt = static_cast<double>(now_us - rates.us) / 1e6;
+        rate.set("bse_iterations_per_sec",
+                 json::Value::number(
+                     static_cast<double>(iters - rates.iterations) / dt));
+        rate.set("smt_queries_per_sec",
+                 json::Value::number(
+                     static_cast<double>(queries - rates.queries) / dt));
+    }
+    rate.set("solver_unknown_ratio",
+             json::Value::number(
+                 sat_calls > 0 ? static_cast<double>(unknowns) /
+                                     static_cast<double>(sat_calls)
+                               : 0.0));
+    rates.us = now_us;
+    rates.iterations = iters;
+    rates.queries = queries;
+    doc.set("rates", std::move(rate));
+
+    // The operator's "what is eating the wall clock": finished jobs by
+    // descending wall time.
+    std::vector<JobRecord> records = store.sorted();
+    std::sort(records.begin(), records.end(),
+              [](const JobRecord &a, const JobRecord &b) {
+                  return a.result.seconds > b.result.seconds;
+              });
+    json::Value slowest = json::Value::array();
+    for (std::size_t i = 0; i < records.size() && i < 5; ++i) {
+        const JobRecord &r = records[i];
+        json::Value rj = json::Value::object();
+        rj.set("job", json::Value::number(r.jobIndex));
+        rj.set("kind",
+               json::Value::string(jobKindName(r.spec.kind)));
+        rj.set("bug", json::Value::string(cpu::bugName(r.spec.bug)));
+        rj.set("seconds", json::Value::number(r.result.seconds));
+        rj.set("found", json::Value::boolean(r.result.found));
+        slowest.push(std::move(rj));
+    }
+    doc.set("slowest_jobs", std::move(slowest));
+
+    doc.set("metrics", metrics::snapshotJson(metrics::snapshot()));
+    return doc;
+}
+
+} // namespace
 
 const JobRecord *
 CampaignResult::find(JobKind kind, cpu::BugId bug) const
@@ -20,7 +161,8 @@ CampaignResult::find(JobKind kind, cpu::BugId bug) const
 }
 
 CampaignResult
-runCampaign(const CampaignSpec &spec, std::ostream *telemetry)
+runCampaign(const CampaignSpec &spec, std::ostream *telemetry,
+            monitor::Server *server)
 {
     // Trace lifecycle: a spec-level trace file scopes recording to this
     // campaign. A caller that enabled tracing itself (empty traceFile)
@@ -33,6 +175,24 @@ runCampaign(const CampaignSpec &spec, std::ostream *telemetry)
     }
     trace::Span campaign_span("campaign.run", "campaign");
 
+    // Monitor lifecycle mirrors the trace lifecycle: a caller-owned
+    // server outlives the run (the CLI keeps serving after completion);
+    // a spec-level port scopes the server to this campaign.
+    std::unique_ptr<monitor::Server> owned_server;
+    if (!server && spec.monitorPort >= 0) {
+        monitor::ServerOptions monitor_opts;
+        monitor_opts.port = spec.monitorPort;
+        owned_server = std::make_unique<monitor::Server>(monitor_opts);
+        if (owned_server->start()) {
+            server = owned_server.get();
+            inform("campaign '", spec.name,
+                   "': monitor on http://127.0.0.1:", server->port(),
+                   " (/metrics, /status)");
+        } else {
+            owned_server.reset(); // warned already; run unmonitored
+        }
+    }
+
     ResultStore store;
     if (telemetry)
         store.attachTelemetry(*telemetry);
@@ -40,6 +200,13 @@ runCampaign(const CampaignSpec &spec, std::ostream *telemetry)
     SchedulerOptions sched_opts;
     sched_opts.workers = spec.workers;
     sched_opts.maxRetries = spec.maxRetries;
+    // Stall warnings fire well before the watchdog deadline (2x limit +
+    // 10s): a search that has not beaten its heartbeat for a third of
+    // its budget is wedged inside one solver call.
+    sched_opts.stallWarnSeconds =
+        spec.jobTimeLimitSeconds > 0.0
+            ? std::max(5.0, spec.jobTimeLimitSeconds / 3.0)
+            : 30.0;
     Scheduler scheduler(sched_opts);
 
     for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
@@ -60,7 +227,15 @@ runCampaign(const CampaignSpec &spec, std::ostream *telemetry)
             JobResult result = runJob(spec, job, seed, ctx.cancel);
             const bool retry = result.status == JobStatus::Retryable &&
                                ctx.attempt < spec.maxRetries;
-            if (!retry) {
+            if (retry) {
+                campaignMetrics().jobsRetried->inc();
+            } else {
+                if (result.status == JobStatus::Completed)
+                    campaignMetrics().jobsCompleted->inc();
+                else
+                    campaignMetrics().jobsFailed->inc();
+                campaignMetrics().jobUs->observe(
+                    static_cast<std::uint64_t>(result.seconds * 1e6));
                 JobRecord record;
                 record.jobIndex = static_cast<int>(i);
                 record.spec = job;
@@ -79,8 +254,25 @@ runCampaign(const CampaignSpec &spec, std::ostream *telemetry)
         scheduler.add(std::move(task));
     }
 
+    if (server) {
+        const std::uint64_t start_us = metrics::nowUs();
+        auto rates = std::make_shared<RateState>();
+        server->setStatusProvider(
+            [&spec, &scheduler, &store, start_us, rates] {
+                return buildStatus(spec, scheduler, store, start_us,
+                                   *rates);
+            });
+    }
+
     CampaignResult out;
     out.scheduler = scheduler.runAll();
+    if (server) {
+        out.monitorPort = server->port();
+        // The provider captures this frame's scheduler/store; a
+        // caller-owned server must stop reaching into them once we
+        // return (it falls back to the bare registry snapshot).
+        server->setStatusProvider(nullptr);
+    }
     out.records = store.sorted();
     out.stats = store.aggregateStats();
     if (out.records.size() != spec.jobs.size())
@@ -98,7 +290,8 @@ runCampaign(const CampaignSpec &spec, std::ostream *telemetry)
 }
 
 CampaignResult
-runCampaignToFiles(const CampaignSpec &spec, const std::string &output_dir)
+runCampaignToFiles(const CampaignSpec &spec,
+                   const std::string &output_dir, monitor::Server *server)
 {
     namespace fs = std::filesystem;
     std::error_code ec;
@@ -112,7 +305,7 @@ runCampaignToFiles(const CampaignSpec &spec, const std::string &output_dir)
     if (!jsonl)
         fatal("cannot open ", (dir / "campaign.jsonl").string());
 
-    CampaignResult result = runCampaign(spec, &jsonl);
+    CampaignResult result = runCampaign(spec, &jsonl, server);
 
     std::ofstream summary(dir / "summary.txt");
     if (!summary)

@@ -19,6 +19,7 @@
 #include "campaign/scheduler.hh"
 #include "campaign/spec.hh"
 #include "campaign/telemetry.hh"
+#include "monitor/monitor.hh"
 
 namespace coppelia::campaign
 {
@@ -29,6 +30,8 @@ struct CampaignResult
     std::vector<JobRecord> records; ///< sorted by job index
     StatGroup stats;                ///< merged solver/search counters
     SchedulerReport scheduler;
+    /** Port the live monitor served on; -1 when no monitor ran. */
+    int monitorPort = -1;
 
     /** Record for a (kind, bug) cell; nullptr when absent. */
     const JobRecord *find(JobKind kind, cpu::BugId bug) const;
@@ -38,16 +41,25 @@ struct CampaignResult
  * Run the campaign. When @p telemetry is non-null every finished job is
  * streamed to it as one JSONL line (in completion order) before the call
  * returns the sorted records.
+ *
+ * Live monitoring: when @p server is non-null (a started
+ * monitor::Server the caller owns — the CLI does this so it can print
+ * the bound port and keep serving after the run), the campaign installs
+ * its /status provider on it for the duration of the run. Otherwise,
+ * when spec.monitorPort >= 0, the campaign starts its own server on
+ * that port and stops it on return.
  */
 CampaignResult runCampaign(const CampaignSpec &spec,
-                           std::ostream *telemetry = nullptr);
+                           std::ostream *telemetry = nullptr,
+                           monitor::Server *server = nullptr);
 
 /**
  * Run the campaign and write `campaign.jsonl` and `summary.txt` under
  * @p output_dir (created if missing). @return the campaign result.
  */
 CampaignResult runCampaignToFiles(const CampaignSpec &spec,
-                                  const std::string &output_dir);
+                                  const std::string &output_dir,
+                                  monitor::Server *server = nullptr);
 
 } // namespace coppelia::campaign
 

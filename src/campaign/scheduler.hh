@@ -22,6 +22,7 @@
 #ifndef COPPELIA_CAMPAIGN_SCHEDULER_HH
 #define COPPELIA_CAMPAIGN_SCHEDULER_HH
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -32,6 +33,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "metrics/metrics.hh"
 
 namespace coppelia::campaign
 {
@@ -88,6 +91,11 @@ struct SchedulerOptions
     int maxRetries = 0;
     /** Watchdog scan period. */
     double watchdogPeriodSeconds = 0.01;
+    /** Log a structured stall warning when a running task's last
+     *  progress signal (its metrics heartbeat, or the task start) is
+     *  older than this — an early tell, well before the watchdog
+     *  deadline kill. 0 disables stall detection. */
+    double stallWarnSeconds = 0.0;
 };
 
 /** Aggregate accounting for one runAll(). */
@@ -101,6 +109,23 @@ struct SchedulerReport
     int timeouts = 0; ///< attempts cancelled by the watchdog
     int steals = 0;   ///< tasks executed by a worker that stole them
     double wallSeconds = 0.0;
+};
+
+/** Live view of one worker, for the campaign monitor's /status. */
+struct WorkerSnapshot
+{
+    int worker = 0;
+    bool busy = false;
+    int taskId = -1;
+    int attempt = 0;
+    std::string label;
+    double secondsInJob = 0.0;
+    /** Latest heartbeat from the task (nullptr phase = none yet). */
+    const char *phase = nullptr;
+    std::uint64_t heartbeatA = 0;
+    std::uint64_t heartbeatB = 0;
+    /** Seconds since the last progress signal (heartbeat or start). */
+    double progressAgeSeconds = 0.0;
 };
 
 /**
@@ -118,6 +143,16 @@ class Scheduler
 
     /** Execute everything; blocks until the queue drains. */
     SchedulerReport runAll();
+
+    /** Tasks sitting in worker deques right now (excludes running ones).
+     *  Safe to call from any thread while runAll() is live. */
+    std::size_t queuedTasks() const;
+
+    /** Tasks not yet finally disposed (queued + running + retries). */
+    int pendingTasks() const;
+
+    /** One snapshot per worker slot; safe concurrently with runAll(). */
+    std::vector<WorkerSnapshot> workerSnapshots() const;
 
   private:
     struct QueuedTask
@@ -140,14 +175,24 @@ class Scheduler
         std::chrono::steady_clock::time_point deadline;
         bool hasDeadline = false;
         bool timedOut = false;
+        // Live-monitoring state for the task currently in the slot.
+        int taskId = -1;
+        int attempt = 0;
+        std::uint64_t startUs = 0; ///< metrics::nowUs() at task start
+        bool stallWarned = false;
+        /** The worker thread's heartbeat slot (tasks publish progress
+         *  through metrics::heartbeat); owned by the metrics registry. */
+        metrics::Heartbeat *heartbeat = nullptr;
     };
 
     void workerLoop(int worker_id);
     void watchdogLoop();
+    void updateWorkerMetrics();
     bool popLocal(int worker_id, QueuedTask *out);
     bool steal(int thief_id, QueuedTask *out);
     void requeue(QueuedTask task);
     void runOne(int worker_id, QueuedTask task);
+    WorkerSnapshot snapshotSlot(int worker, RunningSlot &slot) const;
 
     SchedulerOptions opts_;
     std::vector<Task> tasks_;
@@ -156,6 +201,14 @@ class Scheduler
     std::vector<std::unique_ptr<RunningSlot>> running_;
     std::atomic<int> pending_{0}; ///< tasks not yet finally disposed
     std::atomic<bool> shutdown_{false};
+
+    /** Guards the queues_/running_ vectors themselves (rebuilt at the
+     *  top of runAll) against the monitor's concurrent accessors; the
+     *  per-queue/per-slot mutexes still guard their contents. */
+    mutable std::mutex structMu_;
+    /** Per-worker live gauges (busy, task id, seconds in job), indexed
+     *  by worker; registered on first runAll() with that worker count. */
+    std::vector<std::array<metrics::Gauge *, 3>> workerGauges_;
 
     std::mutex reportMu_;
     SchedulerReport report_;

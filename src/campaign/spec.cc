@@ -156,6 +156,10 @@ parseSpec(std::istream &in, const std::string &origin)
             spec.validateByReplay = word("on/off") == "on";
         } else if (key == "trace") {
             spec.traceFile = word("file");
+        } else if (key == "monitor") {
+            spec.monitorPort = intWord("port");
+            if (spec.monitorPort < 0 || spec.monitorPort > 65535)
+                bad("port out of range");
         } else if (key == "matrix") {
             cpu::Processor proc;
             if (!parseProcessorName(word("processor"), &proc))

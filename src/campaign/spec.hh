@@ -26,6 +26,8 @@
  * processor; `job PROC BUG [KIND]` adds a single job. Processors:
  * or1200, mor1kx, ri5cy. Kinds: exploit (default), bmc-ifv, bmc-ebmc.
  * `trace FILE` records the run as a Chrome trace-event timeline.
+ * `monitor PORT` serves live /metrics and /status over HTTP on
+ * 127.0.0.1:PORT for the duration of the run (0 = ephemeral port).
  */
 
 #ifndef COPPELIA_CAMPAIGN_SPEC_HH
@@ -92,6 +94,11 @@ struct CampaignSpec
      *  disables tracing. The file loads in Perfetto / chrome://tracing
      *  and folds with `coppelia-trace report`. */
     std::string traceFile;
+    /** Live monitor HTTP port (`monitor PORT` / `--monitor`): serve
+     *  /metrics (Prometheus) and /status (JSON) on 127.0.0.1 while the
+     *  campaign runs. 0 binds an ephemeral port; -1 (default) disables
+     *  the monitor. */
+    int monitorPort = -1;
 
     std::vector<JobSpec> jobs;
 };

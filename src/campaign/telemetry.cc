@@ -15,6 +15,8 @@ const std::vector<JsonlField> &
 jsonlSchema()
 {
     static const std::vector<JsonlField> schema{
+        {"schema_version", "JSONL record schema version "
+                           "(kJsonlSchemaVersion; see telemetry.hh)"},
         {"job", "job index within the expanded campaign matrix"},
         {"kind", "job kind: exploit, bmc-ifv, or bmc-ebmc"},
         {"processor", "processor the design was elaborated for"},
@@ -48,6 +50,7 @@ recordToJson(const JobRecord &record)
 {
     const JobResult &r = record.result;
     json::Value v = json::Value::object();
+    v.set("schema_version", json::Value::number(kJsonlSchemaVersion));
     v.set("job", json::Value::number(record.jobIndex));
     v.set("kind", json::Value::string(jobKindName(record.spec.kind)));
     v.set("processor", json::Value::string(
@@ -140,7 +143,8 @@ writeSummary(std::ostream &out, const CampaignSpec &spec,
 {
     out << "campaign '" << spec.name << "': " << records.size()
         << " jobs on " << report.workers << " workers, "
-        << Timer::formatSeconds(report.wallSeconds) << " wall\n";
+        << Timer::formatSeconds(report.wallSeconds)
+        << " wall (jsonl schema v" << kJsonlSchemaVersion << ")\n";
 
     // Group the matrix per processor, joining kinds by bug.
     std::map<cpu::Processor, std::map<std::string, BugRow>> matrix;

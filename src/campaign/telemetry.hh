@@ -29,6 +29,19 @@ namespace coppelia::campaign
 {
 
 /**
+ * The JSONL record schema version, emitted as the first field of every
+ * record (and echoed in the end-of-run summary) so downstream consumers
+ * can dispatch on it. History:
+ *
+ *   1  the pre-versioned records (no schema_version field)
+ *   2  adds schema_version itself
+ *
+ * Bump it whenever a documented field changes meaning, is removed, or
+ * is renamed; adding a field is backward compatible and does not bump.
+ */
+constexpr int kJsonlSchemaVersion = 2;
+
+/**
  * One documented top-level field of the JSONL record. The schema is a
  * compatibility contract: every key recordToJson emits must appear here
  * (the schema test enforces it), and removing or renaming a key is a

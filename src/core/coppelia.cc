@@ -58,6 +58,10 @@ Coppelia::generateExploit(const props::Assertion &assertion)
         second.seconds += trigger.seconds;
         second.iterations += trigger.iterations;
         second.solverIncomplete |= trigger.solverIncomplete;
+        // Keep the first attempt's solver/search counters: dropping them
+        // would leave the JSONL stats short of the work actually done
+        // (and out of step with the live metrics registry).
+        second.stats.merge(trigger.stats);
         trigger = std::move(second);
     }
     res.outcome = trigger.outcome;

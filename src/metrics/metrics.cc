@@ -1,0 +1,507 @@
+#include "metrics/metrics.hh"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace coppelia::metrics
+{
+
+namespace
+{
+
+/** Cells available per thread shard; every counter takes one, every
+ *  histogram takes bounds+2 (finite buckets, +Inf, sum). Registration
+ *  past the cap is a fatal error — the process-wide metric set is small
+ *  and fixed, not data-dependent. */
+constexpr std::size_t kMaxCells = 4096;
+
+struct Shard
+{
+    std::array<std::atomic<std::uint64_t>, kMaxCells> cells{};
+};
+
+} // namespace
+
+/** The process-wide registry. Leaked (never destroyed): worker threads
+ *  may still be incrementing through their shard pointers during static
+ *  destruction, and handles are handed out as raw process-lifetime
+ *  pointers. */
+class Registry
+{
+  public:
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        Histogram,
+    };
+
+    struct Info
+    {
+        Kind kind;
+        std::string name;
+        std::string labels;
+        std::string help;
+        std::size_t firstCell = 0; ///< counters and histograms
+        std::vector<std::uint64_t> bounds;
+        Counter *counterHandle = nullptr;
+        Gauge *gaugeHandle = nullptr;
+        Histogram *histogramHandle = nullptr;
+    };
+
+    static Registry &
+    instance()
+    {
+        static Registry *reg = new Registry();
+        return *reg;
+    }
+
+    Shard *
+    registerShard()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shards_.push_back(std::make_unique<Shard>());
+        return shards_.back().get();
+    }
+
+    Heartbeat *
+    registerHeartbeat()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        heartbeats_.push_back(std::make_unique<Heartbeat>());
+        return heartbeats_.back().get();
+    }
+
+    Counter *
+    counter(const char *name, const char *help, const std::string &labels)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (Info *info = find(name, labels)) {
+            requireKind(*info, Kind::Counter);
+            return info->counterHandle;
+        }
+        Info info = makeInfo(Kind::Counter, name, help, labels);
+        info.firstCell = allocCells(1);
+        info.counterHandle = new Counter(info.firstCell);
+        infos_.push_back(std::move(info));
+        return infos_.back().counterHandle;
+    }
+
+    Gauge *
+    gauge(const char *name, const char *help, const std::string &labels)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (Info *info = find(name, labels)) {
+            requireKind(*info, Kind::Gauge);
+            return info->gaugeHandle;
+        }
+        Info info = makeInfo(Kind::Gauge, name, help, labels);
+        info.gaugeHandle = new Gauge();
+        infos_.push_back(std::move(info));
+        return infos_.back().gaugeHandle;
+    }
+
+    Histogram *
+    histogram(const char *name, const std::vector<std::uint64_t> &bounds,
+              const char *help, const std::string &labels)
+    {
+        if (bounds.empty() ||
+            !std::is_sorted(bounds.begin(), bounds.end()))
+            fatal("metrics: histogram '", name,
+                  "' needs sorted non-empty bucket bounds");
+        std::lock_guard<std::mutex> lock(mu_);
+        if (Info *info = find(name, labels)) {
+            requireKind(*info, Kind::Histogram);
+            if (info->bounds != bounds)
+                fatal("metrics: histogram '", name,
+                      "' re-registered with different bounds");
+            return info->histogramHandle;
+        }
+        Info info = makeInfo(Kind::Histogram, name, help, labels);
+        info.bounds = bounds;
+        info.firstCell = allocCells(bounds.size() + 2);
+        info.histogramHandle = new Histogram(info.firstCell, bounds);
+        infos_.push_back(std::move(info));
+        return infos_.back().histogramHandle;
+    }
+
+    std::uint64_t
+    sumCell(std::size_t cell) const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return sumCellLocked(cell);
+    }
+
+    Snapshot
+    snapshot() const
+    {
+        Snapshot snap;
+        snap.timestampUs = nowUs();
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const Info &info : infos_) {
+            switch (info.kind) {
+              case Kind::Counter: {
+                CounterSample s;
+                s.name = info.name;
+                s.labels = info.labels;
+                s.help = info.help;
+                s.value = sumCellLocked(info.firstCell);
+                snap.counters.push_back(std::move(s));
+                break;
+              }
+              case Kind::Gauge: {
+                GaugeSample s;
+                s.name = info.name;
+                s.labels = info.labels;
+                s.help = info.help;
+                s.value = info.gaugeHandle->value();
+                snap.gauges.push_back(std::move(s));
+                break;
+              }
+              case Kind::Histogram: {
+                HistogramSample s;
+                s.name = info.name;
+                s.labels = info.labels;
+                s.help = info.help;
+                s.bounds = info.bounds;
+                const std::size_t n = info.bounds.size();
+                for (std::size_t i = 0; i <= n; ++i) {
+                    const std::uint64_t c =
+                        sumCellLocked(info.firstCell + i);
+                    s.bucketCounts.push_back(c);
+                    s.count += c;
+                }
+                s.sum = sumCellLocked(info.firstCell + n + 1);
+                snap.histograms.push_back(std::move(s));
+                break;
+              }
+            }
+        }
+        return snap;
+    }
+
+    void
+    zeroAll()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto &shard : shards_) {
+            for (auto &cell : shard->cells)
+                cell.store(0, std::memory_order_relaxed);
+        }
+        for (Info &info : infos_) {
+            if (info.kind == Kind::Gauge)
+                info.gaugeHandle->set(0.0);
+        }
+        for (auto &hb : heartbeats_)
+            hb->clear();
+    }
+
+  private:
+    Registry() = default;
+
+    Info *
+    find(const char *name, const std::string &labels)
+    {
+        for (Info &info : infos_) {
+            if (info.name == name && info.labels == labels)
+                return &info;
+        }
+        return nullptr;
+    }
+
+    static Info
+    makeInfo(Kind kind, const char *name, const char *help,
+             const std::string &labels)
+    {
+        Info info;
+        info.kind = kind;
+        info.name = name;
+        info.labels = labels;
+        info.help = help ? help : "";
+        return info;
+    }
+
+    static void
+    requireKind(const Info &info, Kind kind)
+    {
+        if (info.kind != kind)
+            fatal("metrics: '", info.name,
+                  "' re-registered as a different metric kind");
+    }
+
+    std::size_t
+    allocCells(std::size_t n)
+    {
+        if (nextCell_ + n > kMaxCells)
+            fatal("metrics: shard cell space exhausted (", kMaxCells,
+                  " cells)");
+        const std::size_t first = nextCell_;
+        nextCell_ += n;
+        return first;
+    }
+
+    std::uint64_t
+    sumCellLocked(std::size_t cell) const
+    {
+        std::uint64_t total = 0;
+        for (const auto &shard : shards_)
+            total += shard->cells[cell].load(std::memory_order_relaxed);
+        return total;
+    }
+
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<std::unique_ptr<Heartbeat>> heartbeats_;
+    // deque: handle-owning Infos must not move (bounds are copied into
+    // the handle, but Info addresses are returned from find()).
+    std::deque<Info> infos_;
+    std::size_t nextCell_ = 0;
+};
+
+namespace
+{
+
+/** The calling thread's shard: registered on first use, then a plain
+ *  thread-local pointer read. The registry owns the shard, so the cells
+ *  survive thread exit and still aggregate into later snapshots. */
+Shard &
+threadShard()
+{
+    thread_local Shard *shard = Registry::instance().registerShard();
+    return *shard;
+}
+
+} // namespace
+
+std::uint64_t
+nowUs()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+void
+Counter::inc(std::uint64_t delta)
+{
+    threadShard().cells[cell_].fetch_add(delta,
+                                         std::memory_order_relaxed);
+}
+
+std::uint64_t
+Counter::value() const
+{
+    return Registry::instance().sumCell(cell_);
+}
+
+void
+Histogram::observe(std::uint64_t value)
+{
+    auto &cells = threadShard().cells;
+    std::size_t i = 0;
+    const std::size_t n = bounds_.size();
+    while (i < n && value > bounds_[i])
+        ++i; // bucket i holds observations <= bounds_[i]; n is +Inf
+    cells[firstCell_ + i].fetch_add(1, std::memory_order_relaxed);
+    cells[firstCell_ + n + 1].fetch_add(value,
+                                        std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        total += Registry::instance().sumCell(firstCell_ + i);
+    return total;
+}
+
+std::uint64_t
+Histogram::sum() const
+{
+    return Registry::instance().sumCell(firstCell_ + bounds_.size() + 1);
+}
+
+Counter *
+counter(const char *name, const char *help, const std::string &labels)
+{
+    return Registry::instance().counter(name, help, labels);
+}
+
+Gauge *
+gauge(const char *name, const char *help, const std::string &labels)
+{
+    return Registry::instance().gauge(name, help, labels);
+}
+
+Histogram *
+histogram(const char *name, const std::vector<std::uint64_t> &bounds,
+          const char *help, const std::string &labels)
+{
+    return Registry::instance().histogram(name, bounds, help, labels);
+}
+
+Snapshot
+snapshot()
+{
+    return Registry::instance().snapshot();
+}
+
+void
+zeroAllMetrics()
+{
+    Registry::instance().zeroAll();
+}
+
+Heartbeat *
+threadHeartbeat()
+{
+    thread_local Heartbeat *slot =
+        Registry::instance().registerHeartbeat();
+    return slot;
+}
+
+void
+heartbeat(const char *phase, std::uint64_t a, std::uint64_t b)
+{
+    threadHeartbeat()->beat(phase, a, b);
+}
+
+namespace
+{
+
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+std::string
+withLabel(const std::string &labels, const std::string &extra)
+{
+    if (labels.empty())
+        return extra.empty() ? std::string() : "{" + extra + "}";
+    if (extra.empty())
+        return "{" + labels + "}";
+    return "{" + labels + "," + extra + "}";
+}
+
+/** Emit the HELP/TYPE header once per metric family. */
+void
+header(std::ostream &out, std::vector<std::string> &seen,
+       const std::string &prom_name, const std::string &help,
+       const char *type)
+{
+    if (std::find(seen.begin(), seen.end(), prom_name) != seen.end())
+        return;
+    seen.push_back(prom_name);
+    if (!help.empty())
+        out << "# HELP " << prom_name << " " << help << "\n";
+    out << "# TYPE " << prom_name << " " << type << "\n";
+}
+
+} // namespace
+
+std::string
+prometheusName(const std::string &name)
+{
+    std::string out = "coppelia_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+void
+writePrometheus(std::ostream &out, const Snapshot &snap)
+{
+    std::vector<std::string> seen;
+    for (const CounterSample &s : snap.counters) {
+        const std::string name = prometheusName(s.name);
+        header(out, seen, name, s.help, "counter");
+        out << name << withLabel(s.labels, "") << " " << s.value << "\n";
+    }
+    for (const GaugeSample &s : snap.gauges) {
+        const std::string name = prometheusName(s.name);
+        header(out, seen, name, s.help, "gauge");
+        out << name << withLabel(s.labels, "") << " "
+            << fmtDouble(s.value) << "\n";
+    }
+    for (const HistogramSample &s : snap.histograms) {
+        const std::string name = prometheusName(s.name);
+        header(out, seen, name, s.help, "histogram");
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+            cumulative += s.bucketCounts[i];
+            out << name << "_bucket"
+                << withLabel(s.labels,
+                             "le=\"" + std::to_string(s.bounds[i]) + "\"")
+                << " " << cumulative << "\n";
+        }
+        out << name << "_bucket" << withLabel(s.labels, "le=\"+Inf\"")
+            << " " << s.count << "\n";
+        out << name << "_sum" << withLabel(s.labels, "") << " " << s.sum
+            << "\n";
+        out << name << "_count" << withLabel(s.labels, "") << " "
+            << s.count << "\n";
+    }
+}
+
+json::Value
+snapshotJson(const Snapshot &snap)
+{
+    auto key = [](const std::string &name, const std::string &labels) {
+        return labels.empty() ? name : name + "{" + labels + "}";
+    };
+    json::Value counters = json::Value::object();
+    for (const CounterSample &s : snap.counters)
+        counters.set(key(s.name, s.labels), json::Value::number(s.value));
+    json::Value gauges = json::Value::object();
+    for (const GaugeSample &s : snap.gauges)
+        gauges.set(key(s.name, s.labels), json::Value::number(s.value));
+    json::Value histograms = json::Value::object();
+    for (const HistogramSample &s : snap.histograms) {
+        json::Value h = json::Value::object();
+        h.set("count", json::Value::number(s.count));
+        h.set("sum", json::Value::number(s.sum));
+        json::Value buckets = json::Value::array();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+            cumulative += s.bucketCounts[i];
+            json::Value pair = json::Value::array();
+            pair.push(
+                json::Value::string(std::to_string(s.bounds[i])));
+            pair.push(json::Value::number(cumulative));
+            buckets.push(std::move(pair));
+        }
+        json::Value inf = json::Value::array();
+        inf.push(json::Value::string("+Inf"));
+        inf.push(json::Value::number(s.count));
+        buckets.push(std::move(inf));
+        h.set("buckets", std::move(buckets));
+        histograms.set(key(s.name, s.labels), std::move(h));
+    }
+    json::Value doc = json::Value::object();
+    doc.set("timestamp_us", json::Value::number(snap.timestampUs));
+    doc.set("counters", std::move(counters));
+    doc.set("gauges", std::move(gauges));
+    doc.set("histograms", std::move(histograms));
+    return doc;
+}
+
+} // namespace coppelia::metrics

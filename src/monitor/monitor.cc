@@ -1,0 +1,282 @@
+#include "monitor/monitor.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "metrics/metrics.hh"
+#include "util/logging.hh"
+
+namespace coppelia::monitor
+{
+
+namespace
+{
+
+std::string
+statusLineBody(const char *status, const std::string &content_type,
+               const std::string &body)
+{
+    std::ostringstream os;
+    os << "HTTP/1.0 " << status << "\r\n"
+       << "Content-Type: " << content_type << "\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: close\r\n"
+       << "\r\n"
+       << body;
+    return os.str();
+}
+
+void
+sendAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+        if (n <= 0)
+            return; // client went away; nothing to salvage
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+Server::Server(ServerOptions opts) : opts_(opts) {}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::start()
+{
+    if (running())
+        return true;
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        warn("monitor: socket: ", std::strerror(errno));
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+    if (::inet_pton(AF_INET, opts_.bindAddress.c_str(), &addr.sin_addr) !=
+        1) {
+        warn("monitor: bad bind address '", opts_.bindAddress, "'");
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        warn("monitor: cannot bind ", opts_.bindAddress, ":", opts_.port,
+             ": ", std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::listen(listenFd_, 16) != 0) {
+        warn("monitor: listen: ", std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&bound),
+                      &len) == 0)
+        port_ = static_cast<int>(ntohs(bound.sin_port));
+    else
+        port_ = opts_.port;
+
+    stopRequested_.store(false, std::memory_order_release);
+    running_.store(true, std::memory_order_release);
+    thread_ = std::thread([this] { serveLoop(); });
+    return true;
+}
+
+void
+Server::stop()
+{
+    if (!running_.exchange(false, std::memory_order_acq_rel)) {
+        if (thread_.joinable())
+            thread_.join();
+        return;
+    }
+    stopRequested_.store(true, std::memory_order_release);
+    if (thread_.joinable())
+        thread_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    port_ = -1;
+}
+
+void
+Server::setStatusProvider(StatusProvider provider)
+{
+    std::lock_guard<std::mutex> lock(providerMu_);
+    provider_ = std::move(provider);
+}
+
+void
+Server::serveLoop()
+{
+    while (!stopRequested_.load(std::memory_order_acquire)) {
+        pollfd pfd{};
+        pfd.fd = listenFd_;
+        pfd.events = POLLIN;
+        // Short poll timeout so a stop() request is honoured promptly
+        // even when no scraper is connected.
+        const int ready = ::poll(&pfd, 1, 100);
+        if (ready <= 0)
+            continue;
+        const int client = ::accept(listenFd_, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        handleClient(client);
+        ::close(client);
+    }
+}
+
+void
+Server::handleClient(int fd)
+{
+    // Read until the end of the request head; everything this server
+    // understands fits in the first line.
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    std::string request;
+    char buf[1024];
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.find("\n\n") == std::string::npos &&
+           request.size() < 8192) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        request.append(buf, static_cast<std::size_t>(n));
+    }
+    const std::size_t eol = request.find('\n');
+    if (eol == std::string::npos)
+        return;
+    std::string line = request.substr(0, eol);
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    sendAll(fd, buildResponse(line));
+}
+
+std::string
+Server::buildResponse(const std::string &request_line)
+{
+    std::istringstream words(request_line);
+    std::string method, target;
+    words >> method >> target;
+    if (method != "GET")
+        return statusLineBody("405 Method Not Allowed", "text/plain",
+                              "GET only\n");
+    const std::size_t query = target.find('?');
+    if (query != std::string::npos)
+        target = target.substr(0, query);
+
+    if (target == "/metrics") {
+        std::ostringstream body;
+        metrics::writePrometheus(body, metrics::snapshot());
+        return statusLineBody("200 OK",
+                              "text/plain; version=0.0.4; charset=utf-8",
+                              body.str());
+    }
+    if (target == "/status") {
+        json::Value doc;
+        {
+            std::lock_guard<std::mutex> lock(providerMu_);
+            doc = provider_ ? provider_()
+                            : metrics::snapshotJson(metrics::snapshot());
+        }
+        return statusLineBody("200 OK", "application/json",
+                              doc.dump() + "\n");
+    }
+    if (target == "/" || target == "/index.html") {
+        return statusLineBody(
+            "200 OK", "text/plain",
+            "coppelia campaign monitor\n"
+            "  /metrics  Prometheus text exposition\n"
+            "  /status   JSON status document (coppelia-top reads this)\n");
+    }
+    return statusLineBody("404 Not Found", "text/plain", "not found\n");
+}
+
+bool
+httpGet(const std::string &host, int port, const std::string &path,
+        std::string *body, std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+    if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1)
+        return fail("bad host '" + host + "' (numeric IPv4 only)");
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return fail(std::string("socket: ") + std::strerror(errno));
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const std::string why =
+            std::string("connect: ") + std::strerror(errno);
+        ::close(fd);
+        return fail(why);
+    }
+
+    sendAll(fd, "GET " + path + " HTTP/1.0\r\nHost: " + ip +
+                    "\r\nConnection: close\r\n\r\n");
+
+    std::string response;
+    char buf[4096];
+    while (true) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+
+    const std::size_t head_end = response.find("\r\n\r\n");
+    if (head_end == std::string::npos)
+        return fail("malformed HTTP response");
+    const std::size_t eol = response.find("\r\n");
+    const std::string status_line = response.substr(0, eol);
+    if (status_line.find(" 200 ") == std::string::npos)
+        return fail("HTTP status: " + status_line);
+    if (body)
+        *body = response.substr(head_end + 4);
+    return true;
+}
+
+} // namespace coppelia::monitor

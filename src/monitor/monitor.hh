@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Embedded campaign monitor: a tiny HTTP server that exposes the live
+ * metrics registry while a campaign runs. Deliberately minimal — POSIX
+ * sockets only, GET-only, HTTP/1.0 close-per-request, all requests
+ * handled sequentially on one dedicated thread (the clients are a
+ * Prometheus scraper, `curl`, and `coppelia-top`, not the public
+ * internet) — so attaching a monitor adds one blocked thread and zero
+ * hot-path cost.
+ *
+ * Endpoints:
+ *   /metrics  Prometheus text exposition (format 0.0.4) of the registry
+ *   /status   JSON status document; the campaign installs a provider
+ *             that adds workers, queue depth, rates, and slowest jobs
+ *   /         plain-text index
+ *
+ * Binding port 0 picks an ephemeral port (port() reports it), which the
+ * tests use to avoid collisions.
+ */
+
+#ifndef COPPELIA_MONITOR_MONITOR_HH
+#define COPPELIA_MONITOR_MONITOR_HH
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/json.hh"
+
+namespace coppelia::monitor
+{
+
+struct ServerOptions
+{
+    /** TCP port to bind; 0 = ephemeral (read back with port()). */
+    int port = 0;
+    /** Loopback by default: the monitor is an operator tool, not a
+     *  service to expose off-host without a reverse proxy. */
+    std::string bindAddress = "127.0.0.1";
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions opts = {});
+    ~Server(); ///< stops the server if still running
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and start the serving thread. Returns false (with a
+     *  logged warning) when the socket cannot be set up. */
+    bool start();
+
+    /** Stop serving and join the thread. Idempotent. */
+    void stop();
+
+    /** The bound port, or -1 before a successful start(). */
+    int port() const { return port_; }
+
+    bool running() const
+    {
+        return running_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Install the /status document builder. Invoked on the serving
+     * thread, one request at a time. Pass nullptr to restore the default
+     * (a bare registry snapshot) — callers whose provider captures
+     * soon-to-die objects must clear it before destroying them.
+     */
+    using StatusProvider = std::function<json::Value()>;
+    void setStatusProvider(StatusProvider provider);
+
+  private:
+    void serveLoop();
+    void handleClient(int fd);
+    std::string buildResponse(const std::string &request_line);
+
+    ServerOptions opts_;
+    int listenFd_ = -1;
+    int port_ = -1;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopRequested_{false};
+    std::thread thread_;
+    std::mutex providerMu_;
+    StatusProvider provider_;
+};
+
+/**
+ * Minimal blocking HTTP/1.0 GET against @p host:@p port (numeric IPv4
+ * address or "localhost"); stores the response body in @p body. Returns
+ * false on connect/protocol/non-200 failures (message in @p error when
+ * non-null). Shared by `coppelia-top` and the tests.
+ */
+bool httpGet(const std::string &host, int port, const std::string &path,
+             std::string *body, std::string *error = nullptr);
+
+} // namespace coppelia::monitor
+
+#endif // COPPELIA_MONITOR_MONITOR_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "metrics/metrics.hh"
 #include "solver/bitblast.hh"
 #include "solver/sat/sat.hh"
 #include "trace/trace.hh"
@@ -10,6 +11,44 @@
 
 namespace coppelia::smt
 {
+
+namespace
+{
+
+/** Live-registry mirrors of the per-instance stats_ counters, named
+ *  after the JSONL telemetry keys the engine/bmc layers merge them to —
+ *  the monitor's /metrics, campaign.jsonl, and the trace fold must
+ *  agree on these totals (asserted by the campaign consistency test).
+ *  Handles are interned once; each increment is one relaxed add. */
+struct LiveCounters
+{
+    metrics::Counter *queries = metrics::counter(
+        "solver_queries", "SMT facade queries (cache hits included)");
+    metrics::Counter *satCalls = metrics::counter(
+        "solver_sat_calls", "SAT solves actually dispatched");
+    metrics::Counter *incrementalQueries = metrics::counter(
+        "solver_incremental_queries",
+        "queries answered by the persistent incremental backend");
+    metrics::Counter *cacheHits = metrics::counter(
+        "solver_cache_hits", "query-cache hits (no SAT call)");
+    metrics::Counter *budgetExhausted = metrics::counter(
+        "solver_budget_exhausted",
+        "SAT solves that returned Unknown on conflict budget");
+    metrics::Histogram *solveUs = metrics::histogram(
+        "smt.solve_us",
+        {100, 1000, 10000, 100000, 1000000, 10000000},
+        "latency of one SAT dispatch in microseconds (the region the "
+        "smt.solve trace span brackets)");
+};
+
+LiveCounters &
+live()
+{
+    static LiveCounters counters;
+    return counters;
+}
+
+} // namespace
 
 Solver::Solver(TermManager &tm, SolverOptions opts) : tm_(tm), opts_(opts) {}
 
@@ -68,6 +107,7 @@ Result
 Solver::check(const std::vector<TermRef> &assertions, Model *model)
 {
     stats_.inc("queries");
+    live().queries->inc();
 
     // Constant-level short circuit: the simplifier folds trivially false
     // assertions to literal 0.
@@ -85,6 +125,7 @@ Solver::check(const std::vector<TermRef> &assertions, Model *model)
         auto it = cache_.find(key);
         if (it != cache_.end()) {
             stats_.inc("cache_hits");
+            live().cacheHits->inc();
             if (it->second.result == Result::Sat && model)
                 *model = it->second.model;
             return it->second.result;
@@ -130,15 +171,19 @@ Result
 Solver::solveCore(const std::vector<TermRef> &assertions, Model *model)
 {
     stats_.inc("sat_calls");
+    live().satCalls->inc();
+    metrics::heartbeat("smt.solve", stats_.get("sat_calls"));
     // The span brackets exactly the region the solve_us counter times, so
-    // a folded trace's smt.solve total and the solver_solve_us telemetry
-    // agree (the acceptance cross-check between the two systems).
+    // a folded trace's smt.solve total, the solver_solve_us telemetry,
+    // and the smt.solve_us registry histogram agree (the acceptance
+    // cross-check between the three systems).
     trace::Span span("smt.solve", "solver");
     Timer timer;
     Result r = opts_.incremental ? solveIncremental(assertions, model)
                                  : solveFresh(assertions, model);
-    stats_.inc("solve_us",
-               static_cast<std::uint64_t>(timer.seconds() * 1e6));
+    const auto us = static_cast<std::uint64_t>(timer.seconds() * 1e6);
+    stats_.inc("solve_us", us);
+    live().solveUs->observe(us);
     return r;
 }
 
@@ -189,6 +234,7 @@ Solver::solveFresh(const std::vector<TermRef> &assertions, Model *model)
         return Result::Unsat;
       case sat::SatResult::Unknown:
         stats_.inc("budget_exhausted");
+        live().budgetExhausted->inc();
         return Result::Unknown;
       case sat::SatResult::Sat:
         break;
@@ -207,6 +253,7 @@ Solver::solveIncremental(const std::vector<TermRef> &assertions, Model *model)
         incBlaster_ = std::make_unique<BitBlaster>(tm_, *incSat_);
     }
     stats_.inc("incremental_queries");
+    live().incrementalQueries->inc();
     // Learnt clauses present before this query were derived while solving
     // earlier ones; they are implied by the (purely definitional) Tseitin
     // clauses, so carrying them over is sound and prunes this query too.
@@ -257,6 +304,7 @@ Solver::solveIncremental(const std::vector<TermRef> &assertions, Model *model)
         return Result::Unsat;
       case sat::SatResult::Unknown:
         stats_.inc("budget_exhausted");
+        live().budgetExhausted->inc();
         return Result::Unknown;
       case sat::SatResult::Sat:
         break;

@@ -11,12 +11,15 @@
  *   coppelia-campaign --spec table2.campaign --list
  */
 
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "campaign/campaign.hh"
+#include "monitor/monitor.hh"
 #include "trace/fold.hh"
 #include "util/logging.hh"
 
@@ -54,6 +57,12 @@ usage(const char *argv0)
         "                     run (open in Perfetto; fold with\n"
         "                     coppelia-trace report); prints the per-phase\n"
         "                     breakdown after the summary\n"
+        "  --monitor PORT     serve live /metrics (Prometheus) and\n"
+        "                     /status (JSON) on 127.0.0.1:PORT while the\n"
+        "                     campaign runs (0 = ephemeral port; watch\n"
+        "                     with coppelia-top --port PORT)\n"
+        "  --monitor-linger SEC  keep the monitor serving SEC seconds\n"
+        "                     after the run completes (for scrapers)\n"
         "\n"
         "Modes:\n"
         "  --list             print the expanded job matrix and exit\n"
@@ -90,6 +99,8 @@ main(int argc, char **argv)
     long long conflict_budget = -2; // -1 means "explicitly unlimited"
     bool no_incremental = false;
     std::string trace_file;
+    int monitor_port = -2; // -1 = spec default off; >= 0 = serve
+    double monitor_linger = 0.0;
 
     auto value = [&](int &i, const char *flag) -> std::string {
         if (i + 1 >= argc)
@@ -163,6 +174,12 @@ main(int argc, char **argv)
             out_dir = value(i, "--out");
         } else if (arg == "--trace") {
             trace_file = value(i, "--trace");
+        } else if (arg == "--monitor") {
+            monitor_port = numeric(i, "--monitor", to_int);
+            if (monitor_port < 0 || monitor_port > 65535)
+                badArg(argv[0], "--monitor wants a port in [0, 65535]");
+        } else if (arg == "--monitor-linger") {
+            monitor_linger = numeric(i, "--monitor-linger", to_double);
         } else if (arg == "--list") {
             list_only = true;
         } else if (arg == "--verbose") {
@@ -201,14 +218,32 @@ main(int argc, char **argv)
         spec.solverConflictBudget = conflict_budget;
     if (!trace_file.empty())
         spec.traceFile = trace_file;
+    if (monitor_port >= -1)
+        spec.monitorPort = monitor_port;
 
     if (list_only) {
         std::printf("%s", campaign::describeJobs(spec).c_str());
         return 0;
     }
 
+    // The CLI owns the server (rather than letting runCampaign start
+    // one) so the bound port prints before the first job runs and the
+    // endpoints can linger for scrapers after the run completes.
+    monitor::Server server({.port = spec.monitorPort >= 0
+                                        ? spec.monitorPort
+                                        : 0});
+    monitor::Server *server_ptr = nullptr;
+    if (spec.monitorPort >= 0) {
+        if (!server.start())
+            return 1;
+        server_ptr = &server;
+        std::printf("monitor: http://127.0.0.1:%d/metrics and /status\n",
+                    server.port());
+        std::fflush(stdout);
+    }
+
     campaign::CampaignResult result =
-        campaign::runCampaignToFiles(spec, out_dir);
+        campaign::runCampaignToFiles(spec, out_dir, server_ptr);
 
     // Mirror the summary on stdout; the files carry the durable copy.
     std::ostringstream os;
@@ -221,5 +256,15 @@ main(int argc, char **argv)
     std::printf("%s", os.str().c_str());
     std::printf("\nwrote %s/campaign.jsonl and %s/summary.txt\n",
                 out_dir.c_str(), out_dir.c_str());
+
+    if (server_ptr && monitor_linger > 0.0) {
+        // Final registry totals stay scrapeable (the /status provider
+        // already fell back to the bare snapshot).
+        std::printf("monitor: lingering %.0fs on port %d\n",
+                    monitor_linger, server.port());
+        std::fflush(stdout);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(monitor_linger));
+    }
     return 0;
 }

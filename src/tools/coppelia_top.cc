@@ -1,0 +1,216 @@
+/**
+ * @file
+ * `coppelia-top` — the operator's live Table II. Polls a running
+ * campaign's /status endpoint (coppelia-campaign --monitor PORT) and
+ * renders workers, throughput rates, job progress, and the slowest
+ * finished jobs in the terminal, one-shot by default or refreshing with
+ * --watch.
+ *
+ *   coppelia-campaign --spec table2.campaign --monitor 9464 &
+ *   coppelia-top --port 9464 --watch 2
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "monitor/monitor.hh"
+#include "util/json.hh"
+#include "util/strutil.hh"
+
+using namespace coppelia;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "\n"
+        "  --port PORT    monitor port of the running campaign "
+        "(required)\n"
+        "  --host ADDR    monitor address (default 127.0.0.1)\n"
+        "  --watch SEC    refresh every SEC seconds until interrupted\n"
+        "                 (default: print once and exit)\n"
+        "  --help         this text\n",
+        argv0);
+}
+
+double
+num(const json::Value *v, double fallback = 0.0)
+{
+    return v && v->isNumber() ? v->asNumber() : fallback;
+}
+
+std::string
+str(const json::Value *v, const std::string &fallback = "")
+{
+    return v && v->isString() ? v->asString() : fallback;
+}
+
+std::string
+fmt(const char *f, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), f, v);
+    return buf;
+}
+
+void
+render(const json::Value &doc)
+{
+    std::string out;
+    if (!doc.find("campaign")) {
+        // No provider installed: the campaign finished (or never
+        // started) and /status fell back to the bare registry snapshot.
+        out += "no campaign running; final registry totals:\n";
+        if (const json::Value *counters = doc.find("counters")) {
+            for (const auto &[name, value] : counters->members())
+                out += "  " + padRight(name, 34) +
+                       fmt("%.0f", num(&value)) + "\n";
+        }
+        std::printf("%s", out.c_str());
+        std::fflush(stdout);
+        return;
+    }
+    out += "campaign '" + str(doc.find("campaign"), "?") + "'  up " +
+           fmt("%.1fs", num(doc.find("uptime_seconds"))) + "\n";
+
+    if (const json::Value *jobs = doc.find("jobs")) {
+        out += "jobs: " +
+               fmt("%.0f", num(jobs->find("done"))) + "/" +
+               fmt("%.0f", num(jobs->find("total"))) + " done, " +
+               fmt("%.0f", num(jobs->find("pending"))) + " pending (" +
+               fmt("%.0f", num(jobs->find("queue_depth"))) +
+               " queued)\n";
+    }
+    if (const json::Value *rates = doc.find("rates")) {
+        out += "rates: " +
+               fmt("%.1f", num(rates->find("bse_iterations_per_sec"))) +
+               " bse iter/s, " +
+               fmt("%.1f", num(rates->find("smt_queries_per_sec"))) +
+               " smt queries/s, unknown ratio " +
+               fmt("%.3f", num(rates->find("solver_unknown_ratio"))) +
+               "\n";
+    }
+
+    if (const json::Value *workers = doc.find("workers")) {
+        out += "\n";
+        out += padRight("wrk", 4) + padRight("job", 18) +
+               padRight("state", 14) + padRight("in-job", 9) +
+               padRight("iter", 7) + padRight("depth", 7) +
+               "last-progress\n";
+        for (const json::Value &w : workers->items()) {
+            const bool busy =
+                w.find("busy") && w.find("busy")->asBool();
+            out += padRight(fmt("%.0f", num(w.find("worker"))), 4);
+            if (!busy) {
+                out += "idle\n";
+                continue;
+            }
+            out += padRight(str(w.find("job"), "?"), 18);
+            out += padRight(str(w.find("phase"), "starting"), 14);
+            out += padRight(
+                fmt("%.1fs", num(w.find("seconds_in_job"))), 9);
+            out += padRight(fmt("%.0f", num(w.find("iteration"))), 7);
+            out += padRight(fmt("%.0f", num(w.find("frontier"))), 7);
+            out += fmt("%.1fs", num(w.find("progress_age_seconds"))) +
+                   " ago\n";
+        }
+    }
+
+    if (const json::Value *slowest = doc.find("slowest_jobs")) {
+        if (!slowest->items().empty()) {
+            out += "\nslowest finished jobs:\n";
+            for (const json::Value &j : slowest->items()) {
+                out += "  " +
+                       padRight(str(j.find("kind"), "?") + ":" +
+                                    str(j.find("bug"), "?"),
+                                18) +
+                       fmt("%7.2fs", num(j.find("seconds"))) +
+                       (j.find("found") && j.find("found")->asBool()
+                            ? "  found"
+                            : "") +
+                       "\n";
+            }
+        }
+    }
+    std::printf("%s", out.c_str());
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int port = -1;
+    std::string host = "127.0.0.1";
+    double watch = 0.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: missing value for %s\n",
+                             argv[0], flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--port") {
+            try {
+                port = std::stoi(value("--port"));
+            } catch (...) {
+                port = -1;
+            }
+        } else if (arg == "--host") {
+            host = value("--host");
+        } else if (arg == "--watch") {
+            try {
+                watch = std::stod(value("--watch"));
+            } catch (...) {
+                watch = 0.0;
+            }
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n\n", argv[0],
+                         arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (port < 0 || port > 65535) {
+        std::fprintf(stderr, "%s: give --port PORT\n\n", argv[0]);
+        usage(argv[0]);
+        return 2;
+    }
+
+    while (true) {
+        std::string body, error;
+        if (!monitor::httpGet(host, port, "/status", &body, &error)) {
+            std::fprintf(stderr, "%s: %s:%d: %s\n", argv[0],
+                         host.c_str(), port, error.c_str());
+            return 1;
+        }
+        std::string parse_error;
+        const json::Value doc = json::parse(body, &parse_error);
+        if (!doc.isObject()) {
+            std::fprintf(stderr, "%s: bad /status document: %s\n",
+                         argv[0], parse_error.c_str());
+            return 1;
+        }
+        if (watch > 0.0)
+            std::printf("\x1b[2J\x1b[H"); // clear screen, home cursor
+        render(doc);
+        if (watch <= 0.0)
+            return 0;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(watch));
+    }
+}

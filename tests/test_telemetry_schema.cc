@@ -128,6 +128,27 @@ TEST(TelemetrySchema, EmissionFollowsDocumentedOrder)
     }
 }
 
+TEST(TelemetrySchema, SchemaVersionIsPinnedAndEmittedFirst)
+{
+    // The version constant is part of the compatibility contract: bumping
+    // it is a deliberate act (update this test alongside the documented
+    // history in telemetry.hh), and every record carries it as the first
+    // key so consumers can dispatch before reading anything else.
+    EXPECT_EQ(kJsonlSchemaVersion, 2);
+    EXPECT_TRUE(schemaKeys().count("schema_version"));
+    EXPECT_EQ(jsonlSchema().front().key, std::string("schema_version"));
+    for (const JobRecord &rec : {exploitRecord(), bmcRecord()}) {
+        const std::vector<std::string> keys = emittedKeys(rec);
+        ASSERT_FALSE(keys.empty());
+        EXPECT_EQ(keys.front(), "schema_version");
+        const json::Value v = recordToJson(rec);
+        const json::Value *version = v.find("schema_version");
+        ASSERT_NE(version, nullptr);
+        ASSERT_TRUE(version->isNumber());
+        EXPECT_EQ(version->asInt(), kJsonlSchemaVersion);
+    }
+}
+
 TEST(TelemetrySchema, StableKeysKeepTheirMeaning)
 {
     // Spot-check load-bearing fields: the seed must round-trip as a
