@@ -9,6 +9,7 @@
 #ifndef COPPELIA_BENCH_BENCH_COMMON_HH
 #define COPPELIA_BENCH_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +38,7 @@ namespace coppelia::bench
 struct BenchOptions
 {
     bool smoke = false;     ///< tiny budgets, reduced bug set
+    int repeat = 1;         ///< timing runs per configuration (median-of-N)
     std::string jsonPath;   ///< machine-readable results (--json FILE)
     std::string tracePath;  ///< Chrome trace-event timeline (--trace FILE)
 };
@@ -44,8 +46,11 @@ struct BenchOptions
 inline void
 benchUsage(const char *argv0)
 {
-    std::printf("usage: %s [--smoke] [--json FILE] [--trace FILE]\n"
+    std::printf("usage: %s [--smoke] [--repeat N] [--json FILE] "
+                "[--trace FILE]\n"
                 "  --smoke       CI fast path: 2-3 bugs, tight budgets\n"
+                "  --repeat N    run each timed configuration N times and\n"
+                "                report the median (default 1)\n"
                 "  --json FILE   write machine-readable results as JSON\n"
                 "  --trace FILE  record a Chrome trace-event timeline\n",
                 argv0);
@@ -73,6 +78,14 @@ parseBenchArgs(int argc, char **argv)
             std::exit(0);
         } else if (arg == "--smoke") {
             opts.smoke = true;
+        } else if (arg == "--repeat") {
+            opts.repeat = std::atoi(value(i, "--repeat").c_str());
+            if (opts.repeat < 1) {
+                std::fprintf(stderr, "%s: --repeat needs N >= 1\n\n",
+                             argv[0]);
+                benchUsage(argv[0]);
+                std::exit(2);
+            }
         } else if (arg == "--json") {
             opts.jsonPath = value(i, "--json");
         } else if (arg == "--trace") {
@@ -218,6 +231,20 @@ inline std::string
 yn(bool v)
 {
     return v ? "yes" : "no";
+}
+
+/** Median of a sample set (for `--repeat N` timing runs). Sorts a copy;
+ *  even-sized samples average the middle pair. */
+inline double
+median(std::vector<double> samples)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const std::size_t mid = samples.size() / 2;
+    if (samples.size() % 2 == 1)
+        return samples[mid];
+    return 0.5 * (samples[mid - 1] + samples[mid]);
 }
 
 } // namespace coppelia::bench

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Ablation for the solver simplification stack: word-level rewriting
+ * before bit-blasting (--no-rewrite), root-level CNF pre/inprocessing
+ * (--no-preprocess), and learnt-clause minimization (--no-minimize).
+ * Runs the backward engine over the full in-scope Table II OR1200 bug
+ * matrix once per configuration — all stages on, each stage ablated
+ * alone, and all stages off — and compares cumulative solver time and
+ * outcomes. The full matrix matters: the total is dominated by the
+ * handful of long searches (b19/b26/b31), and a small-bug subset would
+ * measure per-query constant overheads instead of search cost.
+ *
+ * Expectations this harness checks:
+ *   - every configuration agrees on the outcome for every bug (the
+ *     stack must change cost, never verdicts — this is the exit code);
+ *   - the stack_speedup field reports stages-off total solver time over
+ *     all-on total; the regression gate pins the absolute all-on time.
+ *
+ * Triggers are not required to be byte-identical across ablations:
+ * rewriting changes the CNF the SAT solver sees, so a query with many
+ * models may surface a different (equally valid, replay-validated)
+ * witness. Cross-configuration outcome agreement plus the campaign-level
+ * found/replayable parity checks cover correctness; this harness is the
+ * cost meter.
+ *
+ * With `--repeat N` each configuration's solver time is the median of N
+ * runs (the engine is deterministic, so repeats only smooth machine
+ * noise; the trigger from the first run is used for the checks).
+ */
+
+#include "bench_common.hh"
+
+#include <cinttypes>
+
+#include "trace/trace.hh"
+#include "util/json.hh"
+
+using namespace coppelia;
+using namespace coppelia::bench;
+
+namespace
+{
+
+struct StackConfig
+{
+    const char *name;    ///< column label and JSON key suffix
+    bool rewrite;
+    bool preprocess;
+    bool minimize;
+};
+
+const StackConfig kConfigs[] = {
+    {"stack", true, true, true},      ///< all stages on (the default)
+    {"norewrite", false, true, true},
+    {"nopreprocess", true, false, true},
+    {"nominimize", true, true, false},
+    {"off", false, false, false},     ///< all stages off
+};
+
+struct RunResult
+{
+    bse::TriggerResult trigger; ///< from the first repeat
+    double seconds = 0.0;       ///< median end-to-end engine time
+    double solverSeconds = 0.0; ///< median cumulative solver time
+};
+
+RunResult
+runConfig(cpu::BugId bug, const StackConfig &cfg, const BenchOptions &bench)
+{
+    RunResult r;
+    std::vector<double> solver_samples, total_samples;
+    for (int rep = 0; rep < bench.repeat; ++rep) {
+        rtl::Design d = cpu::or1k::buildOr1200(cpu::BugConfig::with(bug));
+        auto asserts = cpu::or1k::or1200Assertions(d);
+        const props::Assertion *a =
+            assertionForBug(asserts, cpu::bugName(bug));
+        if (!a) {
+            std::fprintf(stderr, "no assertion for bug %s\n",
+                         cpu::bugName(bug).c_str());
+            std::exit(1);
+        }
+
+        // Full mode runs the matrix at the bench-standard search bound
+        // (4, matching bench_incremental's full mode); smoke keeps CI
+        // fast with the shallow bound.
+        bse::Options opts;
+        opts.bound = bench.smoke ? 3 : 4;
+        opts.timeLimitSeconds = 120.0;
+        opts.preconditions = or1kPreconditions(d);
+        opts.solverRewrite = cfg.rewrite;
+        opts.solverPreprocess = cfg.preprocess;
+        opts.solverMinimize = cfg.minimize;
+
+        Timer timer;
+        bse::BackwardEngine engine(d, opts);
+        bse::TriggerResult trigger = engine.buildTrigger(*a);
+        total_samples.push_back(timer.seconds());
+        solver_samples.push_back(
+            static_cast<double>(trigger.stats.get("solver_solve_us")) /
+            1e6);
+        if (rep == 0)
+            r.trigger = std::move(trigger);
+    }
+    r.seconds = median(total_samples);
+    r.solverSeconds = median(solver_samples);
+    return r;
+}
+
+std::string
+fmtSecs(double s)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3fs", s);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions bench = parseBenchArgs(argc, argv);
+    if (!bench.tracePath.empty())
+        trace::setEnabled(true);
+
+    // Full mode: every in-scope Table II OR1200 bug, the same matrix the
+    // campaign runs. Smoke mode: the fastest-converging subset.
+    std::vector<cpu::BugId> rows;
+    if (bench.smoke) {
+        rows = {cpu::BugId::b03, cpu::BugId::b05, cpu::BugId::b09};
+    } else {
+        rows = cpu::bugsFor(cpu::Processor::OR1200, false);
+    }
+
+    constexpr std::size_t kNumConfigs =
+        sizeof(kConfigs) / sizeof(kConfigs[0]);
+
+    std::printf("Solver simplification-stack ablation (Table II "
+                "single-instruction OR1200 bugs)%s\n",
+                bench.smoke ? " [smoke]" : "");
+    std::printf("columns = cumulative solver time per configuration "
+                "(median of %d run%s)\n\n",
+                bench.repeat, bench.repeat == 1 ? "" : "s");
+    const std::vector<int> widths{5, 10, 11, 13, 11, 10, 9, 9};
+    printRow({"No.", "stack", "no-rewrite", "no-preprocess", "no-minimize",
+              "off", "speedup", "same-out"},
+             widths);
+    printRule(widths);
+
+    double totals[kNumConfigs] = {};
+    double wall_totals[kNumConfigs] = {};
+    bool same_outcomes = true;
+    for (cpu::BugId bug : rows) {
+        RunResult results[kNumConfigs];
+        for (std::size_t c = 0; c < kNumConfigs; ++c) {
+            results[c] = runConfig(bug, kConfigs[c], bench);
+            totals[c] += results[c].solverSeconds;
+            wall_totals[c] += results[c].seconds;
+        }
+        bool agree = true;
+        for (std::size_t c = 1; c < kNumConfigs; ++c)
+            agree = agree && results[c].trigger.outcome ==
+                                 results[0].trigger.outcome;
+        same_outcomes = same_outcomes && agree;
+        const double off = results[kNumConfigs - 1].solverSeconds;
+        const double on = results[0].solverSeconds;
+        char ratio[32];
+        std::snprintf(ratio, sizeof(ratio), "%.2fx",
+                      on > 0.0 ? off / on : 0.0);
+        printRow({cpu::bugName(bug), fmtSecs(results[0].solverSeconds),
+                  fmtSecs(results[1].solverSeconds),
+                  fmtSecs(results[2].solverSeconds),
+                  fmtSecs(results[3].solverSeconds), fmtSecs(off), ratio,
+                  yn(agree)},
+                 widths);
+    }
+    printRule(widths);
+    const double stack_speedup =
+        totals[0] > 0.0 ? totals[kNumConfigs - 1] / totals[0] : 0.0;
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.2fx", stack_speedup);
+    printRow({"Total", fmtSecs(totals[0]), fmtSecs(totals[1]),
+              fmtSecs(totals[2]), fmtSecs(totals[3]),
+              fmtSecs(totals[kNumConfigs - 1]), ratio, yn(same_outcomes)},
+             widths);
+
+    std::printf("\nchecks: outcomes agree across all configurations: %s "
+                "(stack speedup %.2fx; the absolute all-on time is pinned "
+                "by the regression gate)\n",
+                yn(same_outcomes).c_str(), stack_speedup);
+
+    if (!bench.jsonPath.empty()) {
+        // The shape scripts/check_bench_regression.py gates on.
+        json::Value v = json::Value::object();
+        v.set("bench", json::Value::string("bench_solver_stack"));
+        v.set("smoke", json::Value::boolean(bench.smoke));
+        v.set("repeat",
+              json::Value::number(static_cast<double>(bench.repeat)));
+        v.set("bugs",
+              json::Value::number(static_cast<double>(rows.size())));
+        for (std::size_t c = 0; c < kNumConfigs; ++c) {
+            v.set(std::string("total_solver_") + kConfigs[c].name +
+                      "_seconds",
+                  json::Value::number(totals[c]));
+            v.set(std::string("total_") + kConfigs[c].name + "_seconds",
+                  json::Value::number(wall_totals[c]));
+        }
+        v.set("stack_speedup", json::Value::number(stack_speedup));
+        v.set("same_outcomes", json::Value::boolean(same_outcomes));
+        std::ofstream out = openOutputOrDie(argv[0], bench.jsonPath);
+        out << v.dump() << "\n";
+        std::printf("wrote %s\n", bench.jsonPath.c_str());
+    }
+    if (!bench.tracePath.empty()) {
+        trace::setEnabled(false);
+        if (!trace::writeChromeTraceFile(bench.tracePath)) {
+            std::fprintf(stderr, "%s: cannot write trace '%s'\n", argv[0],
+                         bench.tracePath.c_str());
+            return 1;
+        }
+        std::printf("wrote %s (%llu events)\n", bench.tracePath.c_str(),
+                    static_cast<unsigned long long>(trace::eventCount()));
+    }
+
+    // Fail loudly if an ablation changes a verdict. Cost is gated by
+    // scripts/check_bench_regression.py against the committed baseline,
+    // not here: a cost gate keyed to a ratio of two same-machine runs
+    // would flake on machine noise without catching real regressions.
+    return same_outcomes ? 0 : 1;
+}

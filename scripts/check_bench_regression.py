@@ -5,35 +5,50 @@ Usage:
     check_bench_regression.py CURRENT.json BASELINE.json
         [--tolerance 0.25] [--key-tolerance KEY=FRAC ...]
 
-CURRENT.json is what `bench_incremental --smoke --json CURRENT.json`
-just wrote; BASELINE.json is the committed BENCH_baseline.json. The gate
-fails (exit 1) when:
+CURRENT.json is what a bench harness (`bench_incremental --smoke --json
+CURRENT.json`, `bench_solver_stack --smoke --json ...`) just wrote;
+BASELINE.json is the committed BENCH_baseline.json. Each harness has its
+own gate profile, selected by the "bench" field CURRENT.json carries.
+The gate fails (exit 1) when:
 
   - a gated time metric regressed by more than its tolerance (the
     per-key default below, overridable with --key-tolerance; --tolerance
     shifts the default for keys without their own entry),
-  - or a correctness check the bench reports (same_outcomes,
-    any_1_5x_same) went false.
+  - or a correctness check the bench reports (same_outcomes, ...) went
+    false.
 
 A gated key missing from either file is a hard error that names the key
 and the file, so a bench schema drift fails loudly instead of silently
 ungating the metric.
 
-Refresh the baseline by re-running the bench and committing its output:
-    build/bench/bench_incremental --smoke --json BENCH_baseline.json
+BASELINE.json maps bench name -> that bench's committed result document:
+
+    {"bench_incremental": {...}, "bench_solver_stack": {...}}
+
+A legacy flat baseline (a single bench document at top level) is still
+accepted when its "bench" field matches the current document's.
+
+Refresh a baseline entry by re-running the bench and splicing its
+--json output under the bench's key.
 """
 
 import argparse
 import json
 import sys
 
-# Gated time metrics -> default fractional regression tolerance. The
-# incremental solver time is the headline number and carries the default
-# tolerance; None means "use --tolerance".
-GATED_TIME_KEYS = {
-    "total_solver_inc_seconds": None,
+# Per-bench gate profiles. "time" maps each gated time metric to its
+# default fractional regression tolerance (None = use --tolerance);
+# "bool" lists correctness checks that must be true in CURRENT.json.
+GATE_PROFILES = {
+    "bench_incremental": {
+        "time": {"total_solver_inc_seconds": None},
+        "bool": ("same_outcomes", "any_1_5x_same"),
+    },
+    "bench_solver_stack": {
+        "time": {"total_solver_stack_seconds": None},
+        "bool": ("same_outcomes",),
+    },
 }
-GATED_BOOL_KEYS = ("same_outcomes", "any_1_5x_same")
 
 
 def load(path):
@@ -66,11 +81,24 @@ def gated_number(doc, path, key, positive=False):
     if not isinstance(value, (int, float)) or isinstance(value, bool):
         sys.exit(f"'{path}' lacks gated numeric key '{key}' "
                  f"(found {value!r}); refresh the file or update the "
-                 f"gated key set in {sys.argv[0]}")
+                 f"gate profiles in {sys.argv[0]}")
     if positive and value <= 0:
         sys.exit(f"'{path}' has non-positive '{key}' ({value!r}); a "
                  f"usable baseline needs a positive value")
     return value
+
+
+def select_baseline(baseline, path, bench):
+    """Pick the bench's document out of the committed baseline, accepting
+    both the keyed shape and a legacy flat single-bench file."""
+    entry = baseline.get(bench)
+    if isinstance(entry, dict):
+        return entry
+    if baseline.get("bench") == bench:
+        return baseline  # legacy flat baseline
+    sys.exit(f"'{path}' has no baseline entry for bench '{bench}'; "
+             f"run the bench with --json and commit its document under "
+             f"that key")
 
 
 def main():
@@ -88,25 +116,31 @@ def main():
     args = ap.parse_args()
 
     current = load(args.current)
-    baseline = load(args.baseline)
+    bench = current.get("bench")
+    if bench not in GATE_PROFILES:
+        sys.exit(f"'{args.current}' names unknown bench {bench!r}; "
+                 f"known: {', '.join(sorted(GATE_PROFILES))}")
+    profile = GATE_PROFILES[bench]
+    baseline = select_baseline(load(args.baseline), args.baseline, bench)
+
     overrides = parse_key_tolerance(args.key_tolerance)
-    unknown = set(overrides) - set(GATED_TIME_KEYS)
+    unknown = set(overrides) - set(profile["time"])
     if unknown:
-        sys.exit(f"--key-tolerance names ungated key(s): "
+        sys.exit(f"--key-tolerance names key(s) ungated for {bench}: "
                  f"{', '.join(sorted(unknown))} "
-                 f"(gated: {', '.join(sorted(GATED_TIME_KEYS))})")
+                 f"(gated: {', '.join(sorted(profile['time']))})")
 
     failures = []
-    for key in GATED_BOOL_KEYS:
+    for key in profile["bool"]:
         if key not in current:
             sys.exit(f"'{args.current}' lacks gated check '{key}'; "
-                     f"refresh the file or update the gated key set in "
+                     f"refresh the file or update the gate profiles in "
                      f"{sys.argv[0]}")
         if current.get(key) is not True:
             failures.append(f"check '{key}' is {current.get(key)!r}, "
                             f"expected true")
 
-    for key, default_tol in GATED_TIME_KEYS.items():
+    for key, default_tol in profile["time"].items():
         tolerance = overrides.get(
             key, default_tol if default_tol is not None else args.tolerance)
         base_t = gated_number(baseline, args.baseline, key, positive=True)
@@ -125,7 +159,7 @@ def main():
         for f in failures:
             print(f"FAIL: {f}")
         return 1
-    print("bench regression gate: OK")
+    print(f"bench regression gate ({bench}): OK")
     return 0
 
 

@@ -59,6 +59,10 @@ struct BmcOptions
     /** Per-query SAT conflict budget (-1 = unlimited); Unknowns retry
      *  once at 4x, then mark the result incomplete. */
     std::int64_t solverConflictBudget = -1;
+    /** Solver simplification-stack ablations (see smt::SolverOptions). */
+    bool solverRewrite = true;
+    bool solverPreprocess = true;
+    bool solverMinimize = true;
     /** Constrain instruction inputs to legal opcodes (§II-E1 parity with
      *  the Coppelia runs, as the paper does for both tools). */
     std::function<smt::TermRef(smt::TermManager &, smt::TermRef)>

@@ -103,9 +103,14 @@ BackwardEngine::buildTrigger(const props::Assertion &assertion)
     // all-False bias converges. When the incremental attempt exhausts its
     // budget (and not because of an explicit conflict-budget Unknown,
     // which would hit the fresh backend identically), rerun once with the
-    // known-good fresh witness stream before reporting failure.
+    // known-good fresh witness stream before reporting failure. The rerun
+    // also drops the solver simplification stack: rewriting and
+    // preprocessing reshape the CNF and therefore the witness stream, so
+    // the recovery path uses the plain encoding whose convergence the
+    // stitching heuristics were tuned against.
     trace::instant("bse.fallback", "bse");
-    TriggerResult fresh = searchTrigger(assertion, /*use_incremental=*/false);
+    TriggerResult fresh = searchTrigger(assertion, /*use_incremental=*/false,
+                                        /*use_simplification=*/false);
     fresh.stats.merge(result.stats);
     fresh.stats.inc("incremental_fallbacks");
     fresh.iterations += result.iterations;
@@ -116,7 +121,7 @@ BackwardEngine::buildTrigger(const props::Assertion &assertion)
 
 TriggerResult
 BackwardEngine::searchTrigger(const props::Assertion &assertion,
-                              bool use_incremental)
+                              bool use_incremental, bool use_simplification)
 {
     trace::Span search_span("bse.search", "bse");
     Timer timer;
@@ -126,6 +131,9 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
     smt::SolverOptions solver_opts;
     solver_opts.incremental = use_incremental;
     solver_opts.conflictBudget = opts_.solverConflictBudget;
+    solver_opts.rewrite = use_simplification && opts_.solverRewrite;
+    solver_opts.preprocess = use_simplification && opts_.solverPreprocess;
+    solver_opts.minimize = use_simplification && opts_.solverMinimize;
     smt::Solver solver(tm, solver_opts);
     sym::CycleExplorer explorer(design_, tm, solver, opts_.explorer);
 
@@ -219,6 +227,11 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
     std::set<std::vector<std::pair<SignalId, std::uint64_t>>> history;
     bool bound_hit = false;
     int iteration_counter = 0;
+    // Count of diversification (marching-set) rejects this search. A
+    // converging search takes none; each one burns a full exploration
+    // iteration, so a handful is a far earlier derailment signal than
+    // the iteration-count patience alone.
+    int marching_rejects = 0;
 
     auto makeLevel = [&](std::unordered_map<SignalId, std::uint64_t>
                              target) {
@@ -259,10 +272,14 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
         // Incremental-attempt patience: a search this far past the typical
         // convergence point has almost certainly been derailed by witness
         // selection; concede to the fresh fallback instead of wandering to
-        // full budget exhaustion.
+        // full budget exhaustion. Marching rejects are the sharper signal:
+        // a converging search takes none, while each one costs a whole
+        // exploration iteration, so a few of them concede long before the
+        // iteration patience would.
         if (use_incremental && opts_.incrementalFallback &&
-            opts_.incrementalPatienceIterations > 0 &&
-            iteration_counter >= opts_.incrementalPatienceIterations) {
+            ((opts_.incrementalPatienceIterations > 0 &&
+              iteration_counter >= opts_.incrementalPatienceIterations) ||
+             marching_rejects >= 3)) {
             result.stats.inc("incremental_patience_exhausted");
             result.outcome = Outcome::BudgetExhausted;
             break;
@@ -360,6 +377,7 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
                 level.bound.regVars.begin(), level.bound.regVars.end());
             std::sort(regs.begin(), regs.end());
             std::vector<TermRef> pinned = query;
+            std::vector<std::pair<SignalId, TermRef>> free_regs;
             for (const auto &[sig, var] : regs) {
                 const int w = design_.signal(sig).width;
                 const std::uint64_t cur = tm.eval(var, *model);
@@ -381,7 +399,45 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
                     *model = m;
                     pinned = std::move(trial);
                 } else {
-                    pinned.push_back(tm.mkEq(var, tm.mkConst(w, cur)));
+                    // Unpinnable registers are not frozen at the witness
+                    // value: freezing would make every later pin decision
+                    // conditional on which witness the backend happened to
+                    // return, so two CNF simplification configurations
+                    // could shrink the same candidate to different
+                    // residual states. They get the bit-level pass below.
+                    free_regs.emplace_back(sig, var);
+                }
+            }
+            // Bit-level canonicalization of the registers the whole-
+            // register pass could not return to reset. Each bit is pinned
+            // to its reset value when satisfiable; a refused bit is
+            // entailed to the complement by the pins already committed,
+            // so after the scan the stitched register state is the unique
+            // closest-to-reset satisfying assignment in scan order — a
+            // function of the query alone, not of the witness the backend
+            // returned. This is what keeps the search trajectory (and so
+            // the generated trigger) stable across solver backends and
+            // simplification configurations.
+            for (const auto &[sig, var] : free_regs) {
+                const int w = design_.signal(sig).width;
+                const std::uint64_t reset = reset_bits(sig);
+                for (int i = w - 1; i >= 0; --i) {
+                    const std::uint64_t rbit = (reset >> i) & 1;
+                    const TermRef bit_pin = tm.mkEq(
+                        tm.mkExtract(var, i, i), tm.mkConst(1, rbit));
+                    if (((tm.eval(var, *model) >> i) & 1) == rbit) {
+                        pinned.push_back(bit_pin);
+                        continue;
+                    }
+                    std::vector<TermRef> trial = pinned;
+                    trial.push_back(bit_pin);
+                    Model m;
+                    result.stats.inc("shrink_bit_queries");
+                    if (solver.check(trial, &m) == smt::Result::Sat) {
+                        result.stats.inc("shrink_bit_pins");
+                        *model = m;
+                        pinned = std::move(trial);
+                    }
                 }
             }
         };
@@ -637,6 +693,7 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
             if (key_set == prev1 && key_set == prev2 &&
                 key_set == prev3 && !key_set.empty()) {
                 reject("fastval_marching_rejects");
+                ++marching_rejects;
                 rejected = true;
             }
         }
@@ -702,6 +759,22 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
     result.stats.inc("solver_cache_evictions",
                      solver.stats().get("cache_evictions"));
     result.stats.inc("solver_solve_us", solver.stats().get("solve_us"));
+    result.stats.inc("solver_rewrite_hits", solver.stats().get("rewrite_hits"));
+    result.stats.inc("solver_rewrite_us", solver.stats().get("rewrite_us"));
+    result.stats.inc("solver_preprocess_us",
+                     solver.stats().get("preprocess_us"));
+    result.stats.inc("solver_sat_conflicts",
+                     solver.stats().get("sat_conflicts"));
+    result.stats.inc("solver_sat_decisions",
+                     solver.stats().get("sat_decisions"));
+    result.stats.inc("solver_sat_propagations",
+                     solver.stats().get("sat_propagations"));
+    result.stats.inc("solver_preprocess_clauses_removed",
+                     solver.stats().get("preprocess_clauses_removed"));
+    result.stats.inc("solver_preprocess_vars_eliminated",
+                     solver.stats().get("preprocess_vars_eliminated"));
+    result.stats.inc("solver_learnt_lits_saved",
+                     solver.stats().get("learnt_lits_saved"));
     result.seconds = timer.seconds();
     return result;
 }

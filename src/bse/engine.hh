@@ -106,6 +106,15 @@ struct Options
      * which would recur — is rerun once on the fresh backend.
      */
     bool incrementalFallback = true;
+    /** Word-level rewriting of assertions before bit-blasting (the
+     *  `--no-rewrite` ablation flips this off). */
+    bool solverRewrite = true;
+    /** Root-level CNF preprocessing + periodic inprocessing (the
+     *  `--no-preprocess` ablation flips this off). */
+    bool solverPreprocess = true;
+    /** Learnt-clause minimization in conflict analysis (the
+     *  `--no-minimize` ablation flips this off). */
+    bool solverMinimize = true;
     /**
      * Iteration patience for the incremental attempt when the fallback is
      * armed: past this many iterations the search concedes to the fresh
@@ -184,9 +193,12 @@ class BackwardEngine
     symbolicRegisters(const props::Assertion &assertion) const;
 
   private:
-    /** One full search on the chosen backend (buildTrigger may run two). */
+    /** One full search on the chosen backend (buildTrigger may run two).
+     *  The fallback rerun passes use_simplification=false so the recovery
+     *  path sees the plain (witness-stable) encoding. */
     TriggerResult searchTrigger(const props::Assertion &assertion,
-                                bool use_incremental);
+                                bool use_incremental,
+                                bool use_simplification = true);
 
     const rtl::Design &design_;
     Options opts_;

@@ -135,6 +135,9 @@ runExploitJob(const CampaignSpec &spec, const JobSpec &job,
     opts.engine.explorer.seed = seed;
     opts.engine.incrementalSolver = spec.incrementalSolver;
     opts.engine.solverConflictBudget = spec.solverConflictBudget;
+    opts.engine.solverRewrite = spec.solverRewrite;
+    opts.engine.solverPreprocess = spec.solverPreprocess;
+    opts.engine.solverMinimize = spec.solverMinimize;
 
     core::Coppelia tool(design, job.processor, opts);
     core::ExploitResult res = tool.generateExploit(assertion);
@@ -169,6 +172,9 @@ runBmcJob(const CampaignSpec &spec, const JobSpec &job,
     opts.timeLimitSeconds = jobTimeLimit(spec, job);
     opts.incrementalSolver = spec.incrementalSolver;
     opts.solverConflictBudget = spec.solverConflictBudget;
+    opts.solverRewrite = spec.solverRewrite;
+    opts.solverPreprocess = spec.solverPreprocess;
+    opts.solverMinimize = spec.solverMinimize;
     if (job.processor == cpu::Processor::PulpinoRi5cy) {
         opts.insnConstraint = [](smt::TermManager &tm, smt::TermRef v) {
             return cpu::riscv::rvLegalInsnConstraint(tm, v);

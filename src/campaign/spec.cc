@@ -150,6 +150,12 @@ parseSpec(std::istream &in, const std::string &origin)
             spec.incrementalSolver = word("on/off") == "on";
         } else if (key == "conflict-budget") {
             spec.solverConflictBudget = intWord("count");
+        } else if (key == "rewrite") {
+            spec.solverRewrite = word("on/off") == "on";
+        } else if (key == "preprocess") {
+            spec.solverPreprocess = word("on/off") == "on";
+        } else if (key == "minimize") {
+            spec.solverMinimize = word("on/off") == "on";
         } else if (key == "payload") {
             spec.addPayload = word("on/off") == "on";
         } else if (key == "replay") {

@@ -87,6 +87,13 @@ struct CampaignSpec
     bool incrementalSolver = true;
     /** Per-query SAT conflict budget (-1 = unlimited). */
     std::int64_t solverConflictBudget = -1;
+    /** Solver simplification-stack ablations: `rewrite off` /
+     *  `--no-rewrite` skips word-level rewriting, `preprocess off` /
+     *  `--no-preprocess` skips CNF pre/inprocessing, `minimize off` /
+     *  `--no-minimize` skips learnt-clause minimization. */
+    bool solverRewrite = true;
+    bool solverPreprocess = true;
+    bool solverMinimize = true;
     /** Coppelia driver toggles. */
     bool addPayload = true;
     bool validateByReplay = true;

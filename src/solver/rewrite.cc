@@ -1,0 +1,853 @@
+#include "solver/rewrite.hh"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace coppelia::smt
+{
+
+namespace
+{
+
+/** Fixpoint iteration caps: rules strictly simplify, so these bounds
+ *  exist only to make termination unconditional, not to be reached. */
+constexpr int kMaxStepsPerNode = 24;
+constexpr int kMaxRuleDepth = 48;
+
+bool
+isLowMask(std::uint64_t k, int *bits)
+{
+    if (k == 0 || (k & (k + 1)) != 0)
+        return false;
+    *bits = __builtin_popcountll(k);
+    return true;
+}
+
+} // namespace
+
+bool
+Rewriter::complementary(TermRef x, TermRef y) const
+{
+    const Term tx = tm_.term(x);
+    if (tx.op == TOp::Not && tx.args[0] == y)
+        return true;
+    const Term ty = tm_.term(y);
+    return ty.op == TOp::Not && ty.args[0] == x;
+}
+
+TermRef
+Rewriter::rewriteTop(TermRef ref)
+{
+    if (depth_ >= kMaxRuleDepth)
+        return ref;
+    ++depth_;
+    for (int i = 0; i < kMaxStepsPerNode; ++i) {
+        TermRef next = step(ref);
+        if (next == NoTerm || next == ref)
+            break;
+        ++ruleHits_;
+        ref = next;
+    }
+    --depth_;
+    return ref;
+}
+
+TermRef
+Rewriter::rewrite(TermRef ref)
+{
+    // Iterative post-order (path conditions are deep conjunction
+    // chains; recursion would overflow the stack), persistent memo.
+    std::vector<std::pair<TermRef, bool>> stack{{ref, false}};
+    if (memo_.count(ref))
+        ++memoHits_;
+    while (!stack.empty()) {
+        auto [r, expanded] = stack.back();
+        stack.pop_back();
+        if (memo_.count(r))
+            continue;
+        const Term t = tm_.term(r); // copy: mk* below may reallocate
+        if (t.op == TOp::Const || t.op == TOp::Var) {
+            memo_.emplace(r, r);
+            continue;
+        }
+        if (!expanded) {
+            stack.push_back({r, true});
+            for (TermRef a : t.args) {
+                if (a != NoTerm && !memo_.count(a))
+                    stack.push_back({a, false});
+            }
+            continue;
+        }
+        const TermRef a = t.args[0] != NoTerm ? memo_.at(t.args[0]) : NoTerm;
+        const TermRef b = t.args[1] != NoTerm ? memo_.at(t.args[1]) : NoTerm;
+        const TermRef c = t.args[2] != NoTerm ? memo_.at(t.args[2]) : NoTerm;
+        TermRef out = NoTerm;
+        switch (t.op) {
+          case TOp::Not: out = tm_.mkNot(a); break;
+          case TOp::Neg: out = tm_.mkNeg(a); break;
+          case TOp::RedOr: out = tm_.mkRedOr(a); break;
+          case TOp::RedAnd: out = tm_.mkRedAnd(a); break;
+          case TOp::RedXor: out = tm_.mkRedXor(a); break;
+          case TOp::And: out = tm_.mkAnd(a, b); break;
+          case TOp::Or: out = tm_.mkOr(a, b); break;
+          case TOp::Xor: out = tm_.mkXor(a, b); break;
+          case TOp::Add: out = tm_.mkAdd(a, b); break;
+          case TOp::Sub: out = tm_.mkSub(a, b); break;
+          case TOp::Mul: out = tm_.mkMul(a, b); break;
+          case TOp::Shl: out = tm_.mkShl(a, b); break;
+          case TOp::LShr: out = tm_.mkLShr(a, b); break;
+          case TOp::AShr: out = tm_.mkAShr(a, b); break;
+          case TOp::Eq: out = tm_.mkEq(a, b); break;
+          case TOp::Ult: out = tm_.mkUlt(a, b); break;
+          case TOp::Slt: out = tm_.mkSlt(a, b); break;
+          case TOp::Concat: out = tm_.mkConcat(a, b); break;
+          case TOp::Extract: out = tm_.mkExtract(a, t.hi, t.lo); break;
+          case TOp::ZExt: out = tm_.mkZExt(a, t.width); break;
+          case TOp::SExt: out = tm_.mkSExt(a, t.width); break;
+          case TOp::Ite: out = tm_.mkIte(a, b, c); break;
+          default:
+            panic("rewrite: unhandled op ", topName(t.op));
+        }
+        out = rewriteTop(out);
+        memo_[r] = out;
+        // The result is itself in fixpoint form; recording that saves
+        // re-deriving it when a later query asserts the rewritten term.
+        memo_.emplace(out, out);
+    }
+    return memo_.at(ref);
+}
+
+TermRef
+Rewriter::step(TermRef ref)
+{
+    const Term t = tm_.term(ref); // copy: rules may reallocate the arena
+    switch (t.op) {
+      case TOp::And: return stepAnd(t);
+      case TOp::Or: return stepOr(t);
+      case TOp::Xor: return stepXor(t);
+      case TOp::Not: return stepNot(t);
+      case TOp::Neg:
+      case TOp::Add:
+      case TOp::Sub:
+      case TOp::Mul: return stepArith(t);
+      case TOp::Shl:
+      case TOp::LShr:
+      case TOp::AShr: return stepShift(t);
+      case TOp::Eq:
+      case TOp::Ult:
+      case TOp::Slt: return stepCompare(t);
+      case TOp::Ite: return stepIte(t);
+      case TOp::RedOr:
+      case TOp::RedAnd:
+      case TOp::RedXor: return stepReduce(t);
+      case TOp::Concat:
+      case TOp::Extract:
+      case TOp::ZExt:
+      case TOp::SExt: return stepStructure(t);
+      default:
+        return NoTerm;
+    }
+}
+
+TermRef
+Rewriter::stepAnd(const Term &t)
+{
+    const TermRef a = t.args[0], b = t.args[1];
+    // Operand terms are copied, never held by reference: every mk*/rw()
+    // call below may grow the term arena and invalidate references into
+    // it (the same constraint as the copies in rewrite()/step()).
+    const Term ta = tm_.term(a), tb = tm_.term(b);
+    const int w = t.width;
+
+    // x & ~x -> 0.
+    if (complementary(a, b))
+        return tm_.mkConst(w, 0);
+    // Idempotent nesting: x & (x & y) -> x & y.
+    if (tb.op == TOp::And && (tb.args[0] == a || tb.args[1] == a))
+        return b;
+    if (ta.op == TOp::And && (ta.args[0] == b || ta.args[1] == b))
+        return a;
+    // Absorption: x & (x | y) -> x.
+    if (tb.op == TOp::Or && (tb.args[0] == a || tb.args[1] == a))
+        return a;
+    if (ta.op == TOp::Or && (ta.args[0] == b || ta.args[1] == b))
+        return b;
+    // Complement absorption: x & (~x | y) -> x & y.
+    if (tb.op == TOp::Or) {
+        if (complementary(tb.args[0], a))
+            return tm_.mkAnd(a, tb.args[1]);
+        if (complementary(tb.args[1], a))
+            return tm_.mkAnd(a, tb.args[0]);
+    }
+    if (ta.op == TOp::Or) {
+        if (complementary(ta.args[0], b))
+            return tm_.mkAnd(b, ta.args[1]);
+        if (complementary(ta.args[1], b))
+            return tm_.mkAnd(b, ta.args[0]);
+    }
+
+    std::uint64_t k = 0;
+    const bool ca = tm_.isConst(a, &k);
+    const TermRef x = ca ? b : a;
+    const bool hasConst = ca || tm_.isConst(b, &k);
+    const Term tx = tm_.term(x);
+    if (hasConst) {
+        // Constant re-association: (x & c1) & c2 -> x & (c1 & c2).
+        if (tx.op == TOp::And) {
+            std::uint64_t kc = 0;
+            if (tm_.isConst(tx.args[0], &kc))
+                return tm_.mkAnd(tx.args[1], tm_.mkConst(w, k & kc));
+            if (tm_.isConst(tx.args[1], &kc))
+                return tm_.mkAnd(tx.args[0], tm_.mkConst(w, k & kc));
+        }
+        // Low-mask narrowing: x & 0..01..1 -> zext(x[m-1:0]).
+        int m = 0;
+        if (isLowMask(k, &m) && m < w)
+            return tm_.mkZExt(rw(tm_.mkExtract(x, m - 1, 0)), w);
+        // Distribute over a concat operand, splitting the constant.
+        if (tx.op == TOp::Concat) {
+            const int wlo = tm_.widthOf(tx.args[1]);
+            const int whi = tm_.widthOf(tx.args[0]);
+            return tm_.mkConcat(
+                rw(tm_.mkAnd(tx.args[0], tm_.mkConst(whi, k >> wlo))),
+                rw(tm_.mkAnd(tx.args[1],
+                             tm_.mkConst(wlo, k & termMask(wlo)))));
+        }
+        // Masking a zext never touches the (zero) extension bits.
+        if (tx.op == TOp::ZExt) {
+            const int srcw = tm_.widthOf(tx.args[0]);
+            return tm_.mkZExt(
+                rw(tm_.mkAnd(tx.args[0],
+                             tm_.mkConst(srcw, k & termMask(srcw)))),
+                w);
+        }
+        return NoTerm;
+    }
+
+    // Bitwise ops distribute over aligned concats / same-width zexts.
+    if (ta.op == TOp::Concat && tb.op == TOp::Concat &&
+        tm_.widthOf(ta.args[1]) == tm_.widthOf(tb.args[1]))
+        return tm_.mkConcat(rw(tm_.mkAnd(ta.args[0], tb.args[0])),
+                            rw(tm_.mkAnd(ta.args[1], tb.args[1])));
+    if (ta.op == TOp::ZExt && tb.op == TOp::ZExt &&
+        tm_.widthOf(ta.args[0]) == tm_.widthOf(tb.args[0]))
+        return tm_.mkZExt(rw(tm_.mkAnd(ta.args[0], tb.args[0])), w);
+    return NoTerm;
+}
+
+TermRef
+Rewriter::stepOr(const Term &t)
+{
+    const TermRef a = t.args[0], b = t.args[1];
+    const Term ta = tm_.term(a), tb = tm_.term(b);
+    const int w = t.width;
+
+    // x | ~x -> all-ones.
+    if (complementary(a, b))
+        return tm_.mkConst(w, termMask(w));
+    // Idempotent nesting: x | (x | y) -> x | y.
+    if (tb.op == TOp::Or && (tb.args[0] == a || tb.args[1] == a))
+        return b;
+    if (ta.op == TOp::Or && (ta.args[0] == b || ta.args[1] == b))
+        return a;
+    // Absorption: x | (x & y) -> x.
+    if (tb.op == TOp::And && (tb.args[0] == a || tb.args[1] == a))
+        return a;
+    if (ta.op == TOp::And && (ta.args[0] == b || ta.args[1] == b))
+        return b;
+    // Complement absorption: x | (~x & y) -> x | y.
+    if (tb.op == TOp::And) {
+        if (complementary(tb.args[0], a))
+            return tm_.mkOr(a, tb.args[1]);
+        if (complementary(tb.args[1], a))
+            return tm_.mkOr(a, tb.args[0]);
+    }
+    if (ta.op == TOp::And) {
+        if (complementary(ta.args[0], b))
+            return tm_.mkOr(b, ta.args[1]);
+        if (complementary(ta.args[1], b))
+            return tm_.mkOr(b, ta.args[0]);
+    }
+
+    std::uint64_t k = 0;
+    const bool ca = tm_.isConst(a, &k);
+    const TermRef x = ca ? b : a;
+    const bool hasConst = ca || tm_.isConst(b, &k);
+    const Term tx = tm_.term(x);
+    if (hasConst) {
+        if (tx.op == TOp::Or) {
+            std::uint64_t kc = 0;
+            if (tm_.isConst(tx.args[0], &kc))
+                return tm_.mkOr(tx.args[1], tm_.mkConst(w, k | kc));
+            if (tm_.isConst(tx.args[1], &kc))
+                return tm_.mkOr(tx.args[0], tm_.mkConst(w, k | kc));
+        }
+        if (tx.op == TOp::Concat) {
+            const int wlo = tm_.widthOf(tx.args[1]);
+            const int whi = tm_.widthOf(tx.args[0]);
+            return tm_.mkConcat(
+                rw(tm_.mkOr(tx.args[0], tm_.mkConst(whi, k >> wlo))),
+                rw(tm_.mkOr(tx.args[1],
+                            tm_.mkConst(wlo, k & termMask(wlo)))));
+        }
+        if (tx.op == TOp::ZExt) {
+            const int srcw = tm_.widthOf(tx.args[0]);
+            if ((k >> srcw) == 0)
+                return tm_.mkZExt(
+                    rw(tm_.mkOr(tx.args[0], tm_.mkConst(srcw, k))), w);
+        }
+        return NoTerm;
+    }
+
+    if (ta.op == TOp::Concat && tb.op == TOp::Concat &&
+        tm_.widthOf(ta.args[1]) == tm_.widthOf(tb.args[1]))
+        return tm_.mkConcat(rw(tm_.mkOr(ta.args[0], tb.args[0])),
+                            rw(tm_.mkOr(ta.args[1], tb.args[1])));
+    if (ta.op == TOp::ZExt && tb.op == TOp::ZExt &&
+        tm_.widthOf(ta.args[0]) == tm_.widthOf(tb.args[0]))
+        return tm_.mkZExt(rw(tm_.mkOr(ta.args[0], tb.args[0])), w);
+    return NoTerm;
+}
+
+TermRef
+Rewriter::stepXor(const Term &t)
+{
+    const TermRef a = t.args[0], b = t.args[1];
+    const Term ta = tm_.term(a), tb = tm_.term(b);
+    const int w = t.width;
+
+    // x ^ ~x -> all-ones.
+    if (complementary(a, b))
+        return tm_.mkConst(w, termMask(w));
+    // ~x ^ ~y -> x ^ y.
+    if (ta.op == TOp::Not && tb.op == TOp::Not)
+        return tm_.mkXor(ta.args[0], tb.args[0]);
+    // Cancellation: x ^ (x ^ y) -> y.
+    if (tb.op == TOp::Xor) {
+        if (tb.args[0] == a)
+            return tb.args[1];
+        if (tb.args[1] == a)
+            return tb.args[0];
+    }
+    if (ta.op == TOp::Xor) {
+        if (ta.args[0] == b)
+            return ta.args[1];
+        if (ta.args[1] == b)
+            return ta.args[0];
+    }
+
+    std::uint64_t k = 0;
+    const bool ca = tm_.isConst(a, &k);
+    const TermRef x = ca ? b : a;
+    const bool hasConst = ca || tm_.isConst(b, &k);
+    const Term tx = tm_.term(x);
+    if (hasConst) {
+        if (k == termMask(w))
+            return tm_.mkNot(x);
+        if (tx.op == TOp::Xor) {
+            std::uint64_t kc = 0;
+            if (tm_.isConst(tx.args[0], &kc))
+                return tm_.mkXor(tx.args[1], tm_.mkConst(w, k ^ kc));
+            if (tm_.isConst(tx.args[1], &kc))
+                return tm_.mkXor(tx.args[0], tm_.mkConst(w, k ^ kc));
+        }
+        if (tx.op == TOp::Concat) {
+            const int wlo = tm_.widthOf(tx.args[1]);
+            const int whi = tm_.widthOf(tx.args[0]);
+            return tm_.mkConcat(
+                rw(tm_.mkXor(tx.args[0], tm_.mkConst(whi, k >> wlo))),
+                rw(tm_.mkXor(tx.args[1],
+                             tm_.mkConst(wlo, k & termMask(wlo)))));
+        }
+        if (tx.op == TOp::ZExt) {
+            const int srcw = tm_.widthOf(tx.args[0]);
+            if ((k >> srcw) == 0)
+                return tm_.mkZExt(
+                    rw(tm_.mkXor(tx.args[0], tm_.mkConst(srcw, k))), w);
+        }
+        return NoTerm;
+    }
+
+    if (ta.op == TOp::Concat && tb.op == TOp::Concat &&
+        tm_.widthOf(ta.args[1]) == tm_.widthOf(tb.args[1]))
+        return tm_.mkConcat(rw(tm_.mkXor(ta.args[0], tb.args[0])),
+                            rw(tm_.mkXor(ta.args[1], tb.args[1])));
+    if (ta.op == TOp::ZExt && tb.op == TOp::ZExt &&
+        tm_.widthOf(ta.args[0]) == tm_.widthOf(tb.args[0]))
+        return tm_.mkZExt(rw(tm_.mkXor(ta.args[0], tb.args[0])), w);
+    return NoTerm;
+}
+
+TermRef
+Rewriter::stepNot(const Term &t)
+{
+    const Term ta = tm_.term(t.args[0]);
+    // Negation is free wiring at blast time; pushing it through
+    // structure exposes constant halves to the rules above.
+    if (ta.op == TOp::Concat)
+        return tm_.mkConcat(rw(tm_.mkNot(ta.args[0])),
+                            rw(tm_.mkNot(ta.args[1])));
+    if (ta.op == TOp::ZExt) {
+        const int srcw = tm_.widthOf(ta.args[0]);
+        return tm_.mkConcat(tm_.mkConst(t.width - srcw,
+                                        termMask(t.width - srcw)),
+                            rw(tm_.mkNot(ta.args[0])));
+    }
+    return NoTerm;
+}
+
+TermRef
+Rewriter::stepArith(const Term &t)
+{
+    const int w = t.width;
+    if (t.op == TOp::Neg) {
+        const Term ta = tm_.term(t.args[0]);
+        if (ta.op == TOp::Neg)
+            return ta.args[0];
+        if (ta.op == TOp::Sub)
+            return tm_.mkSub(ta.args[1], ta.args[0]);
+        return NoTerm;
+    }
+
+    const TermRef a = t.args[0], b = t.args[1];
+    const Term ta = tm_.term(a), tb = tm_.term(b);
+    std::uint64_t k = 0;
+
+    if (t.op == TOp::Sub) {
+        // Normalize x - c to x + (-c) so additive constants merge.
+        if (tm_.isConst(b, &k))
+            return tm_.mkAdd(a, tm_.mkConst(w, ~k + 1));
+        if (tm_.isConst(a, &k) && k == 0)
+            return tm_.mkNeg(b);
+        // (x + y) - x -> y.
+        if (ta.op == TOp::Add) {
+            if (ta.args[0] == b)
+                return ta.args[1];
+            if (ta.args[1] == b)
+                return ta.args[0];
+        }
+        // x - (x + y) -> -y.
+        if (tb.op == TOp::Add) {
+            if (tb.args[0] == a)
+                return tm_.mkNeg(tb.args[1]);
+            if (tb.args[1] == a)
+                return tm_.mkNeg(tb.args[0]);
+        }
+        return NoTerm;
+    }
+
+    const bool ca = tm_.isConst(a, &k);
+    const TermRef x = ca ? b : a;
+    const bool hasConst = ca || tm_.isConst(b, &k);
+    const Term tx = tm_.term(x);
+
+    if (t.op == TOp::Add) {
+        // x + x -> x << 1 (which is wiring, below).
+        if (a == b && w > 1)
+            return tm_.mkConcat(tm_.mkExtract(a, w - 2, 0),
+                                tm_.mkConst(1, 0));
+        if (hasConst && tx.op == TOp::Add) {
+            std::uint64_t kc = 0;
+            if (tm_.isConst(tx.args[0], &kc))
+                return tm_.mkAdd(tx.args[1], tm_.mkConst(w, k + kc));
+            if (tm_.isConst(tx.args[1], &kc))
+                return tm_.mkAdd(tx.args[0], tm_.mkConst(w, k + kc));
+        }
+        return NoTerm;
+    }
+
+    // Mul: strength-reduce constant multipliers.
+    if (hasConst) {
+        if (tx.op == TOp::Mul) {
+            std::uint64_t kc = 0;
+            if (tm_.isConst(tx.args[0], &kc))
+                return tm_.mkMul(tx.args[1], tm_.mkConst(w, k * kc));
+            if (tm_.isConst(tx.args[1], &kc))
+                return tm_.mkMul(tx.args[0], tm_.mkConst(w, k * kc));
+        }
+        const int s = __builtin_ctzll(k);
+        if (s > 0 && s < w) {
+            // x * (c * 2^s) -> (x * c) << s; the shift is wiring and a
+            // power of two disappears entirely (c == 1 after mk* folds).
+            const TermRef scaled =
+                rw(tm_.mkMul(x, tm_.mkConst(w, k >> s)));
+            return tm_.mkConcat(tm_.mkExtract(scaled, w - 1 - s, 0),
+                                tm_.mkConst(s, 0));
+        }
+    }
+    return NoTerm;
+}
+
+TermRef
+Rewriter::stepShift(const Term &t)
+{
+    const TermRef a = t.args[0], b = t.args[1];
+    const int w = t.width;
+    std::uint64_t k = 0;
+    if (!tm_.isConst(b, &k))
+        return NoTerm;
+    // Constant shifts are wiring: the barrel shifter disappears and the
+    // extract/concat forms fuse with neighboring structure rules.
+    if (k == 0)
+        return a;
+    if (k >= static_cast<std::uint64_t>(w)) {
+        if (t.op == TOp::AShr)
+            return tm_.mkSExt(tm_.mkExtract(a, w - 1, w - 1), w);
+        return tm_.mkConst(w, 0);
+    }
+    const int s = static_cast<int>(k);
+    switch (t.op) {
+      case TOp::Shl:
+        return tm_.mkConcat(rw(tm_.mkExtract(a, w - 1 - s, 0)),
+                            tm_.mkConst(s, 0));
+      case TOp::LShr:
+        return tm_.mkZExt(rw(tm_.mkExtract(a, w - 1, s)), w);
+      case TOp::AShr:
+        return tm_.mkSExt(rw(tm_.mkExtract(a, w - 1, s)), w);
+      default:
+        return NoTerm;
+    }
+}
+
+TermRef
+Rewriter::stepCompare(const Term &t)
+{
+    const TermRef a = t.args[0], b = t.args[1];
+    const Term ta = tm_.term(a), tb = tm_.term(b);
+    const int w = tm_.widthOf(a);
+    std::uint64_t k = 0;
+
+    if (t.op == TOp::Eq) {
+        // eq(~x, ~y) -> eq(x, y).
+        if (ta.op == TOp::Not && tb.op == TOp::Not)
+            return tm_.mkEq(ta.args[0], tb.args[0]);
+        // eq over matching extensions compares the sources.
+        if (ta.op == TOp::ZExt && tb.op == TOp::ZExt &&
+            tm_.widthOf(ta.args[0]) == tm_.widthOf(tb.args[0]))
+            return tm_.mkEq(ta.args[0], tb.args[0]);
+        if (ta.op == TOp::SExt && tb.op == TOp::SExt &&
+            tm_.widthOf(ta.args[0]) == tm_.widthOf(tb.args[0]))
+            return tm_.mkEq(ta.args[0], tb.args[0]);
+        // eq over aligned concats splits into per-field equalities —
+        // the big one for hardware state comparisons.
+        if (ta.op == TOp::Concat && tb.op == TOp::Concat &&
+            tm_.widthOf(ta.args[1]) == tm_.widthOf(tb.args[1]))
+            return tm_.mkAnd(rw(tm_.mkEq(ta.args[0], tb.args[0])),
+                             rw(tm_.mkEq(ta.args[1], tb.args[1])));
+
+        const bool ca = tm_.isConst(a, &k);
+        if (!ca && !tm_.isConst(b, &k))
+            return NoTerm;
+        const TermRef x = ca ? b : a;
+        const Term tx = tm_.term(x);
+        switch (tx.op) {
+          case TOp::Concat: {
+            const int wlo = tm_.widthOf(tx.args[1]);
+            const int whi = tm_.widthOf(tx.args[0]);
+            return tm_.mkAnd(
+                rw(tm_.mkEq(tx.args[0], tm_.mkConst(whi, k >> wlo))),
+                rw(tm_.mkEq(tx.args[1],
+                            tm_.mkConst(wlo, k & termMask(wlo)))));
+          }
+          case TOp::ZExt: {
+            const int srcw = tm_.widthOf(tx.args[0]);
+            if ((k >> srcw) != 0)
+                return tm_.mkFalse();
+            return tm_.mkEq(tx.args[0], tm_.mkConst(srcw, k));
+          }
+          case TOp::SExt: {
+            const int srcw = tm_.widthOf(tx.args[0]);
+            const std::uint64_t klo = k & termMask(srcw);
+            const bool sign = (klo >> (srcw - 1)) & 1;
+            const std::uint64_t expect =
+                (sign ? (klo | ~termMask(srcw)) : klo) & termMask(w);
+            if (expect != k)
+                return tm_.mkFalse();
+            return tm_.mkEq(tx.args[0], tm_.mkConst(srcw, klo));
+          }
+          case TOp::Not:
+            return tm_.mkEq(tx.args[0], tm_.mkConst(w, ~k));
+          case TOp::Neg:
+            return tm_.mkEq(tx.args[0], tm_.mkConst(w, ~k + 1));
+          case TOp::Add: {
+            std::uint64_t kc = 0;
+            if (tm_.isConst(tx.args[0], &kc))
+                return tm_.mkEq(tx.args[1], tm_.mkConst(w, k - kc));
+            if (tm_.isConst(tx.args[1], &kc))
+                return tm_.mkEq(tx.args[0], tm_.mkConst(w, k - kc));
+            return NoTerm;
+          }
+          case TOp::Xor: {
+            std::uint64_t kc = 0;
+            if (tm_.isConst(tx.args[0], &kc))
+                return tm_.mkEq(tx.args[1], tm_.mkConst(w, k ^ kc));
+            if (tm_.isConst(tx.args[1], &kc))
+                return tm_.mkEq(tx.args[0], tm_.mkConst(w, k ^ kc));
+            return NoTerm;
+          }
+          case TOp::Ite: {
+            std::uint64_t kt = 0, ke = 0;
+            if (tm_.isConst(tx.args[1], &kt) &&
+                tm_.isConst(tx.args[2], &ke)) {
+                if (kt == k)
+                    return tx.args[0];
+                if (ke == k)
+                    return tm_.mkNot(tx.args[0]);
+                return tm_.mkFalse();
+            }
+            return NoTerm;
+          }
+          default:
+            return NoTerm;
+        }
+    }
+
+    if (t.op == TOp::Ult) {
+        if (tm_.isConst(b, &k)) {
+            if (k == 1)
+                return tm_.mkEq(a, tm_.mkConst(w, 0));
+            if (k == termMask(w))
+                return tm_.mkNot(tm_.mkEq(a, tm_.mkConst(w, k)));
+            if (ta.op == TOp::ZExt) {
+                const int srcw = tm_.widthOf(ta.args[0]);
+                if (k > termMask(srcw))
+                    return tm_.mkTrue();
+                return tm_.mkUlt(ta.args[0], tm_.mkConst(srcw, k));
+            }
+        }
+        if (tm_.isConst(a, &k)) {
+            if (k == 0)
+                return tm_.mkRedOr(b); // 0 < x  <=>  x != 0
+            if (k == termMask(w) - 1)
+                return tm_.mkEq(b, tm_.mkConst(w, termMask(w)));
+            if (tb.op == TOp::ZExt) {
+                const int srcw = tm_.widthOf(tb.args[0]);
+                if (k >= termMask(srcw))
+                    return tm_.mkFalse();
+                return tm_.mkUlt(tm_.mkConst(srcw, k), tb.args[0]);
+            }
+        }
+        if (ta.op == TOp::ZExt && tb.op == TOp::ZExt &&
+            tm_.widthOf(ta.args[0]) == tm_.widthOf(tb.args[0]))
+            return tm_.mkUlt(ta.args[0], tb.args[0]);
+        return NoTerm;
+    }
+
+    // Slt.
+    if (tm_.isConst(b, &k) && k == 0 && w > 1)
+        return tm_.mkExtract(a, w - 1, w - 1); // x <s 0 is the sign bit
+    if (tm_.isConst(a, &k) && k == 0 && w > 1)
+        return tm_.mkAnd(tm_.mkNot(rw(tm_.mkExtract(b, w - 1, w - 1))),
+                         tm_.mkRedOr(b)); // 0 <s x: positive, nonzero
+    return NoTerm;
+}
+
+TermRef
+Rewriter::stepIte(const Term &t)
+{
+    const TermRef c = t.args[0], tt = t.args[1], ee = t.args[2];
+    const Term tc = tm_.term(c);
+    // ite(~c, t, e) -> ite(c, e, t).
+    if (tc.op == TOp::Not)
+        return tm_.mkIte(tc.args[0], ee, tt);
+    // Same-condition nesting collapses.
+    const Term tthen = tm_.term(tt);
+    if (tthen.op == TOp::Ite && tthen.args[0] == c)
+        return tm_.mkIte(c, tthen.args[1], ee);
+    const Term telse = tm_.term(ee);
+    if (telse.op == TOp::Ite && telse.args[0] == c)
+        return tm_.mkIte(c, tt, telse.args[2]);
+    // Distribute over aligned concat branches so constant fields fold.
+    if (tthen.op == TOp::Concat && telse.op == TOp::Concat &&
+        tm_.widthOf(tthen.args[1]) == tm_.widthOf(telse.args[1]))
+        return tm_.mkConcat(rw(tm_.mkIte(c, tthen.args[0], telse.args[0])),
+                            rw(tm_.mkIte(c, tthen.args[1], telse.args[1])));
+    return NoTerm;
+}
+
+TermRef
+Rewriter::stepReduce(const Term &t)
+{
+    const TermRef a = t.args[0];
+    const Term ta = tm_.term(a);
+    if (ta.op == TOp::Concat) {
+        const TermRef h = ta.args[0], l = ta.args[1];
+        switch (t.op) {
+          case TOp::RedOr:
+            return tm_.mkOr(rw(tm_.mkRedOr(h)), rw(tm_.mkRedOr(l)));
+          case TOp::RedAnd:
+            return tm_.mkAnd(rw(tm_.mkRedAnd(h)), rw(tm_.mkRedAnd(l)));
+          case TOp::RedXor:
+            return tm_.mkXor(rw(tm_.mkRedXor(h)), rw(tm_.mkRedXor(l)));
+          default:
+            return NoTerm;
+        }
+    }
+    if (ta.op == TOp::ZExt) {
+        switch (t.op) {
+          case TOp::RedOr: return tm_.mkRedOr(ta.args[0]);
+          case TOp::RedAnd: return tm_.mkFalse(); // zero bits exist
+          case TOp::RedXor: return tm_.mkRedXor(ta.args[0]);
+          default: return NoTerm;
+        }
+    }
+    if (ta.op == TOp::SExt) {
+        const int srcw = tm_.widthOf(ta.args[0]);
+        const int copies = t.width == 1 ? tm_.widthOf(a) - srcw : 0;
+        switch (t.op) {
+          case TOp::RedOr: return tm_.mkRedOr(ta.args[0]);
+          case TOp::RedAnd: return tm_.mkRedAnd(ta.args[0]);
+          case TOp::RedXor: {
+            const TermRef parity = rw(tm_.mkRedXor(ta.args[0]));
+            if (copies % 2 == 0)
+                return parity;
+            return tm_.mkXor(parity,
+                             tm_.mkExtract(ta.args[0], srcw - 1, srcw - 1));
+          }
+          default: return NoTerm;
+        }
+    }
+    if (ta.op == TOp::Not) {
+        const int w = tm_.widthOf(a);
+        switch (t.op) {
+          case TOp::RedOr:
+            return tm_.mkNot(rw(tm_.mkRedAnd(ta.args[0])));
+          case TOp::RedAnd:
+            return tm_.mkNot(rw(tm_.mkRedOr(ta.args[0])));
+          case TOp::RedXor: {
+            const TermRef parity = rw(tm_.mkRedXor(ta.args[0]));
+            return w % 2 == 0 ? parity : tm_.mkNot(parity);
+          }
+          default: return NoTerm;
+        }
+    }
+    return NoTerm;
+}
+
+TermRef
+Rewriter::stepStructure(const Term &t)
+{
+    if (t.op == TOp::ZExt || t.op == TOp::SExt) {
+        const Term ta = tm_.term(t.args[0]);
+        // Extension composition (the constructors only fold widths).
+        if (t.op == TOp::ZExt && ta.op == TOp::ZExt)
+            return tm_.mkZExt(ta.args[0], t.width);
+        if (t.op == TOp::SExt && ta.op == TOp::SExt)
+            return tm_.mkSExt(ta.args[0], t.width);
+        if (t.op == TOp::SExt && ta.op == TOp::ZExt)
+            return tm_.mkZExt(ta.args[0], t.width); // zext MSB is zero
+        if (t.op == TOp::SExt && ta.op == TOp::Concat) {
+            std::uint64_t kh = 0;
+            if (tm_.isConst(ta.args[0], &kh)) {
+                // The sign source is a known constant; the extension is
+                // a (wider) constant field.
+                const int whi = tm_.widthOf(ta.args[0]);
+                const int wlo = tm_.widthOf(ta.args[1]);
+                const bool sign = (kh >> (whi - 1)) & 1;
+                const std::uint64_t ext =
+                    (sign ? (kh | ~termMask(whi)) : kh) &
+                    termMask(t.width - wlo);
+                return tm_.mkConcat(tm_.mkConst(t.width - wlo, ext),
+                                    ta.args[1]);
+            }
+        }
+        return NoTerm;
+    }
+
+    if (t.op == TOp::Concat) {
+        const TermRef h = t.args[0], l = t.args[1];
+        const Term th = tm_.term(h), tl = tm_.term(l);
+        std::uint64_t kh = 0, kl = 0;
+        // Zero high part is a zext (normalizes toward the zext rules).
+        if (tm_.isConst(h, &kh) && kh == 0)
+            return tm_.mkZExt(l, t.width);
+        // Adjacent extracts of one base fuse back into one extract.
+        if (th.op == TOp::Extract && tl.op == TOp::Extract &&
+            th.args[0] == tl.args[0] && th.lo == tl.hi + 1)
+            return tm_.mkExtract(th.args[0], th.hi, tl.lo);
+        // Constants merge through one level of concat nesting.
+        if (tl.op == TOp::Concat && tm_.isConst(h, &kh) &&
+            tm_.isConst(tl.args[0], &kl))
+            return tm_.mkConcat(tm_.mkConcat(h, tl.args[0]), tl.args[1]);
+        if (th.op == TOp::Concat && tm_.isConst(th.args[1], &kh) &&
+            tm_.isConst(l, &kl))
+            return tm_.mkConcat(th.args[0], tm_.mkConcat(th.args[1], l));
+        // Adjacent extracts fuse through one level of concat nesting.
+        if (tl.op == TOp::Concat && th.op == TOp::Extract) {
+            const Term tlh = tm_.term(tl.args[0]);
+            if (tlh.op == TOp::Extract && tlh.args[0] == th.args[0] &&
+                th.lo == tlh.hi + 1)
+                return tm_.mkConcat(
+                    rw(tm_.mkExtract(th.args[0], th.hi, tlh.lo)),
+                    tl.args[1]);
+        }
+        if (th.op == TOp::Concat && tl.op == TOp::Extract) {
+            const Term thl = tm_.term(th.args[1]);
+            if (thl.op == TOp::Extract && thl.args[0] == tl.args[0] &&
+                thl.lo == tl.hi + 1)
+                return tm_.mkConcat(
+                    th.args[0],
+                    rw(tm_.mkExtract(tl.args[0], thl.hi, tl.lo)));
+        }
+        return NoTerm;
+    }
+
+    // Extract: the constructor already composes through concat, zext,
+    // and extract; push through the remaining free/narrowing bases.
+    const Term ta = tm_.term(t.args[0]);
+    const int hi = t.hi, lo = t.lo;
+    switch (ta.op) {
+      case TOp::Not:
+        return tm_.mkNot(rw(tm_.mkExtract(ta.args[0], hi, lo)));
+      case TOp::And:
+        return tm_.mkAnd(rw(tm_.mkExtract(ta.args[0], hi, lo)),
+                         rw(tm_.mkExtract(ta.args[1], hi, lo)));
+      case TOp::Or:
+        return tm_.mkOr(rw(tm_.mkExtract(ta.args[0], hi, lo)),
+                        rw(tm_.mkExtract(ta.args[1], hi, lo)));
+      case TOp::Xor:
+        return tm_.mkXor(rw(tm_.mkExtract(ta.args[0], hi, lo)),
+                         rw(tm_.mkExtract(ta.args[1], hi, lo)));
+      case TOp::Ite:
+        return tm_.mkIte(ta.args[0],
+                         rw(tm_.mkExtract(ta.args[1], hi, lo)),
+                         rw(tm_.mkExtract(ta.args[2], hi, lo)));
+      case TOp::SExt: {
+        const int srcw = tm_.widthOf(ta.args[0]);
+        if (hi < srcw)
+            return tm_.mkExtract(ta.args[0], hi, lo);
+        // All selected bits at/above srcw-1 replicate the sign.
+        return tm_.mkSExt(
+            rw(tm_.mkExtract(ta.args[0], srcw - 1, std::min(lo, srcw - 1))),
+            hi - lo + 1);
+      }
+      case TOp::Add:
+      case TOp::Sub:
+      case TOp::Mul:
+        // Low slices of modular arithmetic narrow the operator.
+        if (lo == 0) {
+            const TermRef na = rw(tm_.mkExtract(ta.args[0], hi, 0));
+            const TermRef nb = rw(tm_.mkExtract(ta.args[1], hi, 0));
+            if (ta.op == TOp::Add)
+                return tm_.mkAdd(na, nb);
+            if (ta.op == TOp::Sub)
+                return tm_.mkSub(na, nb);
+            return tm_.mkMul(na, nb);
+        }
+        return NoTerm;
+      case TOp::Neg:
+        if (lo == 0)
+            return tm_.mkNeg(rw(tm_.mkExtract(ta.args[0], hi, 0)));
+        return NoTerm;
+      case TOp::Shl:
+        if (lo == 0)
+            return tm_.mkShl(rw(tm_.mkExtract(ta.args[0], hi, 0)),
+                             ta.args[1]);
+        return NoTerm;
+      default:
+        return NoTerm;
+    }
+}
+
+} // namespace coppelia::smt

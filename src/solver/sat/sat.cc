@@ -21,6 +21,10 @@ Solver::newVar()
     seen_.push_back(0);
     watches_.emplace_back();
     watches_.emplace_back();
+    binWatches_.emplace_back();
+    binWatches_.emplace_back();
+    frozen_.push_back(0);
+    eliminated_.push_back(0);
     heapPos_.push_back(-1);
     heapInsert(v);
     return v;
@@ -69,7 +73,7 @@ Solver::siftDown(int i)
 void
 Solver::heapInsert(Var v)
 {
-    if (heapPos_[v] >= 0)
+    if (heapPos_[v] >= 0 || eliminated_[v])
         return;
     heap_.push_back(v);
     heapPos_[v] = static_cast<int>(heap_.size()) - 1;
@@ -93,6 +97,7 @@ Solver::resetDecisionState()
     std::fill(heapPos_.begin(), heapPos_.end(), -1);
     // Rebuild in index order: with all activities equal, the heap then
     // serves variables in the same relative order a fresh solver's would.
+    // (heapInsert skips eliminated variables.)
     for (Var v = 0; v < numVars(); ++v) {
         if (assign_[v] == LBool::Undef)
             heapInsert(v);
@@ -120,6 +125,17 @@ void
 Solver::attachClause(ClauseRef cref)
 {
     const Clause &c = clauses_[cref];
+    if (minimize_ && c.lits.size() == 2) {
+        // Binary clauses live in their own watcher lists: the watcher
+        // itself carries the implied literal, so propagation over them
+        // never touches the clause database. The fast path is part of
+        // the stage-3 switch (setMinimizeLearnts): with it off,
+        // binaries go to the regular lists so the baseline propagation
+        // order — and witness stream — is preserved exactly.
+        binWatches_[(~c.lits[0]).code()].push_back({c.lits[1], cref});
+        binWatches_[(~c.lits[1]).code()].push_back({c.lits[0], cref});
+        return;
+    }
     watches_[(~c.lits[0]).code()].push_back({cref, c.lits[1]});
     watches_[(~c.lits[1]).code()].push_back({cref, c.lits[0]});
 }
@@ -158,6 +174,7 @@ Solver::addClause(std::vector<Lit> lits)
     Clause c;
     c.lits = std::move(out);
     clauses_.push_back(std::move(c));
+    ++liveProblemClauses_;
     attachClause(static_cast<ClauseRef>(clauses_.size()) - 1);
     return true;
 }
@@ -180,6 +197,28 @@ Solver::propagate()
     while (qhead_ < trail_.size()) {
         Lit p = trail_[qhead_++];
         stats_.inc("propagations");
+
+        // Binary fast path: the watcher carries the implied literal, so
+        // no clause memory is touched unless we enqueue or conflict.
+        for (const BinWatcher &bw : binWatches_[p.code()]) {
+            const LBool v = value(bw.other);
+            if (v == LBool::True)
+                continue;
+            if (v == LBool::False) {
+                confl = bw.cref;
+                qhead_ = trail_.size();
+                break;
+            }
+            // The implied literal must be lits[0]: conflict analysis and
+            // redundancy checks iterate reason clauses from index 1.
+            Clause &c = clauses_[bw.cref];
+            if (c.lits[0] != bw.other)
+                std::swap(c.lits[0], c.lits[1]);
+            enqueue(bw.other, bw.cref);
+        }
+        if (confl != NoClause)
+            break;
+
         std::vector<Watcher> &ws = watches_[p.code()];
         std::size_t i = 0, j = 0;
         while (i < ws.size()) {
@@ -277,6 +316,7 @@ Solver::analyze(ClauseRef confl, std::vector<Lit> &out_learnt,
             Lit q = c.lits[k];
             if (!seen_[q.var()] && varInfo_[q.var()].level > 0) {
                 seen_[q.var()] = 1;
+                analyzeToClear_.push_back(q);
                 bumpVar(q.var());
                 if (varInfo_[q.var()].level >= decisionLevel()) {
                     ++counter;
@@ -295,6 +335,27 @@ Solver::analyze(ClauseRef confl, std::vector<Lit> &out_learnt,
     } while (counter > 0);
     out_learnt[0] = ~p;
 
+    if (minimize_ && out_learnt.size() > 1) {
+        // Recursive (MiniSat-style) minimization: a literal is redundant
+        // when its reason-implication cone is contained in the rest of
+        // the clause, checked with the abstract-level filter for fast
+        // refutation. seen_ marks survive across checks (and are all
+        // tracked in analyzeToClear_), so later literals reuse earlier
+        // successful derivations.
+        std::uint32_t abstract_levels = 0;
+        for (std::size_t i = 1; i < out_learnt.size(); ++i)
+            abstract_levels |= abstractLevel(out_learnt[i].var());
+        std::size_t j = 1;
+        for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+            const Lit l = out_learnt[i];
+            if (varInfo_[l.var()].reason == NoClause ||
+                !litRedundant(l, abstract_levels))
+                out_learnt[j++] = l;
+        }
+        stats_.inc("learnt_lits_saved", out_learnt.size() - j);
+        out_learnt.resize(j);
+    }
+
     // Minimal backtrack level: second-highest level in the learnt clause.
     out_btlevel = 0;
     if (out_learnt.size() > 1) {
@@ -308,8 +369,44 @@ Solver::analyze(ClauseRef confl, std::vector<Lit> &out_learnt,
         out_btlevel = varInfo_[out_learnt[1].var()].level;
     }
 
-    for (Lit l : out_learnt)
+    for (Lit l : analyzeToClear_)
         seen_[l.var()] = 0;
+    analyzeToClear_.clear();
+}
+
+bool
+Solver::litRedundant(Lit p, std::uint32_t abstract_levels)
+{
+    // Depth-first walk of p's implication cone. Every antecedent must be
+    // either already marked (in the learnt clause or proven redundant) or
+    // itself reason-implied within the clause's decision levels. On
+    // failure, roll back only the marks made by this call.
+    const std::size_t rollback = analyzeToClear_.size();
+    analyzeStack_.clear();
+    analyzeStack_.push_back(p);
+    while (!analyzeStack_.empty()) {
+        const Lit q = analyzeStack_.back();
+        analyzeStack_.pop_back();
+        const Clause &c = clauses_[varInfo_[q.var()].reason];
+        for (std::size_t k = 1; k < c.lits.size(); ++k) {
+            const Lit l = c.lits[k];
+            const Var v = l.var();
+            if (seen_[v] || varInfo_[v].level == 0)
+                continue;
+            if (varInfo_[v].reason != NoClause &&
+                (abstractLevel(v) & abstract_levels) != 0) {
+                seen_[v] = 1;
+                analyzeToClear_.push_back(l);
+                analyzeStack_.push_back(l);
+                continue;
+            }
+            for (std::size_t t = rollback; t < analyzeToClear_.size(); ++t)
+                seen_[analyzeToClear_[t].var()] = 0;
+            analyzeToClear_.resize(rollback);
+            return false;
+        }
+    }
+    return true;
 }
 
 void
@@ -501,7 +598,11 @@ Solver::solve(const std::vector<Lit> &assumptions,
                     break; // restart
                 }
                 if (learnts_.size() >
-                    clauses_.size() / 2 + 1000 + trail_.size())
+                    static_cast<std::size_t>(
+                        static_cast<double>(liveProblemClauses_ +
+                                            learnts_.size()) *
+                        reduceDbFactor_) +
+                        reduceDbMargin_ + trail_.size())
                     reduceDB();
                 continue;
             }

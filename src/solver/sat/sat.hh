@@ -1,10 +1,14 @@
 /**
  * @file
- * A from-scratch CDCL SAT solver: two-watched-literal propagation, first-UIP
- * conflict analysis with clause learning, VSIDS-style activity-based decision
- * heuristic, phase saving, Luby restarts, and assumption-based incremental
- * solving. This is the decision-procedure core under the bit-vector theory
- * layer (the KLEE/STP stand-in of the reproduction).
+ * A from-scratch CDCL SAT solver: two-watched-literal propagation (with a
+ * dedicated binary-clause watcher fast path), first-UIP conflict analysis
+ * with clause learning and recursive MiniSat-style learnt-clause
+ * minimization, VSIDS-style activity-based decision heuristic, phase saving,
+ * Luby restarts, assumption-based incremental solving, and SatELite-style
+ * root-level preprocessing (subsumption, self-subsuming resolution, bounded
+ * variable elimination over a frozen-variable set; see sat/simplify.cc).
+ * This is the decision-procedure core under the bit-vector theory layer (the
+ * KLEE/STP stand-in of the reproduction).
  */
 
 #ifndef COPPELIA_SOLVER_SAT_SAT_HH
@@ -154,8 +158,70 @@ class Solver
      *  stay valid for every later query over the same database. */
     std::size_t numLearnts() const { return learnts_.size(); }
 
-    /** Total clauses (problem + learned) in the database. */
+    /** Total clauses (problem + learned) ever added to the database
+     *  (monotone; preprocessing marks removed clauses dead in place). */
     std::size_t numClauses() const { return clauses_.size(); }
+
+    /**
+     * Enable/disable learnt-clause minimization in analyze(). The
+     * binary-clause watcher fast path rides the same switch: with it
+     * off, binary clauses stay in the regular watch lists exactly as
+     * the unoptimized solver keeps them, so the stages-off
+     * configuration preserves the baseline propagation order — and
+     * with it the baseline witness stream — bit for bit.
+     */
+    void
+    setMinimizeLearnts(bool on)
+    {
+        if (minimize_ == on)
+            return;
+        minimize_ = on;
+        if (!clauses_.empty())
+            rebuildWatches(); // migrate binaries between list kinds
+    }
+
+    /**
+     * Mark @p v as frozen: preprocessing will never eliminate it. The
+     * bit-blaster freezes every term-boundary variable (anything that can
+     * reappear in later incremental clauses or serve as an assumption
+     * literal); only gate-internal Tseitin temporaries stay eliminable.
+     */
+    void
+    setFrozen(Var v)
+    {
+        frozen_[v] = 1;
+    }
+
+    bool isFrozen(Var v) const { return frozen_[v] != 0; }
+
+    /** True when preprocessing existentially eliminated @p v. Eliminated
+     *  variables appear in no clause and stay Undef in models. */
+    bool isEliminated(Var v) const { return eliminated_[v] != 0; }
+
+    /**
+     * SatELite-style root-level simplification (simplify.cc): removes
+     * root-satisfied clauses and root-false literals, backward
+     * subsumption + self-subsuming resolution over the problem clauses,
+     * then bounded variable elimination of unfrozen variables. Must be
+     * called at decision level 0. Returns false when simplification
+     * derives unsatisfiability (inconsistent() becomes true). Safe to
+     * rerun as inprocessing after cancelToRoot().
+     */
+    bool preprocess();
+
+    /**
+     * Tune the reduceDB trigger: fires when
+     * learnts > (live problem + learnt clauses) * factor + margin +
+     * trail size. The defaults reproduce the historical policy; tests
+     * lower them to stress reason-clause safety under aggressive
+     * reduction.
+     */
+    void
+    setReduceDbPolicy(double factor, std::size_t margin)
+    {
+        reduceDbFactor_ = factor;
+        reduceDbMargin_ = margin;
+    }
 
   private:
     struct Clause
@@ -174,6 +240,14 @@ class Solver
         Lit blocker;
     };
 
+    /** Binary-clause watcher: the whole clause is (other, watched-lit),
+     *  so propagation needs no clause dereference at all. */
+    struct BinWatcher
+    {
+        Lit other;
+        ClauseRef cref;
+    };
+
     struct VarInfo
     {
         ClauseRef reason = NoClause;
@@ -184,12 +258,32 @@ class Solver
     ClauseRef propagate();
     void analyze(ClauseRef confl, std::vector<Lit> &out_learnt,
                  int &out_btlevel);
+    bool litRedundant(Lit p, std::uint32_t abstract_levels);
     void analyzeFinal(Lit p);
     void enqueue(Lit p, ClauseRef from);
     void cancelUntil(int level);
     Lit pickBranchLit();
     void attachClause(ClauseRef cref);
     void reduceDB();
+
+    std::uint32_t
+    abstractLevel(Var v) const
+    {
+        return 1u << (varInfo_[v].level & 31);
+    }
+
+    // Preprocessing internals (simplify.cc).
+    bool rootEnqueue(Lit l);
+    void clearRootReasons();
+    void sortLiveClauseLits();
+    std::size_t removeSatisfiedAndStrip();
+    bool subsumptionPass(std::size_t &clauses_removed,
+                         std::size_t &lits_removed);
+    bool eliminatePass(std::size_t &vars_eliminated);
+    void dropLearntsWithEliminatedVars();
+    void rebuildWatches();
+    void markDead(ClauseRef cref);
+    bool isDead(ClauseRef cref) const { return clauses_[cref].lits.empty(); }
 
     // Activity bookkeeping.
     void bumpVar(Var v);
@@ -203,6 +297,7 @@ class Solver
     std::vector<Clause> clauses_;
     std::vector<ClauseRef> learnts_;
     std::vector<std::vector<Watcher>> watches_; ///< indexed by lit code
+    std::vector<std::vector<BinWatcher>> binWatches_; ///< indexed by lit code
     std::vector<LBool> assign_;
     std::vector<LBool> savedPhase_;
     std::vector<VarInfo> varInfo_;
@@ -210,6 +305,17 @@ class Solver
     std::vector<Lit> trail_;
     std::vector<int> trailLim_;
     std::size_t qhead_ = 0;
+
+    bool minimize_ = true;
+    std::vector<Lit> analyzeStack_;
+    std::vector<Lit> analyzeToClear_;
+
+    std::vector<char> frozen_;
+    std::vector<char> eliminated_;
+    std::size_t liveProblemClauses_ = 0; ///< maintained by addClause/preprocess
+
+    double reduceDbFactor_ = 0.5;
+    std::size_t reduceDbMargin_ = 1000;
 
     // Activity-ordered decision heap (MiniSat-style VarOrder).
     void heapInsert(Var v);

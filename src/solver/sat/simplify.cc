@@ -1,0 +1,487 @@
+/**
+ * @file
+ * SatELite-style root-level simplification for sat::Solver: removal of
+ * root-satisfied clauses and root-false literals, backward subsumption with
+ * self-subsuming resolution over the problem clauses, and bounded variable
+ * elimination (keep-all-resolvents, i.e. exact existential quantification)
+ * restricted to unfrozen variables.
+ *
+ * The frozen set is the incremental-safety contract: the bit-blaster
+ * freezes every term-boundary variable (anything a later query's clauses
+ * or assumption literals can mention), so elimination only ever touches
+ * gate-internal Tseitin temporaries. Because keep-all-resolvents is exact
+ * projection, clauses added later that avoid eliminated variables — which
+ * all of them do, by the freezing contract — keep the database
+ * equisatisfiable, and retained learnt clauses stay sound (learnts that
+ * mention an eliminated variable are dropped here).
+ *
+ * Everything runs at decision level 0 with all reasons cleared, so no
+ * trail entry can point at a clause this pass rewrites or kills.
+ */
+
+#include <algorithm>
+#include <cstdint>
+
+#include "solver/sat/sat.hh"
+#include "util/logging.hh"
+
+namespace coppelia::sat
+{
+
+namespace
+{
+
+constexpr std::size_t kMaxSubsumeClause = 16;  ///< C larger than this: skip
+constexpr std::size_t kMaxOccSubsume = 256;    ///< candidate-list cap
+constexpr std::int64_t kSubsumeBudget = 2'000'000;
+constexpr std::size_t kMaxOccEliminate = 10;   ///< per-polarity cap for BVE
+constexpr std::size_t kMaxResolventLits = 16;
+constexpr int kMaxSimplifyRounds = 3;
+
+std::uint64_t
+clauseSignature(const std::vector<Lit> &lits)
+{
+    std::uint64_t sig = 0;
+    for (Lit l : lits)
+        sig |= 1ull << (l.var() & 63);
+    return sig;
+}
+
+} // namespace
+
+void
+Solver::markDead(ClauseRef cref)
+{
+    Clause &c = clauses_[cref];
+    if (c.lits.empty())
+        return;
+    if (!c.learned)
+        --liveProblemClauses_;
+    c.lits.clear();
+    c.lits.shrink_to_fit();
+    stats_.inc("clauses_deleted");
+}
+
+bool
+Solver::rootEnqueue(Lit l)
+{
+    const LBool v = value(l);
+    if (v == LBool::True)
+        return true;
+    if (v == LBool::False) {
+        ok_ = false;
+        return false;
+    }
+    // No propagation here: preprocess() re-propagates the whole trail
+    // over the rebuilt watch lists before returning.
+    enqueue(l, NoClause);
+    return true;
+}
+
+void
+Solver::clearRootReasons()
+{
+    // Root assignments are permanent; nothing ever resolves on them
+    // (analyze and analyzeFinal skip level-0 literals), so their reason
+    // pointers are dead weight — and clearing them is what makes it safe
+    // for the passes below to rewrite or delete any clause.
+    for (Lit l : trail_)
+        varInfo_[l.var()].reason = NoClause;
+}
+
+void
+Solver::sortLiveClauseLits()
+{
+    // Propagation reorders watched literals in place; the subsumption
+    // machinery wants sorted literal arrays. Only safe because no reason
+    // pointers are live (clearRootReasons ran first).
+    for (Clause &c : clauses_) {
+        if (!c.learned && !c.lits.empty())
+            std::sort(c.lits.begin(), c.lits.end(),
+                      [](Lit a, Lit b) { return a.code() < b.code(); });
+    }
+}
+
+std::size_t
+Solver::removeSatisfiedAndStrip()
+{
+    std::size_t removed = 0;
+    for (ClauseRef cref = 0;
+         cref < static_cast<ClauseRef>(clauses_.size()); ++cref) {
+        Clause &c = clauses_[cref];
+        if (c.lits.empty())
+            continue;
+        bool satisfied = false;
+        for (Lit l : c.lits) {
+            if (value(l) == LBool::True) {
+                satisfied = true;
+                break;
+            }
+        }
+        if (satisfied) {
+            markDead(cref);
+            ++removed;
+            continue;
+        }
+        std::size_t j = 0;
+        for (std::size_t i = 0; i < c.lits.size(); ++i) {
+            if (value(c.lits[i]) != LBool::False)
+                c.lits[j++] = c.lits[i];
+            else
+                stats_.inc("preprocess_lits_removed");
+        }
+        c.lits.resize(j);
+        if (j == 0) {
+            ok_ = false;
+            return removed;
+        }
+        if (j == 1) {
+            rootEnqueue(c.lits[0]);
+            markDead(cref);
+            ++removed;
+            if (!ok_)
+                return removed;
+        }
+    }
+    return removed;
+}
+
+bool
+Solver::subsumptionPass(std::size_t &clauses_removed,
+                        std::size_t &lits_removed)
+{
+    // Occurrence lists (by variable) and signatures over the live problem
+    // clauses. Entries go stale as clauses die or shrink; consumers skip
+    // dead clauses and tolerate stale membership (the subset check just
+    // fails).
+    std::vector<std::vector<ClauseRef>> occ(numVars());
+    std::vector<std::uint64_t> sig(clauses_.size(), 0);
+    std::vector<ClauseRef> queue;
+    for (ClauseRef cref = 0;
+         cref < static_cast<ClauseRef>(clauses_.size()); ++cref) {
+        const Clause &c = clauses_[cref];
+        if (c.learned || c.lits.empty())
+            continue;
+        sig[cref] = clauseSignature(c.lits);
+        for (Lit l : c.lits)
+            occ[l.var()].push_back(cref);
+        queue.push_back(cref);
+    }
+    // Small clauses first: they are the strongest subsumers.
+    std::sort(queue.begin(), queue.end(), [this](ClauseRef a, ClauseRef b) {
+        return clauses_[a].lits.size() < clauses_[b].lits.size();
+    });
+
+    // subsumeCheck: does C subsume D outright, or subsume it after
+    // flipping exactly one literal (self-subsuming resolution)?
+    // Returns false for neither; *flip is undef for plain subsumption.
+    const auto contains = [](const std::vector<Lit> &d, Lit l) {
+        return std::binary_search(
+            d.begin(), d.end(), l,
+            [](Lit a, Lit b) { return a.code() < b.code(); });
+    };
+
+    std::int64_t budget = kSubsumeBudget;
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+        const ClauseRef ci = queue[qi];
+        if (isDead(ci))
+            continue;
+        const std::size_t csize = clauses_[ci].lits.size();
+        if (csize > kMaxSubsumeClause)
+            continue;
+        // Scan candidates through the least-occurring variable of C.
+        Var best = clauses_[ci].lits[0].var();
+        for (Lit l : clauses_[ci].lits) {
+            if (occ[l.var()].size() < occ[best].size())
+                best = l.var();
+        }
+        if (occ[best].size() > kMaxOccSubsume)
+            continue;
+        // Copy: strengthening below appends to occurrence lists.
+        const std::vector<ClauseRef> candidates = occ[best];
+        for (ClauseRef di : candidates) {
+            if (di == ci || isDead(di) || isDead(ci))
+                continue;
+            Clause &d = clauses_[di];
+            if (d.lits.size() < csize)
+                continue;
+            if ((sig[ci] & ~sig[di]) != 0)
+                continue;
+            if (budget <= 0)
+                return ok_;
+            budget -= static_cast<std::int64_t>(csize + d.lits.size());
+
+            Lit flip = Lit::undef();
+            bool match = true;
+            for (Lit lc : clauses_[ci].lits) {
+                if (contains(d.lits, lc))
+                    continue;
+                if (flip.isUndef() && contains(d.lits, ~lc)) {
+                    flip = ~lc;
+                    continue;
+                }
+                match = false;
+                break;
+            }
+            if (!match)
+                continue;
+            if (flip.isUndef()) {
+                // C ⊆ D: D is redundant.
+                markDead(di);
+                ++clauses_removed;
+                continue;
+            }
+            // Self-subsuming resolution: resolving C and D on flip yields
+            // a clause that subsumes D, so D loses the flipped literal.
+            d.lits.erase(std::find(d.lits.begin(), d.lits.end(), flip));
+            sig[di] = clauseSignature(d.lits);
+            ++lits_removed;
+            stats_.inc("preprocess_lits_removed");
+            if (d.lits.size() == 1) {
+                rootEnqueue(d.lits[0]);
+                markDead(di);
+                ++clauses_removed;
+                if (!ok_)
+                    return false;
+                continue;
+            }
+            // The shrunk clause is a stronger subsumer; requeue it.
+            queue.push_back(di);
+        }
+    }
+    return ok_;
+}
+
+bool
+Solver::eliminatePass(std::size_t &vars_eliminated)
+{
+    std::vector<std::vector<ClauseRef>> posOcc(numVars());
+    std::vector<std::vector<ClauseRef>> negOcc(numVars());
+    for (ClauseRef cref = 0;
+         cref < static_cast<ClauseRef>(clauses_.size()); ++cref) {
+        const Clause &c = clauses_[cref];
+        if (c.learned || c.lits.empty())
+            continue;
+        for (Lit l : c.lits)
+            (l.sign() ? negOcc : posOcc)[l.var()].push_back(cref);
+    }
+
+    // Cheapest variables first: elimination cost is |pos|x|neg|.
+    std::vector<Var> order;
+    for (Var v = 0; v < numVars(); ++v) {
+        if (!frozen_[v] && !eliminated_[v] && assign_[v] == LBool::Undef)
+            order.push_back(v);
+    }
+    std::sort(order.begin(), order.end(), [&](Var a, Var b) {
+        return posOcc[a].size() + negOcc[a].size() <
+               posOcc[b].size() + negOcc[b].size();
+    });
+
+    const auto liveOf = [this](std::vector<ClauseRef> &refs, Var v,
+                               bool sign) {
+        std::vector<ClauseRef> live;
+        for (ClauseRef cref : refs) {
+            if (isDead(cref))
+                continue;
+            // Strengthening may have removed v from this clause.
+            const Lit want(v, sign);
+            const auto &lits = clauses_[cref].lits;
+            if (std::find(lits.begin(), lits.end(), want) != lits.end())
+                live.push_back(cref);
+        }
+        return live;
+    };
+
+    for (Var v : order) {
+        if (assign_[v] != LBool::Undef)
+            continue; // a unit derived mid-pass assigned it
+        const std::vector<ClauseRef> pos = liveOf(posOcc[v], v, false);
+        const std::vector<ClauseRef> neg = liveOf(negOcc[v], v, true);
+        if (pos.size() > kMaxOccEliminate || neg.size() > kMaxOccEliminate)
+            continue;
+
+        // All pairwise resolvents on v. Eliminating is worthwhile (and
+        // committed) only when the clause count does not grow and no
+        // single resolvent blows up.
+        std::vector<std::vector<Lit>> resolvents;
+        bool abort = false;
+        for (ClauseRef pi : pos) {
+            for (ClauseRef ni : neg) {
+                std::vector<Lit> r;
+                bool taut = false;
+                for (Lit l : clauses_[pi].lits) {
+                    if (l.var() != v)
+                        r.push_back(l);
+                }
+                for (Lit l : clauses_[ni].lits) {
+                    if (l.var() == v)
+                        continue;
+                    bool dup = false;
+                    for (Lit e : r) {
+                        if (e == l) {
+                            dup = true;
+                            break;
+                        }
+                        if (e == ~l) {
+                            taut = true;
+                            break;
+                        }
+                    }
+                    if (taut)
+                        break;
+                    if (!dup)
+                        r.push_back(l);
+                }
+                if (taut)
+                    continue;
+                if (r.size() > kMaxResolventLits) {
+                    abort = true;
+                    break;
+                }
+                resolvents.push_back(std::move(r));
+                if (resolvents.size() > pos.size() + neg.size()) {
+                    abort = true;
+                    break;
+                }
+            }
+            if (abort)
+                break;
+        }
+        if (abort)
+            continue;
+
+        // Commit: the resolvent set is exactly ∃v of the clauses on v.
+        for (ClauseRef cref : pos)
+            markDead(cref);
+        for (ClauseRef cref : neg)
+            markDead(cref);
+        stats_.inc("preprocess_clauses_removed", pos.size() + neg.size());
+        for (std::vector<Lit> &r : resolvents) {
+            // Value-aware insert: mid-pass root units may already
+            // satisfy or falsify literals.
+            std::sort(r.begin(), r.end(),
+                      [](Lit a, Lit b) { return a.code() < b.code(); });
+            std::vector<Lit> out;
+            bool satisfied = false;
+            for (Lit l : r) {
+                const LBool val = value(l);
+                if (val == LBool::True) {
+                    satisfied = true;
+                    break;
+                }
+                if (val == LBool::False)
+                    continue;
+                out.push_back(l);
+            }
+            if (satisfied)
+                continue;
+            if (out.empty()) {
+                ok_ = false;
+                return false;
+            }
+            if (out.size() == 1) {
+                if (!rootEnqueue(out[0]))
+                    return false;
+                continue;
+            }
+            Clause c;
+            c.lits = std::move(out);
+            clauses_.push_back(std::move(c));
+            ++liveProblemClauses_;
+            const ClauseRef cref =
+                static_cast<ClauseRef>(clauses_.size()) - 1;
+            for (Lit l : clauses_[cref].lits)
+                (l.sign() ? negOcc : posOcc)[l.var()].push_back(cref);
+        }
+        eliminated_[v] = 1;
+        ++vars_eliminated;
+        stats_.inc("preprocess_vars_eliminated");
+    }
+    return ok_;
+}
+
+void
+Solver::dropLearntsWithEliminatedVars()
+{
+    std::vector<ClauseRef> kept;
+    for (ClauseRef cref : learnts_) {
+        if (isDead(cref))
+            continue;
+        bool drop = false;
+        for (Lit l : clauses_[cref].lits) {
+            if (eliminated_[l.var()]) {
+                drop = true;
+                break;
+            }
+        }
+        if (drop)
+            markDead(cref);
+        else
+            kept.push_back(cref);
+    }
+    learnts_ = std::move(kept);
+}
+
+void
+Solver::rebuildWatches()
+{
+    for (auto &ws : watches_)
+        ws.clear();
+    for (auto &ws : binWatches_)
+        ws.clear();
+    for (ClauseRef cref = 0;
+         cref < static_cast<ClauseRef>(clauses_.size()); ++cref) {
+        if (!isDead(cref))
+            attachClause(cref);
+    }
+    qhead_ = 0; // re-propagate the whole trail over the new lists
+}
+
+bool
+Solver::preprocess()
+{
+    if (!ok_)
+        return false;
+    if (decisionLevel() != 0)
+        panic("preprocess above decision level 0");
+    if (propagate() != NoClause) {
+        ok_ = false;
+        return false;
+    }
+    {
+        stats_.inc("preprocess_runs");
+        clearRootReasons();
+        sortLiveClauseLits();
+
+        std::size_t clauses_removed = 0;
+        std::size_t lits_removed = 0;
+        for (int round = 0; round < kMaxSimplifyRounds && ok_; ++round) {
+            const std::size_t c0 = clauses_removed;
+            const std::size_t l0 = lits_removed;
+            clauses_removed += removeSatisfiedAndStrip();
+            if (!ok_)
+                break;
+            if (!subsumptionPass(clauses_removed, lits_removed))
+                break;
+            if (clauses_removed == c0 && lits_removed == l0)
+                break;
+        }
+        stats_.inc("preprocess_clauses_removed", clauses_removed);
+
+        std::size_t vars_eliminated = 0;
+        if (ok_)
+            eliminatePass(vars_eliminated);
+        if (ok_) {
+            dropLearntsWithEliminatedVars();
+            // Heap hygiene: eliminated variables must never be decided.
+            if (vars_eliminated > 0)
+                resetDecisionState();
+        }
+    }
+    rebuildWatches();
+    if (ok_ && propagate() != NoClause)
+        ok_ = false;
+    return ok_;
+}
+
+} // namespace coppelia::sat

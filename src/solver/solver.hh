@@ -48,6 +48,7 @@ namespace coppelia::smt
 {
 
 class BitBlaster;
+class Rewriter;
 
 /** Outcome of a satisfiability query. */
 enum class Result
@@ -70,6 +71,18 @@ struct SolverOptions
     std::size_t cacheMaxEntries = 1u << 16;
     /** Cap on remembered models for counterexample reuse. */
     std::size_t maxRecentModels = 64;
+    /** Word-level rewriting of assertions before bit-blasting (stage 1 of
+     *  the simplification stack; `--no-rewrite` ablation). */
+    bool rewrite = true;
+    /** Root-level CNF preprocessing / inprocessing in the SAT core
+     *  (stage 2; `--no-preprocess` ablation). Incremental backend only:
+     *  one pass over the persistent database amortizes across all later
+     *  queries, while preprocessing a throwaway fresh instance per query
+     *  costs more than it saves. */
+    bool preprocess = true;
+    /** Learnt-clause minimization in conflict analysis (stage 3;
+     *  `--no-minimize` ablation). */
+    bool minimize = true;
 };
 
 /**
@@ -167,6 +180,13 @@ class Solver
     // Incremental backend (lazily created on the first query).
     std::unique_ptr<sat::Solver> incSat_;
     std::unique_ptr<BitBlaster> incBlaster_;
+
+    // Word-level rewriter (lazily created; persists across queries so its
+    // ref -> ref memo amortizes like the blast cache).
+    std::unique_ptr<Rewriter> rewriter_;
+    /** Clause count after the last preprocess() of the incremental
+     *  backend; inprocessing reruns once enough new clauses accumulate. */
+    std::size_t preprocessedClauses_ = 0;
 };
 
 } // namespace coppelia::smt

@@ -52,6 +52,12 @@ usage(const char *argv0)
         "                     incremental-backend ablation)\n"
         "  --conflict-budget N  per-query SAT conflict cap (default:\n"
         "                     unlimited); Unknowns mark jobs incomplete\n"
+        "  --no-rewrite       skip word-level term rewriting before\n"
+        "                     bit-blasting (simplification-stack ablation)\n"
+        "  --no-preprocess    skip CNF pre/inprocessing (subsumption +\n"
+        "                     bounded variable elimination)\n"
+        "  --no-minimize      skip learnt-clause minimization in conflict\n"
+        "                     analysis\n"
         "  --out DIR          output directory (default: .)\n"
         "  --trace FILE       record a Chrome trace-event timeline of the\n"
         "                     run (open in Perfetto; fold with\n"
@@ -98,6 +104,7 @@ main(int argc, char **argv)
     long long seed = -1;
     long long conflict_budget = -2; // -1 means "explicitly unlimited"
     bool no_incremental = false;
+    bool no_rewrite = false, no_preprocess = false, no_minimize = false;
     std::string trace_file;
     int monitor_port = -2; // -1 = spec default off; >= 0 = serve
     double monitor_linger = 0.0;
@@ -168,6 +175,12 @@ main(int argc, char **argv)
             retries = numeric(i, "--retries", to_int);
         } else if (arg == "--no-incremental") {
             no_incremental = true;
+        } else if (arg == "--no-rewrite") {
+            no_rewrite = true;
+        } else if (arg == "--no-preprocess") {
+            no_preprocess = true;
+        } else if (arg == "--no-minimize") {
+            no_minimize = true;
         } else if (arg == "--conflict-budget") {
             conflict_budget = numeric(i, "--conflict-budget", to_ll);
         } else if (arg == "--out") {
@@ -214,6 +227,12 @@ main(int argc, char **argv)
         spec.seed = static_cast<std::uint64_t>(seed);
     if (no_incremental)
         spec.incrementalSolver = false;
+    if (no_rewrite)
+        spec.solverRewrite = false;
+    if (no_preprocess)
+        spec.solverPreprocess = false;
+    if (no_minimize)
+        spec.solverMinimize = false;
     if (conflict_budget >= -1)
         spec.solverConflictBudget = conflict_budget;
     if (!trace_file.empty())
