@@ -48,6 +48,10 @@ GATE_PROFILES = {
         "time": {"total_solver_stack_seconds": None},
         "bool": ("same_outcomes",),
     },
+    "bench_fuzz_throughput": {
+        "time": {"total_fuzz_seconds": None},
+        "bool": ("coverage_growth", "oracle_clean_on_bugfree"),
+    },
 }
 
 

@@ -168,7 +168,12 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
     const int diff_threshold =
         static_cast<int>(sym_regs.size()) / 4 + 1; // Eq. 1
 
-    auto reset_bits = [this](SignalId sig) {
+    auto reset_bits = [this](SignalId sig) -> std::uint64_t {
+        // A concolic hand-off snapshot overrides the architectural reset
+        // value: the search then walks back to the fuzzer's state instead.
+        auto it = opts_.initialState.find(sig);
+        if (it != opts_.initialState.end())
+            return it->second;
         return design_.signal(sig).resetValue.bits();
     };
 
@@ -186,7 +191,7 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
             auto it = next_regs.find(sig);
             binding[sig] = it != next_regs.end()
                                ? it->second
-                               : tm.mkConst(s.width, s.resetValue.bits());
+                               : tm.mkConst(s.width, reset_bits(sig));
         }
         sym::Lowering lowering(design_, tm, binding, {});
         auto t = lowering.lower(expr);

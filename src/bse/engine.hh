@@ -127,6 +127,17 @@ struct Options
     int maxCandidatesPerLevel = 32;
     /** Wall-clock limit in seconds (0 = unlimited). */
     double timeLimitSeconds = 0.0;
+    /**
+     * Concolic hand-off origin (the fuzzer bridge): concrete register
+     * values that replace the architectural reset values everywhere the
+     * search consults them — both the state the backward walk terminates
+     * against and the value non-symbolic cone registers are pinned to.
+     * Registers absent from the map keep their reset values. With this
+     * set, a Found trigger drives the design from the *snapshot* to the
+     * violation, so it is replayable only after a concrete prefix that
+     * reaches the snapshot (the caller validates the stitched whole).
+     */
+    std::map<rtl::SignalId, std::uint64_t> initialState;
     /** Preconditions over each cycle's inputs (empty = none). */
     PreconditionFn preconditions;
     /**

@@ -46,6 +46,7 @@ struct RateState
     std::uint64_t us = 0;
     std::uint64_t iterations = 0;
     std::uint64_t queries = 0;
+    std::uint64_t fuzzExecs = 0;
 };
 
 json::Value
@@ -103,6 +104,8 @@ buildStatus(const CampaignSpec &spec, Scheduler &scheduler,
         metrics::counter("solver_sat_calls")->value();
     const std::uint64_t unknowns =
         metrics::counter("solver_budget_exhausted")->value();
+    const std::uint64_t fuzz_execs =
+        metrics::counter("fuzz_execs_total")->value();
     json::Value rate = json::Value::object();
     if (rates.us > 0 && now_us > rates.us) {
         const double dt = static_cast<double>(now_us - rates.us) / 1e6;
@@ -112,6 +115,10 @@ buildStatus(const CampaignSpec &spec, Scheduler &scheduler,
         rate.set("smt_queries_per_sec",
                  json::Value::number(
                      static_cast<double>(queries - rates.queries) / dt));
+        rate.set("fuzz_execs_per_sec",
+                 json::Value::number(
+                     static_cast<double>(fuzz_execs - rates.fuzzExecs) /
+                     dt));
     }
     rate.set("solver_unknown_ratio",
              json::Value::number(
@@ -121,7 +128,26 @@ buildStatus(const CampaignSpec &spec, Scheduler &scheduler,
     rates.us = now_us;
     rates.iterations = iters;
     rates.queries = queries;
+    rates.fuzzExecs = fuzz_execs;
     doc.set("rates", std::move(rate));
+
+    // Fuzzing campaign state, mirroring the fuzz_* registry metrics so
+    // operators need not scrape /metrics to see corpus growth.
+    json::Value fuzz = json::Value::object();
+    fuzz.set("execs", json::Value::number(fuzz_execs));
+    fuzz.set("corpus_size",
+             json::Value::number(
+                 metrics::gauge("fuzz_corpus_size")->value()));
+    fuzz.set("coverage_points",
+             json::Value::number(
+                 metrics::gauge("fuzz_coverage_points")->value()));
+    fuzz.set("divergences",
+             json::Value::number(
+                 metrics::counter("fuzz_divergences")->value()));
+    fuzz.set("handoffs",
+             json::Value::number(
+                 metrics::counter("fuzz_handoffs")->value()));
+    doc.set("fuzz", std::move(fuzz));
 
     // The operator's "what is eating the wall clock": finished jobs by
     // descending wall time.

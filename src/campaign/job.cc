@@ -1,9 +1,13 @@
 #include "campaign/job.hh"
 
+#include <algorithm>
+
 #include "bmc/bmc.hh"
 #include "core/coppelia.hh"
 #include "cpu/or1k/core.hh"
 #include "cpu/riscv/core.hh"
+#include "fuzz/fuzzer.hh"
+#include "fuzz/handoff.hh"
 #include "trace/trace.hh"
 #include "util/timer.hh"
 
@@ -201,6 +205,96 @@ runBmcJob(const CampaignSpec &spec, const JobSpec &job,
     return out;
 }
 
+JobResult
+runFuzzJob(const CampaignSpec &spec, const JobSpec &job,
+           const rtl::Design &design, const props::Assertion *assertion,
+           std::uint64_t seed, const CancelToken *cancel)
+{
+    fuzz::FuzzOptions opts;
+    opts.seed = seed;
+    opts.maxExecs = spec.fuzzExecs;
+    opts.maxStreamLen = spec.fuzzMaxStream;
+    opts.timeLimitSeconds = jobTimeLimit(spec, job);
+    if (cancel)
+        opts.stopRequested = [cancel] { return cancel->cancelled(); };
+
+    fuzz::Fuzzer fuzzer(design, job.processor, opts);
+    const fuzz::FuzzResult res = fuzzer.run();
+
+    JobResult out;
+    out.fuzzExecs = res.execs;
+    out.fuzzInstructions = res.instructions;
+    out.fuzzCorpusSize = res.corpusSize;
+    out.fuzzCoveragePoints = res.coveragePoints;
+    out.fuzzCoverageTotal = res.coverageTotal;
+    out.fuzzDivergences = static_cast<int>(res.divergences.size());
+    // A divergence is a found bug; the minimized stream was re-verified
+    // by concrete replay during minimization, so it is replayable.
+    out.found = !res.divergences.empty();
+    out.replayable = out.found;
+    if (out.found)
+        out.triggerInstructions =
+            static_cast<int>(res.divergences.front().stream.size());
+    for (const fuzz::FuzzDivergence &d : res.divergences)
+        out.fuzzStreams.push_back(d.stream);
+    out.seconds = res.seconds;
+
+    // Concolic hand-off: when the bug has an assertion, run a
+    // short-horizon BSEE search from the highest-proximity corpus states.
+    const bool cancelled = cancel && cancel->cancelled();
+    if (assertion && spec.fuzzHandoffs > 0 && !cancelled) {
+        fuzz::ConcolicBridge bridge(design, job.processor, *assertion);
+        std::vector<std::pair<int, const std::vector<std::uint32_t> *>>
+            ranked;
+        for (const auto &entry : fuzzer.corpus())
+            ranked.emplace_back(
+                bridge.proximity(bridge.stateAfter(entry)), &entry);
+        std::stable_sort(ranked.begin(), ranked.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first > b.first;
+                         });
+
+        fuzz::HandoffOptions hopts;
+        hopts.bound = std::min(spec.bound, hopts.bound);
+        hopts.timeLimitSeconds = jobTimeLimit(spec, job) / 4.0;
+
+        bse::Options base;
+        base.maxFeedbackRounds = spec.maxFeedbackRounds;
+        base.preconditions = preconditionsFor(job, design);
+        base.explorer.seed = seed;
+        base.incrementalSolver = spec.incrementalSolver;
+        base.solverConflictBudget = spec.solverConflictBudget;
+        base.solverRewrite = spec.solverRewrite;
+        base.solverPreprocess = spec.solverPreprocess;
+        base.solverMinimize = spec.solverMinimize;
+
+        int attempts = 0;
+        for (const auto &[prox, prefix] : ranked) {
+            if (attempts >= spec.fuzzHandoffs || prox <= 0)
+                break;
+            if (cancel && cancel->cancelled())
+                break;
+            ++attempts;
+            const fuzz::HandoffOutcome ho =
+                bridge.attempt(*prefix, hopts, base);
+            if (ho.fired) {
+                ++out.fuzzHandoffs;
+                out.found = true;
+                out.replayable = true;
+                const int combined = static_cast<int>(
+                    ho.prefix.size() + ho.suffix.size());
+                if (out.triggerInstructions == 0 ||
+                    combined < out.triggerInstructions)
+                    out.triggerInstructions = combined;
+            }
+        }
+    }
+
+    if (cancel && cancel->cancelled())
+        out.status = JobStatus::Cancelled;
+    return out;
+}
+
 } // namespace
 
 JobResult
@@ -232,7 +326,13 @@ runJob(const CampaignSpec &spec, const JobSpec &job, std::uint64_t seed,
         const props::Assertion *assertion = selectAssertion(job, asserts);
         bind_span.close();
 
-        if (!assertion) {
+        if (job.kind == JobKind::Fuzz) {
+            // The fuzzer's divergence oracle needs no assertion; one only
+            // gates the concolic hand-off stage.
+            out = runFuzzJob(spec, job, design, assertion, seed, cancel);
+            if (assertion)
+                out.assertionId = assertion->id;
+        } else if (!assertion) {
             out.status = JobStatus::NoAssertion;
         } else {
             out = job.kind == JobKind::Exploit

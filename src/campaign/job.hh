@@ -6,8 +6,10 @@
  * share no solver or design state — the paper's per-assertion runs are
  * embarrassingly parallel once that isolation holds.
  *
- * Three kinds mirror the Table II columns: the Coppelia end-to-end flow
- * and the two model-checking baselines (IFV-like and EBMC-like).
+ * Three kinds mirror the Table II columns — the Coppelia end-to-end flow
+ * and the two model-checking baselines (IFV-like and EBMC-like) — and a
+ * fourth runs the coverage-guided fuzzer with the ISS-vs-RTL divergence
+ * oracle, handing its best corpus states to the BSEE concolically.
  */
 
 #ifndef COPPELIA_CAMPAIGN_JOB_HH
@@ -15,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "bse/engine.hh"
 #include "campaign/scheduler.hh"
@@ -53,6 +56,18 @@ struct JobResult
     // Baseline-kind fields.
     int bmcDepth = 0;
     bool bmcReplayableFromReset = false;
+
+    // Fuzz-kind fields.
+    int fuzzExecs = 0;
+    std::uint64_t fuzzInstructions = 0;
+    int fuzzCorpusSize = 0;
+    std::uint64_t fuzzCoveragePoints = 0;
+    std::uint64_t fuzzCoverageTotal = 0;
+    int fuzzDivergences = 0;
+    /** Concolic hand-off attempts that produced a replayable trigger. */
+    int fuzzHandoffs = 0;
+    /** Minimized replayable instruction streams, one per divergence. */
+    std::vector<std::vector<std::uint32_t>> fuzzStreams;
 
     /** A solver query stayed Unknown (budget-exhausted): a negative result
      *  means the search was incomplete, not that no violation exists. */

@@ -18,6 +18,7 @@ jobKindName(JobKind k)
       case JobKind::Exploit: return "exploit";
       case JobKind::BmcIfv: return "bmc-ifv";
       case JobKind::BmcEbmc: return "bmc-ebmc";
+      case JobKind::Fuzz: return "fuzz";
     }
     return "?";
 }
@@ -45,6 +46,8 @@ parseJobKindName(const std::string &name, JobKind *out)
         *out = JobKind::BmcIfv;
     else if (name == "bmc-ebmc" || name == "ebmc")
         *out = JobKind::BmcEbmc;
+    else if (name == "fuzz" || name == "fuzzer")
+        *out = JobKind::Fuzz;
     else
         return false;
     return true;
@@ -156,6 +159,12 @@ parseSpec(std::istream &in, const std::string &origin)
             spec.solverPreprocess = word("on/off") == "on";
         } else if (key == "minimize") {
             spec.solverMinimize = word("on/off") == "on";
+        } else if (key == "fuzz-execs") {
+            spec.fuzzExecs = intWord("count");
+        } else if (key == "fuzz-stream") {
+            spec.fuzzMaxStream = intWord("length");
+        } else if (key == "fuzz-handoffs") {
+            spec.fuzzHandoffs = intWord("count");
         } else if (key == "payload") {
             spec.addPayload = word("on/off") == "on";
         } else if (key == "replay") {

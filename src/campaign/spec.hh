@@ -24,7 +24,9 @@
  *
  * `matrix PROC [KIND]` expands to one job per in-scope bug of the
  * processor; `job PROC BUG [KIND]` adds a single job. Processors:
- * or1200, mor1kx, ri5cy. Kinds: exploit (default), bmc-ifv, bmc-ebmc.
+ * or1200, mor1kx, ri5cy. Kinds: exploit (default), bmc-ifv, bmc-ebmc,
+ * fuzz. Fuzz jobs honor `fuzz-execs N`, `fuzz-stream N` (max stream
+ * length), and `fuzz-handoffs N` (concolic hand-off attempts).
  * `trace FILE` records the run as a Chrome trace-event timeline.
  * `monitor PORT` serves live /metrics and /status over HTTP on
  * 127.0.0.1:PORT for the duration of the run (0 = ephemeral port).
@@ -43,12 +45,15 @@
 namespace coppelia::campaign
 {
 
-/** What a job runs: the Coppelia pipeline or one of the BMC baselines. */
+/** What a job runs: the Coppelia pipeline, a BMC baseline, or the
+ *  coverage-guided fuzzer. */
 enum class JobKind
 {
     Exploit,  ///< full Coppelia flow: trigger + payload + replay
     BmcIfv,   ///< IFV-like baseline (unconstrained initial state)
     BmcEbmc,  ///< EBMC-like baseline (bounded, from reset)
+    Fuzz,     ///< coverage-guided fuzzing with the divergence oracle and
+              ///< concolic hand-off to the BSEE
 };
 
 const char *jobKindName(JobKind k);
@@ -94,6 +99,12 @@ struct CampaignSpec
     bool solverRewrite = true;
     bool solverPreprocess = true;
     bool solverMinimize = true;
+    /** Fuzz-kind knobs (`fuzz-execs`, `fuzz-stream`, `fuzz-handoffs`):
+     *  stream executions per job, max stream length, and how many
+     *  highest-proximity corpus states get a concolic BSEE hand-off. */
+    int fuzzExecs = 512;
+    int fuzzMaxStream = 24;
+    int fuzzHandoffs = 2;
     /** Coppelia driver toggles. */
     bool addPayload = true;
     bool validateByReplay = true;

@@ -18,7 +18,7 @@ jsonlSchema()
         {"schema_version", "JSONL record schema version "
                            "(kJsonlSchemaVersion; see telemetry.hh)"},
         {"job", "job index within the expanded campaign matrix"},
-        {"kind", "job kind: exploit, bmc-ifv, or bmc-ebmc"},
+        {"kind", "job kind: exploit, bmc-ifv, bmc-ebmc, or fuzz"},
         {"processor", "processor the design was elaborated for"},
         {"bug", "bug id from the registry (bNN)"},
         {"assertion", "assertion id actually targeted"},
@@ -33,6 +33,22 @@ jsonlSchema()
         {"trigger_instructions", "trigger length in instructions"},
         {"iterations", "backward-engine iterations (exploit kind only)"},
         {"bmc_depth", "unrolling depth reached (baseline kinds only)"},
+        {"fuzz_execs", "instruction streams executed (fuzz kind only)"},
+        {"fuzz_instructions",
+         "lockstep instructions executed (fuzz kind only)"},
+        {"fuzz_corpus_size", "streams kept in the corpus (fuzz kind only)"},
+        {"fuzz_coverage_points",
+         "coverage points hit (fuzz kind only)"},
+        {"fuzz_coverage_total",
+         "coverage points instrumented (fuzz kind only)"},
+        {"fuzz_divergences",
+         "distinct ISS-vs-RTL divergences found (fuzz kind only)"},
+        {"fuzz_handoffs",
+         "concolic hand-offs that produced a replayable trigger "
+         "(fuzz kind only)"},
+        {"fuzz_streams",
+         "minimized replayable streams, one array of hex instruction "
+         "words per divergence (fuzz kind only)"},
         {"seconds", "end-to-end job wall-clock seconds"},
         {"attempts", "1 + reseeded retries taken"},
         {"worker", "worker thread that ran the final attempt"},
@@ -65,10 +81,33 @@ recordToJson(const JobRecord &record)
     v.set("solver_incomplete", json::Value::boolean(r.solverIncomplete));
     v.set("trigger_instructions",
           json::Value::number(r.triggerInstructions));
-    if (record.spec.kind == JobKind::Exploit)
+    if (record.spec.kind == JobKind::Exploit) {
         v.set("iterations", json::Value::number(r.iterations));
-    else
+    } else if (record.spec.kind == JobKind::Fuzz) {
+        v.set("fuzz_execs", json::Value::number(r.fuzzExecs));
+        v.set("fuzz_instructions",
+              json::Value::number(r.fuzzInstructions));
+        v.set("fuzz_corpus_size", json::Value::number(r.fuzzCorpusSize));
+        v.set("fuzz_coverage_points",
+              json::Value::number(r.fuzzCoveragePoints));
+        v.set("fuzz_coverage_total",
+              json::Value::number(r.fuzzCoverageTotal));
+        v.set("fuzz_divergences", json::Value::number(r.fuzzDivergences));
+        v.set("fuzz_handoffs", json::Value::number(r.fuzzHandoffs));
+        json::Value streams = json::Value::array();
+        for (const std::vector<std::uint32_t> &stream : r.fuzzStreams) {
+            json::Value words = json::Value::array();
+            for (std::uint32_t w : stream) {
+                char buf[16];
+                std::snprintf(buf, sizeof(buf), "%08x", w);
+                words.push(json::Value::string(buf));
+            }
+            streams.push(std::move(words));
+        }
+        v.set("fuzz_streams", std::move(streams));
+    } else {
         v.set("bmc_depth", json::Value::number(r.bmcDepth));
+    }
     v.set("seconds", json::Value::number(r.seconds));
     v.set("attempts", json::Value::number(record.attempts));
     v.set("worker", json::Value::number(record.workerId));
@@ -146,10 +185,16 @@ writeSummary(std::ostream &out, const CampaignSpec &spec,
         << Timer::formatSeconds(report.wallSeconds)
         << " wall (jsonl schema v" << kJsonlSchemaVersion << ")\n";
 
-    // Group the matrix per processor, joining kinds by bug.
+    // Group the matrix per processor, joining kinds by bug. Fuzz jobs get
+    // their own block below instead of matrix columns.
     std::map<cpu::Processor, std::map<std::string, BugRow>> matrix;
     bool have_baselines = false;
+    bool have_fuzz = false;
     for (const JobRecord &r : records) {
+        if (r.spec.kind == JobKind::Fuzz) {
+            have_fuzz = true;
+            continue;
+        }
         BugRow &cell =
             matrix[r.spec.processor][cpu::bugName(r.spec.bug)];
         switch (r.spec.kind) {
@@ -159,6 +204,7 @@ writeSummary(std::ostream &out, const CampaignSpec &spec,
             cell.ebmc = &r;
             have_baselines = true;
             break;
+          case JobKind::Fuzz: break; // filtered above
         }
     }
 
@@ -223,6 +269,33 @@ writeSummary(std::ostream &out, const CampaignSpec &spec,
         rule(out, widths);
         out << "  " << found << " generated, " << replayable
             << " replayable\n";
+    }
+
+    if (have_fuzz) {
+        out << "\nfuzzing\n";
+        const std::vector<int> widths{16, 4, 8, 10, 12, 7, 9};
+        row(out,
+            {"Processor", "Bug", "execs", "instrs", "coverage", "diverg",
+             "handoffs"},
+            widths);
+        rule(out, widths);
+        for (const JobRecord &r : records) {
+            if (r.spec.kind != JobKind::Fuzz)
+                continue;
+            const JobResult &res = r.result;
+            std::string coverage =
+                std::to_string(res.fuzzCoveragePoints) + "/" +
+                std::to_string(res.fuzzCoverageTotal);
+            row(out,
+                {cpu::processorName(r.spec.processor),
+                 cpu::bugName(r.spec.bug),
+                 std::to_string(res.fuzzExecs),
+                 std::to_string(res.fuzzInstructions), coverage,
+                 std::to_string(res.fuzzDivergences),
+                 std::to_string(res.fuzzHandoffs)},
+                widths);
+        }
+        rule(out, widths);
     }
 
     // §IV-E digest over the exploit jobs.

@@ -35,11 +35,14 @@ namespace coppelia::campaign
  *
  *   1  the pre-versioned records (no schema_version field)
  *   2  adds schema_version itself
+ *   3  adds the fuzz job kind: `kind` may now be "fuzz", and fuzz
+ *      records carry the fuzz_* fields instead of outcome/iterations/
+ *      bmc_depth
  *
  * Bump it whenever a documented field changes meaning, is removed, or
  * is renamed; adding a field is backward compatible and does not bump.
  */
-constexpr int kJsonlSchemaVersion = 2;
+constexpr int kJsonlSchemaVersion = 3;
 
 /**
  * One documented top-level field of the JSONL record. The schema is a

@@ -119,8 +119,12 @@ buildCore(Variant variant, const BugConfig &bugs)
     Node store_imm =
         b.wire("dc_store_imm",
                cat(insn.bits(25, 21), insn.bits(10, 0)).sext(32));
+    // l.mtspr carries its SPR number split like a store immediate;
+    // l.mfspr carries it flat in the imm16 field (what the golden ISS and
+    // the encoders implement).
     Node spr_sel =
         b.wire("dc_spr_sel", cat(insn.bits(25, 21), insn.bits(10, 0)));
+    Node mfspr_sel = b.wire("dc_mfspr_sel", insn.bits(15, 0));
     Node disp = b.wire("dc_disp",
                        cat(insn.bits(25, 0).sext(30), b.lit(2, 0)));
     Node disp_zext = b.wire("dc_disp_zext",
@@ -606,10 +610,10 @@ buildCore(Variant variant, const BugConfig &bugs)
     Node link_val = b.wire("rf_link_val", pc + b.lit(32, 8));
     Node mfspr_val = b.wire(
         "rf_mfspr_val",
-        b.mux(eq(spr_sel, b.lit(16, SprSr)), sr,
-              b.mux(eq(spr_sel, b.lit(16, SprEpcr)), epcr,
-                    b.mux(eq(spr_sel, b.lit(16, SprEear)), eear,
-                          b.mux(eq(spr_sel, b.lit(16, SprEsr)), esr,
+        b.mux(eq(mfspr_sel, b.lit(16, SprSr)), sr,
+              b.mux(eq(mfspr_sel, b.lit(16, SprEpcr)), epcr,
+                    b.mux(eq(mfspr_sel, b.lit(16, SprEear)), eear,
+                          b.mux(eq(mfspr_sel, b.lit(16, SprEsr)), esr,
                                 b.lit(32, 0))))));
     Node movhi_val =
         b.wire("rf_movhi_val", cat(insn.bits(15, 0), b.lit(16, 0)));

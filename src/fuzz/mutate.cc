@@ -1,0 +1,345 @@
+#include "fuzz/mutate.hh"
+
+#include "cpu/or1k/isa.hh"
+#include "cpu/riscv/isa.hh"
+
+namespace coppelia::fuzz
+{
+
+namespace
+{
+
+/** Small register window: reusing a handful of registers makes data
+ *  dependencies (and thus interesting forwarding/flag behaviour) far more
+ *  likely than uniform 5-bit register picks. */
+int
+pickReg(Rng &rng)
+{
+    return rng.flip() ? static_cast<int>(rng.below(8))
+                      : static_cast<int>(rng.below(32));
+}
+
+/** Immediates biased toward the small, aligned values that steer loads
+ *  and stores into the same few memory words. */
+std::int32_t
+pickImm16(Rng &rng)
+{
+    switch (rng.below(4)) {
+      case 0: return static_cast<std::int32_t>(rng.below(64)) * 4;
+      case 1: return static_cast<std::int32_t>(rng.below(256));
+      case 2: return -static_cast<std::int32_t>(rng.below(256));
+      default:
+        return static_cast<std::int32_t>(
+            static_cast<std::int16_t>(rng.next() & 0xffff));
+    }
+}
+
+std::int32_t
+pickImm12(Rng &rng)
+{
+    switch (rng.below(4)) {
+      case 0: return static_cast<std::int32_t>(rng.below(64)) * 4;
+      case 1: return static_cast<std::int32_t>(rng.below(256));
+      case 2: return -static_cast<std::int32_t>(rng.below(256));
+      default:
+        return static_cast<std::int32_t>(rng.next() & 0xfff) - 2048;
+    }
+}
+
+} // namespace
+
+StreamGenerator::StreamGenerator(cpu::Processor processor)
+    : processor_(processor)
+{}
+
+std::uint32_t
+StreamGenerator::nop() const
+{
+    return processor_ == cpu::Processor::PulpinoRi5cy
+               ? cpu::riscv::encAddi(0, 0, 0)
+               : cpu::or1k::encNop();
+}
+
+std::uint32_t
+StreamGenerator::randomOr1kInsn(Rng &rng) const
+{
+    namespace o = cpu::or1k;
+    const int rd = pickReg(rng), ra = pickReg(rng), rb = pickReg(rng);
+    switch (rng.below(20)) {
+      case 0: return o::encAddi(rd, ra, pickImm16(rng));
+      case 1: return o::encAndi(rd, ra, rng.next() & 0xffff);
+      case 2: return o::encOri(rd, ra, rng.next() & 0xffff);
+      case 3: return o::encXori(rd, ra, pickImm16(rng));
+      case 4: return o::encMovhi(rd, rng.next() & 0xffff);
+      case 5: return o::encLwz(rd, ra, pickImm16(rng));
+      case 6:
+        switch (rng.below(4)) {
+          case 0: return o::encLbz(rd, ra, pickImm16(rng));
+          case 1: return o::encLbs(rd, ra, pickImm16(rng));
+          case 2: return o::encLhz(rd, ra, pickImm16(rng));
+          default: return o::encLhs(rd, ra, pickImm16(rng));
+        }
+      case 7: return o::encSw(ra, rb, pickImm16(rng));
+      case 8: return rng.flip() ? o::encSb(ra, rb, pickImm16(rng))
+                                : o::encSh(ra, rb, pickImm16(rng));
+      case 9:
+        switch (rng.below(6)) {
+          case 0: return o::encAdd(rd, ra, rb);
+          case 1: return o::encSub(rd, ra, rb);
+          case 2: return o::encAnd(rd, ra, rb);
+          case 3: return o::encOr(rd, ra, rb);
+          case 4: return o::encXor(rd, ra, rb);
+          default: return o::encMul(rd, ra, rb);
+        }
+      case 10:
+        switch (rng.below(4)) {
+          case 0: return o::encSll(rd, ra, rb);
+          case 1: return o::encSrl(rd, ra, rb);
+          case 2: return o::encSra(rd, ra, rb);
+          default: return o::encRor(rd, ra, rb);
+        }
+      case 11: {
+        const int amount = static_cast<int>(rng.below(32));
+        switch (rng.below(4)) {
+          case 0: return o::encSlli(rd, ra, amount);
+          case 1: return o::encSrli(rd, ra, amount);
+          case 2: return o::encSrai(rd, ra, amount);
+          default: return o::encRori(rd, ra, amount);
+        }
+      }
+      case 12:
+        switch (rng.below(4)) {
+          case 0: return o::encExths(rd, ra);
+          case 1: return o::encExtbs(rd, ra);
+          case 2: return o::encExthz(rd, ra);
+          default: return o::encExtbz(rd, ra);
+        }
+      case 13: {
+        static const o::SfOp sf_ops[] = {
+            o::SfEq, o::SfNe, o::SfGtu, o::SfGeu, o::SfLtu,
+            o::SfLeu, o::SfGts, o::SfGes, o::SfLts, o::SfLes};
+        const o::SfOp op = sf_ops[rng.below(10)];
+        return rng.flip() ? o::encSf(op, ra, rb)
+                          : o::encSfi(op, ra, pickImm16(rng));
+      }
+      case 14: {
+        // Short forward displacements keep pc within the fuzzed window.
+        const std::int32_t disp =
+            static_cast<std::int32_t>(rng.below(8)) + 1;
+        switch (rng.below(4)) {
+          case 0: return o::encJ(disp);
+          case 1: return o::encJal(disp);
+          case 2: return o::encBf(disp);
+          default: return o::encBnf(disp);
+        }
+      }
+      case 15: return rng.flip() ? o::encJr(rb) : o::encJalr(rb);
+      case 16: {
+        static const std::uint32_t sprs[] = {o::SprSr, o::SprEpcr,
+                                             o::SprEear, o::SprEsr};
+        const std::uint32_t spr = sprs[rng.below(4)];
+        return rng.flip() ? o::encMfspr(rd, 0, spr)
+                          : o::encMtspr(0, rb, spr);
+      }
+      case 17:
+        switch (rng.below(3)) {
+          case 0: return o::encSys();
+          case 1: return o::encRfe();
+          default: return o::encNop();
+        }
+      default: {
+        // Raw word under a legal primary opcode: reaches decoder corners
+        // (including the deliberately undefined secondary encodings) the
+        // well-formed encoders never produce.
+        const auto &ops = o::legalOpcodes();
+        return (ops[rng.below(ops.size())] << 26) |
+               static_cast<std::uint32_t>(rng.next() & 0x3ffffff);
+      }
+    }
+}
+
+std::uint32_t
+StreamGenerator::randomRv32Insn(Rng &rng) const
+{
+    namespace v = cpu::riscv;
+    const int rd = pickReg(rng), rs1 = pickReg(rng), rs2 = pickReg(rng);
+    switch (rng.below(16)) {
+      case 0: return v::encAddi(rd, rs1, pickImm12(rng));
+      case 1:
+        switch (rng.below(5)) {
+          case 0: return v::encSlti(rd, rs1, pickImm12(rng));
+          case 1: return v::encSltiu(rd, rs1, pickImm12(rng));
+          case 2: return v::encXori(rd, rs1, pickImm12(rng));
+          case 3: return v::encOri(rd, rs1, pickImm12(rng));
+          default: return v::encAndi(rd, rs1, pickImm12(rng));
+        }
+      case 2: {
+        const int shamt = static_cast<int>(rng.below(32));
+        switch (rng.below(3)) {
+          case 0: return v::encSlli(rd, rs1, shamt);
+          case 1: return v::encSrli(rd, rs1, shamt);
+          default: return v::encSrai(rd, rs1, shamt);
+        }
+      }
+      case 3:
+        switch (rng.below(10)) {
+          case 0: return v::encAdd(rd, rs1, rs2);
+          case 1: return v::encSub(rd, rs1, rs2);
+          case 2: return v::encSll(rd, rs1, rs2);
+          case 3: return v::encSlt(rd, rs1, rs2);
+          case 4: return v::encSltu(rd, rs1, rs2);
+          case 5: return v::encXor(rd, rs1, rs2);
+          case 6: return v::encSrl(rd, rs1, rs2);
+          case 7: return v::encSra(rd, rs1, rs2);
+          case 8: return v::encOr(rd, rs1, rs2);
+          default: return v::encAnd(rd, rs1, rs2);
+        }
+      case 4: return v::encLui(rd, rng.next() & 0xfffff);
+      case 5: return v::encAuipc(rd, rng.next() & 0xfffff);
+      case 6: {
+        static const v::RvLoad loads[] = {v::LdB, v::LdH, v::LdW,
+                                          v::LdBu, v::LdHu};
+        return v::encLoad(loads[rng.below(5)], rd, rs1, pickImm12(rng));
+      }
+      case 7:
+        switch (rng.below(3)) {
+          case 0: return v::encStoreW(rs1, rs2, pickImm12(rng));
+          case 1: return v::encStoreH(rs1, rs2, pickImm12(rng));
+          default: return v::encStoreB(rs1, rs2, pickImm12(rng));
+        }
+      case 8: {
+        static const v::RvBranch brs[] = {v::BrEq, v::BrNe, v::BrLt,
+                                          v::BrGe, v::BrLtu, v::BrGeu};
+        const std::int32_t off =
+            (static_cast<std::int32_t>(rng.below(8)) + 1) * 4;
+        return v::encBranch(brs[rng.below(6)], rs1, rs2, off);
+      }
+      case 9: {
+        const std::int32_t off =
+            (static_cast<std::int32_t>(rng.below(8)) + 1) * 4;
+        return rng.flip() ? v::encJal(rd, off)
+                          : v::encJalr(rd, rs1, pickImm12(rng));
+      }
+      case 10: {
+        static const std::uint32_t csrs[] = {v::CsrMstatus, v::CsrMtvec,
+                                             v::CsrMepc, v::CsrMcause};
+        const std::uint32_t csr = csrs[rng.below(4)];
+        return rng.flip() ? v::encCsrrw(rd, csr, rs1)
+                          : v::encCsrrs(rd, csr, rs1);
+      }
+      case 11:
+        switch (rng.below(3)) {
+          case 0: return v::encEcall();
+          case 1: return v::encEbreak();
+          default: return v::encMret();
+        }
+      default: {
+        const auto &ops = v::rvLegalOpcodes();
+        return (rng.next() & ~0x7fu) | ops[rng.below(ops.size())];
+      }
+    }
+}
+
+std::uint32_t
+StreamGenerator::randomInsn(Rng &rng) const
+{
+    return processor_ == cpu::Processor::PulpinoRi5cy
+               ? randomRv32Insn(rng)
+               : randomOr1kInsn(rng);
+}
+
+std::vector<std::uint32_t>
+StreamGenerator::randomStream(Rng &rng, int max_len) const
+{
+    const std::size_t len = 1 + rng.below(static_cast<std::uint64_t>(
+                                    max_len > 1 ? max_len : 1));
+    std::vector<std::uint32_t> out(len);
+    for (std::uint32_t &w : out)
+        w = randomInsn(rng);
+    scrub(out);
+    return out;
+}
+
+std::vector<std::uint32_t>
+StreamGenerator::mutate(const std::vector<std::uint32_t> &parent,
+                        Rng &rng, int max_len) const
+{
+    std::vector<std::uint32_t> out = parent;
+    if (out.empty())
+        out.push_back(randomInsn(rng));
+    const int rounds = 1 + static_cast<int>(rng.below(4));
+    for (int round = 0; round < rounds; ++round) {
+        const std::size_t at = rng.below(out.size());
+        switch (rng.below(6)) {
+          case 0: // replace with a fresh instruction
+            out[at] = randomInsn(rng);
+            break;
+          case 1: // insert
+            if (out.size() < static_cast<std::size_t>(max_len))
+                out.insert(out.begin() + static_cast<long>(at),
+                           randomInsn(rng));
+            break;
+          case 2: // delete
+            if (out.size() > 1)
+                out.erase(out.begin() + static_cast<long>(at));
+            break;
+          case 3: // duplicate
+            if (out.size() < static_cast<std::size_t>(max_len))
+                out.insert(out.begin() + static_cast<long>(at), out[at]);
+            break;
+          case 4: // swap two positions
+            std::swap(out[at], out[rng.below(out.size())]);
+            break;
+          default: { // field tweak: flip bits below the primary opcode
+            const std::uint32_t field_mask =
+                processor_ == cpu::Processor::PulpinoRi5cy
+                    ? ~0x7fu       // keep the RV major opcode
+                    : 0x03ffffffu; // keep the OR1k primary opcode
+            const std::uint32_t flips =
+                (1u << rng.below(26)) | (1u << rng.below(26));
+            out[at] ^= flips & field_mask;
+            break;
+          }
+        }
+    }
+    scrub(out);
+    return out;
+}
+
+std::vector<std::uint32_t>
+StreamGenerator::splice(const std::vector<std::uint32_t> &a,
+                        const std::vector<std::uint32_t> &b, Rng &rng,
+                        int max_len) const
+{
+    std::vector<std::uint32_t> out;
+    if (!a.empty()) {
+        const std::size_t cut = 1 + rng.below(a.size());
+        out.assign(a.begin(), a.begin() + static_cast<long>(cut));
+    }
+    if (!b.empty()) {
+        const std::size_t from = rng.below(b.size());
+        out.insert(out.end(), b.begin() + static_cast<long>(from),
+                   b.end());
+    }
+    if (out.empty())
+        out.push_back(randomInsn(rng));
+    if (out.size() > static_cast<std::size_t>(max_len))
+        out.resize(static_cast<std::size_t>(max_len));
+    scrub(out);
+    return out;
+}
+
+void
+StreamGenerator::scrub(std::vector<std::uint32_t> &stream) const
+{
+    if (processor_ != cpu::Processor::Mor1kxEspresso)
+        return;
+    // The golden model follows the OR1200's FPU trap path; the Mor1kx
+    // decodes lf.* as illegal. Outside the comparable subset — drop them.
+    for (std::uint32_t &w : stream) {
+        if (cpu::or1k::opcodeOf(w) == cpu::or1k::OpFpu)
+            w = cpu::or1k::encNop();
+    }
+}
+
+} // namespace coppelia::fuzz

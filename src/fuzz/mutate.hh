@@ -1,0 +1,73 @@
+/**
+ * @file
+ * ISA-aware instruction-stream generation and mutation for the fuzzer.
+ * Streams are vectors of raw 32-bit instruction words driven straight
+ * onto the core's instruction bus (bus-driven mode, like the lockstep
+ * tests), so a "program" needs no memory layout or branch fix-ups.
+ *
+ * The generator is seeded from the campaign's splitmix64-derived job
+ * seed via util::Rng; every stream the fuzzer ever builds is a pure
+ * function of that seed, so corpora and divergences reproduce exactly.
+ *
+ * Mutators follow the AFL havoc playbook, specialized to fixed-width
+ * instruction words: replace with a fresh legal instruction, insert,
+ * delete, duplicate, swap, field-tweak (register/immediate bits), and a
+ * two-parent splice. A processor-specific scrub pass keeps mutated words
+ * inside the target's comparable subset (the Mor1kx has no FPU opcode:
+ * the golden model raises the FPU exception where that core raises
+ * illegal-instruction, so lf.* words are rewritten to l.nop).
+ */
+
+#ifndef COPPELIA_FUZZ_MUTATE_HH
+#define COPPELIA_FUZZ_MUTATE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/bugs.hh"
+#include "util/rng.hh"
+
+namespace coppelia::fuzz
+{
+
+/** ISA-aware stream generator + mutator for one processor. */
+class StreamGenerator
+{
+  public:
+    explicit StreamGenerator(cpu::Processor processor);
+
+    cpu::Processor processor() const { return processor_; }
+
+    /** The target's canonical no-op word. */
+    std::uint32_t nop() const;
+
+    /** One random instruction, biased toward well-formed encodings. */
+    std::uint32_t randomInsn(Rng &rng) const;
+
+    /** A fresh random stream of 1..max_len instructions. */
+    std::vector<std::uint32_t> randomStream(Rng &rng, int max_len) const;
+
+    /** Havoc-mutate a parent stream (1..4 stacked mutations). */
+    std::vector<std::uint32_t>
+    mutate(const std::vector<std::uint32_t> &parent, Rng &rng,
+           int max_len) const;
+
+    /** Crossover: a random prefix of @p a followed by a suffix of @p b. */
+    std::vector<std::uint32_t>
+    splice(const std::vector<std::uint32_t> &a,
+           const std::vector<std::uint32_t> &b, Rng &rng,
+           int max_len) const;
+
+    /** Rewrite words outside the target's comparable subset (in place). */
+    void scrub(std::vector<std::uint32_t> &stream) const;
+
+  private:
+    std::uint32_t randomOr1kInsn(Rng &rng) const;
+    std::uint32_t randomRv32Insn(Rng &rng) const;
+
+    cpu::Processor processor_;
+};
+
+} // namespace coppelia::fuzz
+
+#endif // COPPELIA_FUZZ_MUTATE_HH

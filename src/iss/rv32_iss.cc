@@ -131,6 +131,10 @@ Rv32Iss::execute(std::uint32_t insn)
             be = (lane & 2) ? 0xcu : 0x3u;
         }
         mem_->writeWord(addr, data, be);
+        info.storeDone = true;
+        info.storeAddr = addr;
+        info.storeData = data;
+        info.storeBe = be;
         next();
         break;
       }

@@ -32,6 +32,10 @@ struct Rv32StepInfo
 {
     bool trap = false;
     std::uint32_t cause = 0;
+    bool storeDone = false;
+    std::uint32_t storeAddr = 0;
+    std::uint32_t storeData = 0;
+    unsigned storeBe = 0;
 };
 
 /** The reference interpreter. */

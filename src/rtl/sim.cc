@@ -8,146 +8,130 @@ namespace coppelia::rtl
 namespace
 {
 
-/**
- * Shared-subexpression evaluator for one settle pass. Values are memoized
- * per ExprRef; correctness relies on wires being updated in topological
- * order so a Signal read is only evaluated after its driver settled.
- */
-class EvalPass
+Value
+combine(const Expr &e, const Value &a, const Value &b, const Value &c)
 {
-  public:
-    EvalPass(const Design &design, const std::vector<Value> &env)
-        : design_(design), env_(env), memo_(design.numExprs()),
-          valid_(design.numExprs(), false)
-    {}
-
-    Value
-    eval(ExprRef ref)
-    {
-        if (valid_[ref])
-            return memo_[ref];
-        // Iterative post-order; deep mux chains overflow the C stack.
-        std::vector<std::pair<ExprRef, bool>> stack{{ref, false}};
-        while (!stack.empty()) {
-            auto [r, expanded] = stack.back();
-            stack.pop_back();
-            if (valid_[r])
-                continue;
-            const Expr &e = design_.expr(r);
-            if (e.op == Op::Const) {
-                store(r, Value(e.width, e.imm));
-                continue;
-            }
-            if (e.op == Op::Signal) {
-                store(r, env_[e.sig]);
-                continue;
-            }
-            if (!expanded) {
-                stack.push_back({r, true});
-                for (ExprRef a : e.args) {
-                    if (a != NoExpr && !valid_[a])
-                        stack.push_back({a, false});
-                }
-                continue;
-            }
-            // Re-evaluate via Design::eval on leaves only would be wasteful;
-            // combine operand values directly.
-            const Value a =
-                e.args[0] != NoExpr ? memo_[e.args[0]] : Value();
-            const Value b =
-                e.args[1] != NoExpr ? memo_[e.args[1]] : Value();
-            const Value c =
-                e.args[2] != NoExpr ? memo_[e.args[2]] : Value();
-            store(r, combine(e, a, b, c));
-        }
-        return memo_[ref];
+    switch (e.op) {
+      case Op::Not:
+        return Value(e.width, ~a.bits());
+      case Op::Neg:
+        return Value(e.width, ~a.bits() + 1);
+      case Op::RedOr:
+        return Value(1, a.bits() != 0);
+      case Op::RedAnd:
+        return Value(1, a.bits() == widthMask(a.width()));
+      case Op::RedXor:
+        return Value(1, __builtin_parityll(a.bits()));
+      case Op::And:
+        return Value(e.width, a.bits() & b.bits());
+      case Op::Or:
+        return Value(e.width, a.bits() | b.bits());
+      case Op::Xor:
+        return Value(e.width, a.bits() ^ b.bits());
+      case Op::Add:
+        return Value(e.width, a.bits() + b.bits());
+      case Op::Sub:
+        return Value(e.width, a.bits() - b.bits());
+      case Op::Mul:
+        return Value(e.width, a.bits() * b.bits());
+      case Op::Shl: {
+        const std::uint64_t sh = b.bits();
+        return Value(e.width, sh >= 64 ? 0 : (a.bits() << sh));
+      }
+      case Op::LShr: {
+        const std::uint64_t sh = b.bits();
+        return Value(e.width, sh >= 64 ? 0 : (a.bits() >> sh));
+      }
+      case Op::AShr: {
+        const std::uint64_t sh = b.bits();
+        const std::int64_t sa = a.toInt();
+        if (sh >= 63)
+            return Value(e.width, sa < 0 ? ~0ull : 0);
+        return Value(e.width, static_cast<std::uint64_t>(sa >> sh));
+      }
+      case Op::Eq:
+        return Value(1, a.bits() == b.bits());
+      case Op::Ne:
+        return Value(1, a.bits() != b.bits());
+      case Op::Ult:
+        return Value(1, a.bits() < b.bits());
+      case Op::Ule:
+        return Value(1, a.bits() <= b.bits());
+      case Op::Slt:
+        return Value(1, a.toInt() < b.toInt());
+      case Op::Sle:
+        return Value(1, a.toInt() <= b.toInt());
+      case Op::Concat:
+        return Value(e.width, (a.bits() << b.width()) | b.bits());
+      case Op::Extract:
+        return Value(e.width, a.bits() >> e.lo);
+      case Op::ZExt:
+        return Value(e.width, a.bits());
+      case Op::SExt:
+        return Value(e.width, static_cast<std::uint64_t>(a.toInt()));
+      case Op::Ite:
+        return a.isTrue() ? b : c;
+      default:
+        panic("Simulator: unhandled op ", opName(e.op));
     }
-
-  private:
-    void
-    store(ExprRef r, Value v)
-    {
-        memo_[r] = v;
-        valid_[r] = true;
-    }
-
-    static Value
-    combine(const Expr &e, const Value &a, const Value &b, const Value &c)
-    {
-        switch (e.op) {
-          case Op::Not:
-            return Value(e.width, ~a.bits());
-          case Op::Neg:
-            return Value(e.width, ~a.bits() + 1);
-          case Op::RedOr:
-            return Value(1, a.bits() != 0);
-          case Op::RedAnd:
-            return Value(1, a.bits() == widthMask(a.width()));
-          case Op::RedXor:
-            return Value(1, __builtin_parityll(a.bits()));
-          case Op::And:
-            return Value(e.width, a.bits() & b.bits());
-          case Op::Or:
-            return Value(e.width, a.bits() | b.bits());
-          case Op::Xor:
-            return Value(e.width, a.bits() ^ b.bits());
-          case Op::Add:
-            return Value(e.width, a.bits() + b.bits());
-          case Op::Sub:
-            return Value(e.width, a.bits() - b.bits());
-          case Op::Mul:
-            return Value(e.width, a.bits() * b.bits());
-          case Op::Shl: {
-            const std::uint64_t sh = b.bits();
-            return Value(e.width, sh >= 64 ? 0 : (a.bits() << sh));
-          }
-          case Op::LShr: {
-            const std::uint64_t sh = b.bits();
-            return Value(e.width, sh >= 64 ? 0 : (a.bits() >> sh));
-          }
-          case Op::AShr: {
-            const std::uint64_t sh = b.bits();
-            const std::int64_t sa = a.toInt();
-            if (sh >= 63)
-                return Value(e.width, sa < 0 ? ~0ull : 0);
-            return Value(e.width, static_cast<std::uint64_t>(sa >> sh));
-          }
-          case Op::Eq:
-            return Value(1, a.bits() == b.bits());
-          case Op::Ne:
-            return Value(1, a.bits() != b.bits());
-          case Op::Ult:
-            return Value(1, a.bits() < b.bits());
-          case Op::Ule:
-            return Value(1, a.bits() <= b.bits());
-          case Op::Slt:
-            return Value(1, a.toInt() < b.toInt());
-          case Op::Sle:
-            return Value(1, a.toInt() <= b.toInt());
-          case Op::Concat:
-            return Value(e.width, (a.bits() << b.width()) | b.bits());
-          case Op::Extract:
-            return Value(e.width, a.bits() >> e.lo);
-          case Op::ZExt:
-            return Value(e.width, a.bits());
-          case Op::SExt:
-            return Value(e.width, static_cast<std::uint64_t>(a.toInt()));
-          case Op::Ite:
-            return a.isTrue() ? b : c;
-          default:
-            panic("Simulator: unhandled op ", opName(e.op));
-        }
-    }
-
-    const Design &design_;
-    const std::vector<Value> &env_;
-    std::vector<Value> memo_;
-    std::vector<bool> valid_;
-};
+}
 
 } // namespace
 
-Simulator::Simulator(const Design &design) : design_(design)
+ExprEvaluator::ExprEvaluator(const Design &design)
+    : design_(design), memo_(design.numExprs()),
+      memoEpoch_(design.numExprs(), 0)
+{
+    stack_.reserve(64);
+}
+
+Value
+ExprEvaluator::eval(ExprRef ref, const std::vector<Value> &env)
+{
+    // Values are memoized per ExprRef under the current epoch; correctness
+    // relies on wires being updated in topological order so a Signal read
+    // is only evaluated after its driver settled (same contract as the
+    // settle loop itself).
+    if (memoEpoch_[ref] == epoch_)
+        return memo_[ref];
+    // Iterative post-order; deep mux chains overflow the C stack.
+    stack_.clear();
+    stack_.push_back({ref, false});
+    while (!stack_.empty()) {
+        auto [r, expanded] = stack_.back();
+        stack_.pop_back();
+        if (memoEpoch_[r] == epoch_)
+            continue;
+        const Expr &e = design_.expr(r);
+        if (e.op == Op::Const) {
+            memo_[r] = Value(e.width, e.imm);
+            memoEpoch_[r] = epoch_;
+            continue;
+        }
+        if (e.op == Op::Signal) {
+            memo_[r] = env[e.sig];
+            memoEpoch_[r] = epoch_;
+            continue;
+        }
+        if (!expanded) {
+            stack_.push_back({r, true});
+            for (ExprRef a : e.args) {
+                if (a != NoExpr && memoEpoch_[a] != epoch_)
+                    stack_.push_back({a, false});
+            }
+            continue;
+        }
+        const Value a = e.args[0] != NoExpr ? memo_[e.args[0]] : Value();
+        const Value b = e.args[1] != NoExpr ? memo_[e.args[1]] : Value();
+        const Value c = e.args[2] != NoExpr ? memo_[e.args[2]] : Value();
+        memo_[r] = combine(e, a, b, c);
+        memoEpoch_[r] = epoch_;
+    }
+    return memo_[ref];
+}
+
+Simulator::Simulator(const Design &design)
+    : design_(design), evaluator_(design)
 {
     reset();
 }
@@ -191,14 +175,14 @@ Simulator::setInput(const std::string &name, std::uint64_t bits)
 void
 Simulator::evalComb()
 {
-    EvalPass pass(design_, env_);
+    evaluator_.invalidate();
     for (SignalId sig : design_.topoWires()) {
         const Signal &s = design_.signal(sig);
         if (s.def == NoExpr) {
             env_[sig] = Value(s.width, 0);
             continue;
         }
-        env_[sig] = pass.eval(s.def);
+        env_[sig] = evaluator_.eval(s.def, env_);
     }
     ++evalCount_;
 }
@@ -209,25 +193,30 @@ Simulator::step()
     evalComb();
 
     // Compute all next-state values against the settled pre-edge state, then
-    // latch simultaneously (non-blocking assignment semantics).
-    EvalPass pass(design_, env_);
-    std::vector<std::pair<SignalId, Value>> latched;
-    latched.reserve(16);
+    // latch simultaneously (non-blocking assignment semantics). The latch
+    // buffer persists across steps so the cycle loop stays allocation-free.
+    evaluator_.invalidate();
+    latchBuf_.clear();
     for (SignalId sig = 0; sig < design_.numSignals(); ++sig) {
         const Signal &s = design_.signal(sig);
         if (s.kind != SignalKind::Register)
             continue;
         if (s.def == NoExpr) {
-            latched.emplace_back(sig, env_[sig]); // holds its value
+            latchBuf_.emplace_back(sig, env_[sig]); // holds its value
             continue;
         }
-        latched.emplace_back(sig, pass.eval(s.def));
+        latchBuf_.emplace_back(sig, evaluator_.eval(s.def, env_));
     }
-    for (const auto &[sig, v] : latched)
+    for (const auto &[sig, v] : latchBuf_)
         env_[sig] = v;
 
     evalComb();
     ++cycle_;
+
+#ifndef COPPELIA_NO_SIM_OBSERVERS
+    if (observer_ != nullptr)
+        observer_->onStep(*this);
+#endif
 }
 
 Value

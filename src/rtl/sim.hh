@@ -16,12 +16,55 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rtl/design.hh"
 
 namespace coppelia::rtl
 {
+
+class Simulator;
+
+/**
+ * Per-cycle simulation hook: attached observers see the settled post-edge
+ * state after every step(). Used by the instruction fuzzer's coverage map;
+ * the dispatch is a single null-pointer test on the hot path and the whole
+ * mechanism compiles out with COPPELIA_NO_SIM_OBSERVERS.
+ */
+class StepObserver
+{
+  public:
+    virtual ~StepObserver() = default;
+
+    /** Called once per step(), after the final settle. */
+    virtual void onStep(const Simulator &sim) = 0;
+};
+
+/**
+ * Reusable memoized expression evaluator over one design. Memoization is
+ * epoch-based so invalidate() between environment changes costs O(1), and
+ * all buffers persist across calls — eval() is allocation-free once the
+ * traversal stack has grown to its working depth.
+ */
+class ExprEvaluator
+{
+  public:
+    explicit ExprEvaluator(const Design &design);
+
+    /** Evaluate @p ref against @p env (indexed by SignalId). */
+    Value eval(ExprRef ref, const std::vector<Value> &env);
+
+    /** Drop all memoized values (the environment changed). */
+    void invalidate() { ++epoch_; }
+
+  private:
+    const Design &design_;
+    std::vector<Value> memo_;
+    std::vector<std::uint32_t> memoEpoch_;
+    std::uint32_t epoch_ = 1;
+    std::vector<std::pair<ExprRef, bool>> stack_;
+};
 
 /** Concrete two-phase simulator. */
 class Simulator
@@ -63,11 +106,43 @@ class Simulator
      * replay counterexamples that start from non-reset states). */
     void pokeRegister(SignalId sig, std::uint64_t bits);
 
+    /**
+     * Attach (or with nullptr detach) the per-cycle observer. At most one
+     * observer is attached at a time; the pointer is not owned. A no-op
+     * when observers are compiled out (COPPELIA_NO_SIM_OBSERVERS).
+     */
+    void
+    setObserver(StepObserver *observer)
+    {
+#ifndef COPPELIA_NO_SIM_OBSERVERS
+        observer_ = observer;
+#else
+        (void)observer;
+#endif
+    }
+
+    StepObserver *
+    observer() const
+    {
+#ifndef COPPELIA_NO_SIM_OBSERVERS
+        return observer_;
+#else
+        return nullptr;
+#endif
+    }
+
   private:
     const Design &design_;
     std::vector<Value> env_;
+    ExprEvaluator evaluator_;
+    /** Persistent next-state buffer for step(): the per-cycle loop is
+     *  allocation-free once it has grown to the register count. */
+    std::vector<std::pair<SignalId, Value>> latchBuf_;
     std::uint64_t evalCount_ = 0;
     std::uint64_t cycle_ = 0;
+#ifndef COPPELIA_NO_SIM_OBSERVERS
+    StepObserver *observer_ = nullptr;
+#endif
 };
 
 } // namespace coppelia::rtl

@@ -38,12 +38,17 @@ usage(const char *argv0)
         "  --spec FILE        load a campaign spec file\n"
         "  --matrix PROC      all in-scope bugs of PROC (or1200, mor1kx,\n"
         "                     ri5cy); repeatable\n"
-        "  --job PROC:BUG     a single job (e.g. --job ri5cy:b33);\n"
-        "                     repeatable\n"
+        "  --job PROC:BUG[:KIND]  a single job (e.g. --job ri5cy:b33 or\n"
+        "                     --job or1200:b04:fuzz); repeatable\n"
         "\n"
         "Overrides:\n"
         "  --baselines        also run the bmc-ifv and bmc-ebmc matrix\n"
         "                     for every --matrix processor\n"
+        "  --fuzz             also run the fuzz matrix for every\n"
+        "                     --matrix processor\n"
+        "  --fuzz-execs N     fuzzer executions per fuzz job\n"
+        "  --fuzz-stream N    maximum fuzzed stream length\n"
+        "  --fuzz-handoffs N  concolic hand-off attempts per fuzz job\n"
         "  --workers N        worker threads (default: spec / all cores)\n"
         "  --seed S           base RNG seed\n"
         "  --time-limit SEC   per-job wall-clock budget\n"
@@ -93,6 +98,7 @@ main(int argc, char **argv)
     campaign::CampaignSpec spec;
     bool have_spec = false;
     bool baselines = false;
+    bool fuzz_matrix = false;
     bool list_only = false;
     std::string out_dir = ".";
     std::vector<cpu::Processor> matrix_procs;
@@ -105,6 +111,7 @@ main(int argc, char **argv)
     long long conflict_budget = -2; // -1 means "explicitly unlimited"
     bool no_incremental = false;
     bool no_rewrite = false, no_preprocess = false, no_minimize = false;
+    int fuzz_execs = -1, fuzz_stream = -1, fuzz_handoffs = -1;
     std::string trace_file;
     int monitor_port = -2; // -1 = spec default off; >= 0 = serve
     double monitor_linger = 0.0;
@@ -146,14 +153,23 @@ main(int argc, char **argv)
             const std::string pair = value(i, "--job");
             const std::size_t colon = pair.find(':');
             if (colon == std::string::npos)
-                badArg(argv[0], "--job wants PROC:BUG, got '" + pair + "'");
+                badArg(argv[0],
+                       "--job wants PROC:BUG[:KIND], got '" + pair + "'");
             campaign::JobSpec job;
             if (!campaign::parseProcessorName(pair.substr(0, colon),
                                               &job.processor))
                 badArg(argv[0], "unknown processor in '" + pair + "'");
+            std::string bug_word = pair.substr(colon + 1);
+            const std::size_t colon2 = bug_word.find(':');
+            if (colon2 != std::string::npos) {
+                if (!campaign::parseJobKindName(
+                        bug_word.substr(colon2 + 1), &job.kind))
+                    badArg(argv[0], "unknown job kind in '" + pair + "'");
+                bug_word = bug_word.substr(0, colon2);
+            }
             bool found = false;
             for (const cpu::BugInfo &info : cpu::bugRegistry()) {
-                if (info.name == pair.substr(colon + 1)) {
+                if (info.name == bug_word) {
                     job.bug = info.id;
                     found = true;
                     break;
@@ -165,6 +181,14 @@ main(int argc, char **argv)
             have_spec = true;
         } else if (arg == "--baselines") {
             baselines = true;
+        } else if (arg == "--fuzz") {
+            fuzz_matrix = true;
+        } else if (arg == "--fuzz-execs") {
+            fuzz_execs = numeric(i, "--fuzz-execs", to_int);
+        } else if (arg == "--fuzz-stream") {
+            fuzz_stream = numeric(i, "--fuzz-stream", to_int);
+        } else if (arg == "--fuzz-handoffs") {
+            fuzz_handoffs = numeric(i, "--fuzz-handoffs", to_int);
         } else if (arg == "--workers") {
             workers = numeric(i, "--workers", to_int);
         } else if (arg == "--seed") {
@@ -210,6 +234,9 @@ main(int argc, char **argv)
             campaign::addProcessorMatrix(spec, proc,
                                          campaign::JobKind::BmcEbmc);
         }
+        if (fuzz_matrix)
+            campaign::addProcessorMatrix(spec, proc,
+                                         campaign::JobKind::Fuzz);
         have_spec = true;
     }
     if (!have_spec)
@@ -235,6 +262,12 @@ main(int argc, char **argv)
         spec.solverMinimize = false;
     if (conflict_budget >= -1)
         spec.solverConflictBudget = conflict_budget;
+    if (fuzz_execs >= 0)
+        spec.fuzzExecs = fuzz_execs;
+    if (fuzz_stream >= 0)
+        spec.fuzzMaxStream = fuzz_stream;
+    if (fuzz_handoffs >= 0)
+        spec.fuzzHandoffs = fuzz_handoffs;
     if (!trace_file.empty())
         spec.traceFile = trace_file;
     if (monitor_port >= -1)

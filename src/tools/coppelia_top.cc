@@ -95,6 +95,23 @@ render(const json::Value &doc)
                " smt queries/s, unknown ratio " +
                fmt("%.3f", num(rates->find("solver_unknown_ratio"))) +
                "\n";
+        if (const json::Value *fuzz = doc.find("fuzz")) {
+            if (num(fuzz->find("execs")) > 0.0) {
+                out += "fuzz: " +
+                       fmt("%.0f", num(fuzz->find("execs"))) + " execs (" +
+                       fmt("%.1f",
+                           num(rates->find("fuzz_execs_per_sec"))) +
+                       "/s), corpus " +
+                       fmt("%.0f", num(fuzz->find("corpus_size"))) +
+                       ", coverage " +
+                       fmt("%.0f", num(fuzz->find("coverage_points"))) +
+                       " pts, " +
+                       fmt("%.0f", num(fuzz->find("divergences"))) +
+                       " divergences, " +
+                       fmt("%.0f", num(fuzz->find("handoffs"))) +
+                       " handoffs\n";
+            }
+        }
     }
 
     if (const json::Value *workers = doc.find("workers")) {

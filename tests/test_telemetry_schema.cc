@@ -53,6 +53,22 @@ bmcRecord()
     return rec;
 }
 
+JobRecord
+fuzzRecord()
+{
+    JobRecord rec = exploitRecord();
+    rec.spec.kind = JobKind::Fuzz;
+    rec.result.fuzzExecs = 512;
+    rec.result.fuzzInstructions = 6144;
+    rec.result.fuzzCorpusSize = 17;
+    rec.result.fuzzCoveragePoints = 2600;
+    rec.result.fuzzCoverageTotal = 3596;
+    rec.result.fuzzDivergences = 2;
+    rec.result.fuzzHandoffs = 1;
+    rec.result.fuzzStreams = {{0x9c200011u, 0x15000000u}, {0x9c00002au}};
+    return rec;
+}
+
 std::vector<std::string>
 emittedKeys(const JobRecord &rec)
 {
@@ -87,7 +103,7 @@ TEST(TelemetrySchema, SchemaIsWellFormed)
 TEST(TelemetrySchema, EveryEmittedKeyIsDocumented)
 {
     const std::set<std::string> schema = schemaKeys();
-    for (const JobRecord &rec : {exploitRecord(), bmcRecord()}) {
+    for (const JobRecord &rec : {exploitRecord(), bmcRecord(), fuzzRecord()}) {
         for (const std::string &key : emittedKeys(rec))
             EXPECT_TRUE(schema.count(key))
                 << "recordToJson emits undocumented key '" << key
@@ -98,7 +114,7 @@ TEST(TelemetrySchema, EveryEmittedKeyIsDocumented)
 TEST(TelemetrySchema, EveryDocumentedKeyIsEmitted)
 {
     std::set<std::string> emitted;
-    for (const JobRecord &rec : {exploitRecord(), bmcRecord()}) {
+    for (const JobRecord &rec : {exploitRecord(), bmcRecord(), fuzzRecord()}) {
         for (const std::string &key : emittedKeys(rec))
             emitted.insert(key);
     }
@@ -115,7 +131,7 @@ TEST(TelemetrySchema, EmissionFollowsDocumentedOrder)
     std::vector<std::string> order;
     for (const JsonlField &field : jsonlSchema())
         order.push_back(field.key);
-    for (const JobRecord &rec : {exploitRecord(), bmcRecord()}) {
+    for (const JobRecord &rec : {exploitRecord(), bmcRecord(), fuzzRecord()}) {
         std::size_t pos = 0;
         for (const std::string &key : emittedKeys(rec)) {
             const auto it =
@@ -134,10 +150,10 @@ TEST(TelemetrySchema, SchemaVersionIsPinnedAndEmittedFirst)
     // it is a deliberate act (update this test alongside the documented
     // history in telemetry.hh), and every record carries it as the first
     // key so consumers can dispatch before reading anything else.
-    EXPECT_EQ(kJsonlSchemaVersion, 2);
+    EXPECT_EQ(kJsonlSchemaVersion, 3);
     EXPECT_TRUE(schemaKeys().count("schema_version"));
     EXPECT_EQ(jsonlSchema().front().key, std::string("schema_version"));
-    for (const JobRecord &rec : {exploitRecord(), bmcRecord()}) {
+    for (const JobRecord &rec : {exploitRecord(), bmcRecord(), fuzzRecord()}) {
         const std::vector<std::string> keys = emittedKeys(rec);
         ASSERT_FALSE(keys.empty());
         EXPECT_EQ(keys.front(), "schema_version");
@@ -170,12 +186,42 @@ TEST(TelemetrySchema, StableKeysKeepTheirMeaning)
     EXPECT_TRUE(stats->isObject());
 
     // Kind-specific keys: iterations on exploit records, bmc_depth on
-    // baseline records, never both.
+    // baseline records, fuzz_* on fuzz records, never crossed.
     EXPECT_NE(v.find("iterations"), nullptr);
     EXPECT_EQ(v.find("bmc_depth"), nullptr);
+    EXPECT_EQ(v.find("fuzz_execs"), nullptr);
     const json::Value b = recordToJson(bmcRecord());
     EXPECT_EQ(b.find("iterations"), nullptr);
     EXPECT_NE(b.find("bmc_depth"), nullptr);
+    EXPECT_EQ(b.find("fuzz_execs"), nullptr);
+}
+
+TEST(TelemetrySchema, FuzzRecordsCarryTheFuzzFields)
+{
+    const json::Value f = recordToJson(fuzzRecord());
+    EXPECT_EQ(f.find("iterations"), nullptr);
+    EXPECT_EQ(f.find("bmc_depth"), nullptr);
+    for (const char *key :
+         {"fuzz_execs", "fuzz_instructions", "fuzz_corpus_size",
+          "fuzz_coverage_points", "fuzz_coverage_total",
+          "fuzz_divergences", "fuzz_handoffs", "fuzz_streams"})
+        EXPECT_NE(f.find(key), nullptr) << key;
+
+    const json::Value *execs = f.find("fuzz_execs");
+    ASSERT_NE(execs, nullptr);
+    EXPECT_EQ(execs->asInt(), 512);
+
+    // Streams are arrays of zero-padded hex instruction words: directly
+    // replayable, and immune to JSON number precision.
+    const json::Value *streams = f.find("fuzz_streams");
+    ASSERT_NE(streams, nullptr);
+    ASSERT_TRUE(streams->isArray());
+    ASSERT_EQ(streams->items().size(), 2u);
+    const json::Value &first = streams->items()[0];
+    ASSERT_TRUE(first.isArray());
+    ASSERT_EQ(first.items().size(), 2u);
+    ASSERT_TRUE(first.items()[0].isString());
+    EXPECT_EQ(first.items()[0].asString(), "9c200011");
 }
 
 } // namespace
