@@ -12,15 +12,26 @@
  *     divergence it would report during a campaign is a real bug, not
  *     lockstep noise).
  *
+ * The harness also measures the replay hot path head-to-head across the
+ * two simulation backends: a fixed instruction stream run through the
+ * CoreSystem testbench on the IR interpreter and again on the compiled
+ * (codegen) backend, reporting instr/s for each and the speedup. The
+ * compiled backend must be available and at least 10x faster than the
+ * interpreter (`replay_speedup_ok`); a compiled-backend fuzz run rides
+ * along so the corpus loop's end-to-end gain is visible too.
+ *
  * The committed BENCH_baseline.json entry gates total fuzz wall time and
- * both checks via scripts/check_bench_regression.py.
+ * all checks via scripts/check_bench_regression.py.
  */
 
 #include "bench_common.hh"
 
+#include "exploit/system.hh"
 #include "fuzz/fuzzer.hh"
+#include "rtl/sim.hh"
 #include "trace/trace.hh"
 #include "util/json.hh"
+#include "util/rng.hh"
 
 using namespace coppelia;
 using namespace coppelia::bench;
@@ -45,12 +56,14 @@ struct CoreRun
 
 CoreRun
 runCore(const char *name, cpu::Processor processor, const rtl::Design &d,
-        int execs_per_checkpoint, int max_stream)
+        int execs_per_checkpoint, int max_stream,
+        rtl::SimBackend backend = rtl::SimBackend::Interpret)
 {
     fuzz::FuzzOptions opts;
     opts.seed = 7;
     opts.maxExecs = execs_per_checkpoint;
     opts.maxStreamLen = max_stream;
+    opts.backend = backend;
     fuzz::Fuzzer fuzzer(d, processor, opts);
 
     CoreRun run;
@@ -84,6 +97,41 @@ fmtCount(double v)
     return buf;
 }
 
+/** One timed pure-RTL replay of @p stream, repeated @p reps times from
+ *  reset on the CoreSystem testbench. Model compilation happens in the
+ *  constructor, outside the timed region — the cache makes it a one-time
+ *  cost per design, not a per-replay one. */
+struct ReplayRun
+{
+    std::uint64_t instructions = 0;
+    double seconds = 0.0;
+    double instrPerSec = 0.0;
+    rtl::SimBackend backend = rtl::SimBackend::Interpret;
+};
+
+ReplayRun
+runReplay(const rtl::Design &d, rtl::SimBackend backend,
+          const std::vector<std::uint32_t> &stream, int reps)
+{
+    exploit::CoreSystem sys(d, backend);
+    ReplayRun run;
+    run.backend = sys.sim().backend();
+    Timer timer;
+    for (int rep = 0; rep < reps; ++rep) {
+        sys.reset();
+        for (std::uint32_t word : stream) {
+            sys.stepWithInsn(word, false);
+            ++run.instructions;
+        }
+    }
+    run.seconds = timer.seconds();
+    run.instrPerSec = run.seconds > 0.0
+                          ? static_cast<double>(run.instructions) /
+                                run.seconds
+                          : 0.0;
+    return run;
+}
+
 } // namespace
 
 int
@@ -115,6 +163,15 @@ main(int argc, char **argv)
             rtl::Design d = cpu::riscv::buildRi5cy();
             pass.push_back(runCore("ri5cy", cpu::Processor::PulpinoRi5cy,
                                    d, per_checkpoint, max_stream));
+        }
+        if (rtl::Simulator::compiledBackendAvailable()) {
+            // Same campaign on the codegen backend: the ISS half of the
+            // lockstep is unchanged, so the gain here is the fuzz loop's
+            // end-to-end share of the RTL speedup.
+            rtl::Design d = cpu::or1k::buildOr1200();
+            pass.push_back(runCore("or1200c", cpu::Processor::OR1200, d,
+                                   per_checkpoint, max_stream,
+                                   rtl::SimBackend::Compiled));
         }
         if (rep == 0) {
             runs = pass;
@@ -166,6 +223,45 @@ main(int argc, char **argv)
                 total_seconds, yn(coverage_growth).c_str(),
                 yn(oracle_clean).c_str());
 
+    // Replay hot path: the same fixed stream through both simulation
+    // backends on the bug-free OR1200 (pure RTL, no ISS in the loop).
+    const bool compiled_available =
+        rtl::Simulator::compiledBackendAvailable();
+    const int replay_reps = bench.smoke ? 8 : 40;
+    std::vector<std::uint32_t> replay_stream;
+    {
+        fuzz::StreamGenerator gen(cpu::Processor::OR1200);
+        Rng rng(7);
+        while (replay_stream.size() < 1000) {
+            const auto chunk = gen.randomStream(rng, 16);
+            replay_stream.insert(replay_stream.end(), chunk.begin(),
+                                 chunk.end());
+        }
+    }
+    rtl::Design or1200 = cpu::or1k::buildOr1200();
+    ReplayRun interp = runReplay(or1200, rtl::SimBackend::Interpret,
+                                 replay_stream, replay_reps);
+    ReplayRun compiled = runReplay(or1200, rtl::SimBackend::Compiled,
+                                   replay_stream, replay_reps);
+    const double replay_speedup =
+        interp.instrPerSec > 0.0 ? compiled.instrPerSec / interp.instrPerSec
+                                 : 0.0;
+    // The gate the tentpole promises: the codegen backend exists here and
+    // replays at least 10x faster than the interpreter.
+    const bool replay_speedup_ok =
+        compiled_available &&
+        compiled.backend == rtl::SimBackend::Compiled &&
+        replay_speedup >= 10.0;
+    std::printf("\nReplay throughput (or1200, %d x %zu-instruction "
+                "stream, pure RTL):\n",
+                replay_reps, replay_stream.size());
+    std::printf("  interpret %s instr/s; compiled %s instr/s; "
+                "speedup %.1fx (backend available %s, >=10x %s)\n",
+                fmtCount(interp.instrPerSec).c_str(),
+                fmtCount(compiled.instrPerSec).c_str(), replay_speedup,
+                yn(compiled_available).c_str(),
+                yn(replay_speedup_ok).c_str());
+
     if (!bench.jsonPath.empty()) {
         json::Value v = json::Value::object();
         v.set("bench", json::Value::string("bench_fuzz_throughput"));
@@ -193,6 +289,15 @@ main(int argc, char **argv)
         v.set("coverage_growth", json::Value::boolean(coverage_growth));
         v.set("oracle_clean_on_bugfree",
               json::Value::boolean(oracle_clean));
+        v.set("compiled_backend_available",
+              json::Value::boolean(compiled_available));
+        v.set("or1200_replay_interp_instr_per_sec",
+              json::Value::number(interp.instrPerSec));
+        v.set("or1200_replay_compiled_instr_per_sec",
+              json::Value::number(compiled.instrPerSec));
+        v.set("replay_speedup", json::Value::number(replay_speedup));
+        v.set("replay_speedup_ok",
+              json::Value::boolean(replay_speedup_ok));
         std::ofstream out = openOutputOrDie(argv[0], bench.jsonPath);
         out << v.dump() << "\n";
         std::printf("wrote %s\n", bench.jsonPath.c_str());
@@ -208,7 +313,10 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(trace::eventCount()));
     }
 
-    // Meaningful under `for b in build/bench/*`: a dead feedback loop or
-    // a noisy oracle is a failure, not a statistic.
-    return coverage_growth && oracle_clean ? 0 : 1;
+    // Meaningful under `for b in build/bench/*`: a dead feedback loop, a
+    // noisy oracle, or a compiled backend that misses its promised replay
+    // speedup is a failure, not a statistic. The speedup gate only
+    // applies where a toolchain exists to build the backend at all.
+    const bool replay_gate = !compiled_available || replay_speedup_ok;
+    return coverage_growth && oracle_clean && replay_gate ? 0 : 1;
 }

@@ -50,7 +50,13 @@ GATE_PROFILES = {
     },
     "bench_fuzz_throughput": {
         "time": {"total_fuzz_seconds": None},
-        "bool": ("coverage_growth", "oracle_clean_on_bugfree"),
+        # compiled_backend_available + replay_speedup_ok gate the codegen
+        # simulation backend: it must build on the CI host and replay at
+        # least 10x faster than the IR interpreter (see
+        # bench_fuzz_throughput.cc and docs/DESIGN.md "Compiled
+        # simulation").
+        "bool": ("coverage_growth", "oracle_clean_on_bugfree",
+                 "compiled_backend_available", "replay_speedup_ok"),
     },
 }
 

@@ -36,9 +36,10 @@ struct Frame
  *  fires within the trace length. */
 bool
 replayFromReset(const rtl::Design &design,
-                const props::Assertion &assertion, const BmcResult &res)
+                const props::Assertion &assertion, const BmcResult &res,
+                rtl::SimBackend backend)
 {
-    rtl::Simulator sim(design);
+    rtl::Simulator sim(design, backend);
     for (const BmcTraceStep &step : res.trace) {
         for (const auto &[sig, value] : step.inputs)
             sim.setInput(sig, value);
@@ -170,7 +171,7 @@ checkAssertion(const rtl::Design &design,
                 res.trace.push_back(std::move(step));
             }
             res.replayableFromReset =
-                replayFromReset(design, assertion, res);
+                replayFromReset(design, assertion, res, opts.simBackend);
             break;
         }
         state = std::move(next);

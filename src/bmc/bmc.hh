@@ -29,6 +29,7 @@
 
 #include "props/assertion.hh"
 #include "rtl/design.hh"
+#include "rtl/sim.hh"
 #include "solver/solver.hh"
 #include "sym/binding.hh"
 #include "util/stats.hh"
@@ -63,6 +64,8 @@ struct BmcOptions
     bool solverRewrite = true;
     bool solverPreprocess = true;
     bool solverMinimize = true;
+    /** Simulation substrate for the from-reset counterexample replay. */
+    rtl::SimBackend simBackend = rtl::SimBackend::Interpret;
     /** Constrain instruction inputs to legal opcodes (§II-E1 parity with
      *  the Coppelia runs, as the paper does for both tools). */
     std::function<smt::TermRef(smt::TermManager &, smt::TermRef)>

@@ -201,6 +201,16 @@ runCampaign(const CampaignSpec &spec, std::ostream *telemetry,
     }
     trace::Span campaign_span("campaign.run", "campaign");
 
+    // A compiled-backend campaign with require-backend must not silently
+    // run every job on the interpreter: probe the codegen toolchain once
+    // up front and fail by name so CI-like environments notice.
+    if (spec.simBackend == rtl::SimBackend::Compiled &&
+        spec.requireBackend && !rtl::Simulator::compiledBackendAvailable())
+        fatal("sim-backend-unavailable: campaign '", spec.name,
+              "' requires the compiled simulation backend but codegen is "
+              "unavailable here (no working host C++ toolchain; set "
+              "COPPELIA_CODEGEN_CXX or drop --require-backend)");
+
     // Monitor lifecycle mirrors the trace lifecycle: a caller-owned
     // server outlives the run (the CLI keeps serving after completion);
     // a spec-level port scopes the server to this campaign.
@@ -265,6 +275,7 @@ runCampaign(const CampaignSpec &spec, std::ostream *telemetry,
                 JobRecord record;
                 record.jobIndex = static_cast<int>(i);
                 record.spec = job;
+                record.simBackend = spec.simBackend;
                 if (record.spec.assertionId.empty())
                     record.spec.assertionId = result.assertionId;
                 record.seed = seed;

@@ -28,6 +28,9 @@ struct JobRecord
 {
     int jobIndex = 0;
     JobSpec spec;
+    /** Simulation substrate the campaign requested for the job's
+     *  concrete replay/lockstep execution. */
+    rtl::SimBackend simBackend = rtl::SimBackend::Interpret;
     std::uint64_t seed = 0; ///< seed of the final attempt
     int attempts = 1;       ///< 1 + retries actually taken
     int workerId = 0;

@@ -24,6 +24,10 @@ jsonlSchema()
         {"assertion", "assertion id actually targeted"},
         {"status", "scheduler-level status: completed, no-assertion, "
                    "cancelled, or retryable"},
+        {"sim_backend", "requested concrete-simulation substrate: "
+                        "interpret or compiled (compiled may fall back "
+                        "to interpret with a warning unless the campaign "
+                        "set require-backend)"},
         {"outcome", "engine outcome (exploit kind only): found, "
                     "no-violation, bound-exceeded, budget-exhausted"},
         {"found", "a violation was found"},
@@ -74,6 +78,8 @@ recordToJson(const JobRecord &record)
     v.set("bug", json::Value::string(cpu::bugName(record.spec.bug)));
     v.set("assertion", json::Value::string(record.spec.assertionId));
     v.set("status", json::Value::string(jobStatusName(r.status)));
+    v.set("sim_backend",
+          json::Value::string(rtl::simBackendName(record.simBackend)));
     if (record.spec.kind == JobKind::Exploit)
         v.set("outcome", json::Value::string(bse::outcomeName(r.outcome)));
     v.set("found", json::Value::boolean(r.found));

@@ -40,9 +40,12 @@ Coppelia::generateExploit(const props::Assertion &assertion)
     if (opts_.validateByReplay) {
         const rtl::Design &design = design_;
         const props::Assertion &a = assertion;
+        const rtl::SimBackend backend = opts_.simBackend;
         engine_opts.validator =
-            [&design, &a](const std::vector<bse::TriggerCycle> &cycles) {
-                return exploit::replayTriggerCycles(design, a, cycles);
+            [&design, &a,
+             backend](const std::vector<bse::TriggerCycle> &cycles) {
+                return exploit::replayTriggerCycles(design, a, cycles,
+                                                    backend);
             };
     }
     bse::BackwardEngine engine(design_, engine_opts);
@@ -78,7 +81,7 @@ Coppelia::generateExploit(const props::Assertion &assertion)
         // Trigger-only mode still validates replayability.
         if (opts_.validateByReplay) {
             res.replay.triggerFired = exploit::replayTriggerCycles(
-                design_, assertion, trigger.cycles);
+                design_, assertion, trigger.cycles, opts_.simBackend);
             res.replay.payloadEffect = true;
         }
         return res;
@@ -88,7 +91,8 @@ Coppelia::generateExploit(const props::Assertion &assertion)
 
     // Phase 4: validate on the replay substrate.
     if (opts_.validateByReplay)
-        res.replay = exploit::replayExploit(design_, assertion, e);
+        res.replay =
+            exploit::replayExploit(design_, assertion, e, opts_.simBackend);
     res.exploit = std::move(e);
     return res;
 }

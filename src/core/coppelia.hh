@@ -42,6 +42,9 @@ struct CoppeliaOptions
     bool addPayload = true;
     /** Validate by replay and reject non-replayable triggers. */
     bool validateByReplay = true;
+    /** Simulation substrate for every concrete replay (the compiled
+     *  backend falls back to the interpreter when unavailable). */
+    rtl::SimBackend simBackend = rtl::SimBackend::Interpret;
 };
 
 /** Result of one exploit-generation run. */

@@ -52,6 +52,9 @@ struct FuzzOptions
     double timeLimitSeconds = 0.0;
     /** External cancellation hook, polled once per execution. */
     std::function<bool()> stopRequested;
+    /** Simulation substrate for the lockstep RTL side (the compiled
+     *  backend falls back to the interpreter when unavailable). */
+    rtl::SimBackend backend = rtl::SimBackend::Interpret;
 };
 
 /** One distinct, minimized divergence. */

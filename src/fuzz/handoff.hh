@@ -27,6 +27,7 @@
 #include "cpu/bugs.hh"
 #include "props/assertion.hh"
 #include "rtl/design.hh"
+#include "rtl/sim.hh"
 
 namespace coppelia::fuzz
 {
@@ -63,7 +64,8 @@ class ConcolicBridge
 {
   public:
     ConcolicBridge(const rtl::Design &design, cpu::Processor processor,
-                   const props::Assertion &assertion);
+                   const props::Assertion &assertion,
+                   rtl::SimBackend backend = rtl::SimBackend::Interpret);
 
     /** Registers in the assertion's cone of influence (§II-D3 set). */
     const std::vector<rtl::SignalId> &coneRegisters() const
@@ -93,6 +95,7 @@ class ConcolicBridge
     const rtl::Design &design_;
     cpu::Processor processor_;
     const props::Assertion &assertion_;
+    rtl::SimBackend backend_;
     std::vector<rtl::SignalId> coneRegs_;
 };
 
@@ -102,10 +105,11 @@ class ConcolicBridge
  * (planting each cycle's assumed read data into memory first). True when
  * the assertion is violated at any cycle boundary.
  */
-bool replayHandoffTrigger(const rtl::Design &design,
-                          const props::Assertion &assertion,
-                          const std::vector<std::uint32_t> &prefix,
-                          const std::vector<bse::TriggerCycle> &cycles);
+bool replayHandoffTrigger(
+    const rtl::Design &design, const props::Assertion &assertion,
+    const std::vector<std::uint32_t> &prefix,
+    const std::vector<bse::TriggerCycle> &cycles,
+    rtl::SimBackend backend = rtl::SimBackend::Interpret);
 
 } // namespace coppelia::fuzz
 

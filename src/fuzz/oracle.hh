@@ -44,7 +44,8 @@ struct Divergence
 class DivergenceOracle
 {
   public:
-    DivergenceOracle(const rtl::Design &design, cpu::Processor processor);
+    DivergenceOracle(const rtl::Design &design, cpu::Processor processor,
+                     rtl::SimBackend backend = rtl::SimBackend::Interpret);
 
     /** Reset both models and clear the shared data memory. */
     void reset();

@@ -1,0 +1,290 @@
+#include "rtl/compile/codegen.hh"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace coppelia::rtl::compile
+{
+
+namespace
+{
+
+// --- IR hashing -------------------------------------------------------------
+
+struct Fnv1a
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    }
+
+    void
+    mix(const std::string &s)
+    {
+        for (unsigned char c : s) {
+            h ^= c;
+            h *= 0x100000001b3ull;
+        }
+        mix(s.size());
+    }
+};
+
+// --- expression emission ----------------------------------------------------
+
+std::string
+hexLit(std::uint64_t v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << v << "ull";
+    return os.str();
+}
+
+std::string
+tmp(ExprRef r)
+{
+    return "t" + std::to_string(r);
+}
+
+/** Wrap @p body in the interpreter's Value-constructor mask for width w. */
+std::string
+masked(const std::string &body, int w)
+{
+    if (w >= 64)
+        return body;
+    return "(" + body + ") & " + hexLit(widthMask(w));
+}
+
+/** Signed interpretation of operand @p r (replicates Value::toInt). */
+std::string
+sgn(const Design &design, ExprRef r)
+{
+    return "sgn(" + tmp(r) + ", " + std::to_string(design.widthOf(r)) + ")";
+}
+
+/** The C++ right-hand side computing expression @p e (operands are the
+ *  already-emitted temps). Mirrors combine() in rtl/sim.cc case by case. */
+std::string
+exprBody(const Design &design, const Expr &e)
+{
+    const std::string a = e.args[0] != NoExpr ? tmp(e.args[0]) : "";
+    const std::string b = e.args[1] != NoExpr ? tmp(e.args[1]) : "";
+    const std::string c = e.args[2] != NoExpr ? tmp(e.args[2]) : "";
+    switch (e.op) {
+      case Op::Const:
+        return hexLit(e.imm & widthMask(e.width));
+      case Op::Signal:
+        return "s[" + std::to_string(e.sig) + "]";
+      case Op::Not:
+        return masked("~" + a, e.width);
+      case Op::Neg:
+        return masked("~" + a + " + 1", e.width);
+      case Op::RedOr:
+        return "(u64)(" + a + " != 0)";
+      case Op::RedAnd:
+        return "(u64)(" + a + " == " +
+               hexLit(widthMask(design.widthOf(e.args[0]))) + ")";
+      case Op::RedXor:
+        return "(u64)__builtin_parityll(" + a + ")";
+      case Op::And:
+        return masked(a + " & " + b, e.width);
+      case Op::Or:
+        return masked(a + " | " + b, e.width);
+      case Op::Xor:
+        return masked(a + " ^ " + b, e.width);
+      case Op::Add:
+        return masked(a + " + " + b, e.width);
+      case Op::Sub:
+        return masked(a + " - " + b, e.width);
+      case Op::Mul:
+        return masked(a + " * " + b, e.width);
+      case Op::Shl:
+        return masked(b + " >= 64 ? 0 : " + a + " << " + b, e.width);
+      case Op::LShr:
+        return masked(b + " >= 64 ? 0 : " + a + " >> " + b, e.width);
+      case Op::AShr:
+        // Interpreter special case: shifts >= 63 collapse to the sign fill.
+        return masked(b + " >= 63 ? (" + sgn(design, e.args[0]) +
+                          " < 0 ? ~0ull : 0ull) : (u64)(" +
+                          sgn(design, e.args[0]) + " >> " + b + ")",
+                      e.width);
+      case Op::Eq:
+        return "(u64)(" + a + " == " + b + ")";
+      case Op::Ne:
+        return "(u64)(" + a + " != " + b + ")";
+      case Op::Ult:
+        return "(u64)(" + a + " < " + b + ")";
+      case Op::Ule:
+        return "(u64)(" + a + " <= " + b + ")";
+      case Op::Slt:
+        return "(u64)(" + sgn(design, e.args[0]) + " < " +
+               sgn(design, e.args[1]) + ")";
+      case Op::Sle:
+        return "(u64)(" + sgn(design, e.args[0]) + " <= " +
+               sgn(design, e.args[1]) + ")";
+      case Op::Concat:
+        return masked(a + " << " +
+                          std::to_string(design.widthOf(e.args[1])) + " | " +
+                          b,
+                      e.width);
+      case Op::Extract:
+        return masked(a + " >> " + std::to_string(e.lo), e.width);
+      case Op::ZExt:
+        return a; // operand is masked to its (narrower) width already
+      case Op::SExt:
+        return masked("(u64)" + sgn(design, e.args[0]), e.width);
+      case Op::Ite:
+        // Interpreter returns the branch value without re-masking; branch
+        // widths equal e.width by construction (Design::ite checks).
+        return a + " ? " + b + " : " + c;
+    }
+    panic("codegen: unhandled op ", opName(e.op));
+}
+
+/**
+ * Emit `const u64 tN = ...;` lines for every not-yet-emitted node of the
+ * tree rooted at @p root, children first (iterative post-order — deep mux
+ * chains would overflow the C stack, same concern as ExprEvaluator).
+ * @p emitted is per-function scope: temps are valid for reuse within one
+ * emitted function body only.
+ */
+void
+emitExprTree(const Design &design, ExprRef root, std::vector<char> &emitted,
+             std::ostringstream &os)
+{
+    std::vector<std::pair<ExprRef, bool>> stack;
+    stack.push_back({root, false});
+    while (!stack.empty()) {
+        auto [r, expanded] = stack.back();
+        stack.pop_back();
+        if (emitted[r])
+            continue;
+        const Expr &e = design.expr(r);
+        if (!expanded && e.op != Op::Const && e.op != Op::Signal) {
+            stack.push_back({r, true});
+            for (ExprRef arg : e.args) {
+                if (arg != NoExpr && !emitted[arg])
+                    stack.push_back({arg, false});
+            }
+            continue;
+        }
+        os << "    const u64 " << tmp(r) << " = " << exprBody(design, e)
+           << ";\n";
+        emitted[r] = 1;
+    }
+}
+
+} // namespace
+
+std::uint64_t
+designIrHash(const Design &design)
+{
+    Fnv1a f;
+    f.mix(kCodegenAbiVersion);
+    f.mix(design.name());
+    f.mix(static_cast<std::uint64_t>(design.numSignals()));
+    for (SignalId sig = 0; sig < design.numSignals(); ++sig) {
+        const Signal &s = design.signal(sig);
+        f.mix(s.name);
+        f.mix(static_cast<std::uint64_t>(s.width));
+        f.mix(static_cast<std::uint64_t>(s.kind));
+        f.mix(static_cast<std::uint64_t>(s.def));
+        f.mix(s.resetValue.bits());
+        f.mix(static_cast<std::uint64_t>(s.resetValue.width()));
+    }
+    f.mix(static_cast<std::uint64_t>(design.numExprs()));
+    for (ExprRef r = 0; r < design.numExprs(); ++r) {
+        const Expr &e = design.expr(r);
+        f.mix(static_cast<std::uint64_t>(e.op));
+        f.mix(static_cast<std::uint64_t>(e.width));
+        for (ExprRef arg : e.args)
+            f.mix(static_cast<std::uint64_t>(arg));
+        f.mix(e.imm);
+        f.mix(static_cast<std::uint64_t>(e.sig));
+        f.mix(static_cast<std::uint64_t>(e.hi));
+        f.mix(static_cast<std::uint64_t>(e.lo));
+    }
+    return f.h;
+}
+
+std::string
+emitModelSource(const Design &design)
+{
+    const std::uint64_t ir = designIrHash(design);
+    std::ostringstream os;
+    os << "// coppelia compiled model — generated, do not edit\n"
+       << "// design: " << design.name() << "  signals: "
+       << design.numSignals() << "  exprs: " << design.numExprs() << "\n"
+       << "#include <cstdint>\n"
+       << "using u64 = std::uint64_t;\n"
+       << "using s64 = std::int64_t;\n"
+       << "namespace {\n"
+       << "inline s64 sgn(u64 b, int w) {\n"
+       << "    if (w >= 64) return (s64)b;\n"
+       << "    const u64 sign = 1ull << (w - 1);\n"
+       << "    return (b & sign) ? (s64)(b - (sign << 1)) : (s64)b;\n"
+       << "}\n"
+       << "} // namespace\n\n";
+
+    // Settle pass: wires in topological order, exactly as the interpreter's
+    // evalComb(). Undriven wires are pinned to zero each settle.
+    os << "extern \"C\" void coppelia_eval(u64 *s) {\n";
+    {
+        std::vector<char> emitted(design.numExprs(), 0);
+        for (SignalId sig : design.topoWires()) {
+            const Signal &s = design.signal(sig);
+            if (s.def == NoExpr) {
+                os << "    s[" << sig << "] = 0;\n";
+                continue;
+            }
+            emitExprTree(design, s.def, emitted, os);
+            os << "    s[" << sig << "] = " << tmp(s.def) << ";\n";
+        }
+    }
+    os << "}\n\n";
+
+    // Latch pass: every next-state value is computed against the settled
+    // pre-edge state before any register commits (non-blocking semantics).
+    // Registers without a next-state expression hold their value.
+    os << "namespace {\n"
+       << "void latch(u64 *s) {\n";
+    {
+        std::vector<char> emitted(design.numExprs(), 0);
+        std::vector<SignalId> regs;
+        for (SignalId sig = 0; sig < design.numSignals(); ++sig) {
+            const Signal &s = design.signal(sig);
+            if (s.kind != SignalKind::Register || s.def == NoExpr)
+                continue;
+            emitExprTree(design, s.def, emitted, os);
+            regs.push_back(sig);
+        }
+        for (SignalId sig : regs)
+            os << "    s[" << sig << "] = " << tmp(design.signal(sig).def)
+               << ";\n";
+    }
+    os << "}\n"
+       << "} // namespace\n\n";
+
+    os << "extern \"C\" void coppelia_step(u64 *s) {\n"
+       << "    coppelia_eval(s);\n"
+       << "    latch(s);\n"
+       << "    coppelia_eval(s);\n"
+       << "}\n\n"
+       << "extern \"C\" u64 coppelia_num_signals(void) { return "
+       << design.numSignals() << "; }\n"
+       << "extern \"C\" u64 coppelia_ir_hash(void) { return " << hexLit(ir)
+       << "; }\n"
+       << "extern \"C\" u64 coppelia_abi_version(void) { return "
+       << kCodegenAbiVersion << "; }\n";
+    return os.str();
+}
+
+} // namespace coppelia::rtl::compile

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * C++ code generation for the compiled-simulation backend. The elaborated
+ * IR is scheduled once — wires in the Design's cached topological order,
+ * registers in a compute-all-then-commit latch pass — and emitted as
+ * straight-line C++ over a flat `uint64_t` state array indexed by SignalId
+ * (every signal is 1..64 bits wide, so one word per signal suffices).
+ *
+ * The emitted translation unit is self-contained (it includes only
+ * <cstdint>) and exposes a tiny extern "C" ABI:
+ *
+ *     void     coppelia_eval(uint64_t *s);   // settle combinational wires
+ *     void     coppelia_step(uint64_t *s);   // eval; latch; eval
+ *     uint64_t coppelia_num_signals(void);   // sanity check on load
+ *     uint64_t coppelia_ir_hash(void);       // stale-object check on load
+ *     uint64_t coppelia_abi_version(void);   // kCodegenAbiVersion
+ *
+ * Semantics replicate the interpreter's combine() in rtl/sim.cc exactly —
+ * masking discipline, the AShr shift>=63 special case, Ite without a
+ * re-mask — so the differential test in tests/test_sim_compiled.cc can
+ * demand bit-for-bit equality, not just architectural agreement.
+ */
+
+#ifndef COPPELIA_RTL_COMPILE_CODEGEN_HH
+#define COPPELIA_RTL_COMPILE_CODEGEN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "rtl/design.hh"
+
+namespace coppelia::rtl::compile
+{
+
+/** Bumped whenever the emitted ABI or scheduling semantics change; part of
+ *  the on-disk cache key so stale objects are never dlopen'd. */
+constexpr std::uint64_t kCodegenAbiVersion = 1;
+
+/**
+ * Stable hash of the semantic content of a design: signal kinds, widths,
+ * reset values, defining expressions, and the full expression arena.
+ * Names are included (they bind the environment's setInput/peek calls to
+ * SignalIds); branch markings are not (they do not affect concrete
+ * evaluation). Stable across processes — it keys the on-disk cache.
+ */
+std::uint64_t designIrHash(const Design &design);
+
+/** Emit the complete C++ translation unit for @p design. */
+std::string emitModelSource(const Design &design);
+
+} // namespace coppelia::rtl::compile
+
+#endif // COPPELIA_RTL_COMPILE_CODEGEN_HH

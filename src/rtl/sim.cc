@@ -1,9 +1,32 @@
 #include "rtl/sim.hh"
 
+#include "rtl/compile/compiled.hh"
 #include "util/logging.hh"
 
 namespace coppelia::rtl
 {
+
+const char *
+simBackendName(SimBackend backend)
+{
+    switch (backend) {
+      case SimBackend::Interpret: return "interpret";
+      case SimBackend::Compiled: return "compiled";
+    }
+    return "?";
+}
+
+bool
+parseSimBackendName(const std::string &name, SimBackend *out)
+{
+    if (name == "interpret" || name == "interpreter")
+        *out = SimBackend::Interpret;
+    else if (name == "compiled" || name == "compile")
+        *out = SimBackend::Compiled;
+    else
+        return false;
+    return true;
+}
 
 namespace
 {
@@ -130,10 +153,27 @@ ExprEvaluator::eval(ExprRef ref, const std::vector<Value> &env)
     return memo_[ref];
 }
 
-Simulator::Simulator(const Design &design)
+Simulator::Simulator(const Design &design, SimBackend backend)
     : design_(design), evaluator_(design)
 {
+    // Falls back to the interpreter (getOrCompile warns once per design)
+    // when the codegen backend cannot deliver a model.
+    if (backend == SimBackend::Compiled)
+        compiled_ = compile::getOrCompile(design);
     reset();
+}
+
+bool
+Simulator::compiledBackendAvailable()
+{
+    return compile::backendAvailable();
+}
+
+void
+Simulator::syncFromRaw()
+{
+    for (std::size_t i = 0; i < env_.size(); ++i)
+        env_[i].setBits(raw_[i]);
 }
 
 void
@@ -152,6 +192,11 @@ Simulator::reset()
             break;
         }
     }
+    if (compiled_ != nullptr) {
+        raw_.resize(env_.size());
+        for (std::size_t i = 0; i < env_.size(); ++i)
+            raw_[i] = env_[i].bits();
+    }
     cycle_ = 0;
     evalCount_ = 0;
     evalComb();
@@ -164,6 +209,8 @@ Simulator::setInput(SignalId sig, std::uint64_t bits)
     if (s.kind != SignalKind::Input)
         fatal("setInput on non-input signal ", s.name);
     env_[sig] = Value(s.width, bits);
+    if (compiled_ != nullptr)
+        raw_[sig] = env_[sig].bits();
 }
 
 void
@@ -175,6 +222,12 @@ Simulator::setInput(const std::string &name, std::uint64_t bits)
 void
 Simulator::evalComb()
 {
+    if (compiled_ != nullptr) {
+        compiled_->eval(raw_.data());
+        syncFromRaw();
+        ++evalCount_;
+        return;
+    }
     evaluator_.invalidate();
     for (SignalId sig : design_.topoWires()) {
         const Signal &s = design_.signal(sig);
@@ -190,6 +243,21 @@ Simulator::evalComb()
 void
 Simulator::step()
 {
+    if (compiled_ != nullptr) {
+        // The compiled step is eval/latch/eval in one call; the env must
+        // be re-synced *before* observer dispatch so observers (the
+        // fuzzer's CoverageMap) see the identical settled state.
+        compiled_->step(raw_.data());
+        evalCount_ += 2;
+        syncFromRaw();
+        ++cycle_;
+#ifndef COPPELIA_NO_SIM_OBSERVERS
+        if (observer_ != nullptr)
+            observer_->onStep(*this);
+#endif
+        return;
+    }
+
     evalComb();
 
     // Compute all next-state values against the settled pre-edge state, then
@@ -238,6 +306,8 @@ Simulator::pokeRegister(SignalId sig, std::uint64_t bits)
     if (s.kind != SignalKind::Register)
         fatal("pokeRegister on non-register signal ", s.name);
     env_[sig] = Value(s.width, bits);
+    if (compiled_ != nullptr)
+        raw_[sig] = env_[sig].bits();
 }
 
 } // namespace coppelia::rtl

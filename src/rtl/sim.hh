@@ -15,6 +15,7 @@
 #define COPPELIA_RTL_SIM_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -24,7 +25,29 @@
 namespace coppelia::rtl
 {
 
+namespace compile
+{
+class CompiledModel;
+}
+
 class Simulator;
+
+/**
+ * Which execution substrate a Simulator uses. Interpret walks the IR with
+ * the memoizing ExprEvaluator every cycle; Compiled runs straight-line
+ * machine code generated once per design by src/rtl/compile/ (falling back
+ * to Interpret, with a warning, when no host toolchain is available).
+ * Both are bit-for-bit equivalent — tests/test_sim_compiled.cc holds them
+ * to that over the full bug matrix.
+ */
+enum class SimBackend
+{
+    Interpret,
+    Compiled,
+};
+
+const char *simBackendName(SimBackend backend);
+bool parseSimBackendName(const std::string &name, SimBackend *out);
 
 /**
  * Per-cycle simulation hook: attached observers see the settled post-edge
@@ -70,7 +93,20 @@ class ExprEvaluator
 class Simulator
 {
   public:
-    explicit Simulator(const Design &design);
+    explicit Simulator(const Design &design,
+                       SimBackend backend = SimBackend::Interpret);
+
+    /** The backend actually in use (Compiled requests fall back to
+     *  Interpret when the codegen backend is unavailable). */
+    SimBackend backend() const
+    {
+        return compiled_ != nullptr ? SimBackend::Compiled
+                                    : SimBackend::Interpret;
+    }
+
+    /** Whether SimBackend::Compiled works here (probes the toolchain on
+     *  first call). */
+    static bool compiledBackendAvailable();
 
     /** Reset: registers take their reset values, inputs go to zero. */
     void reset();
@@ -132,9 +168,17 @@ class Simulator
     }
 
   private:
+    /** Copy the compiled backend's raw words back into env_ (widths are
+     *  fixed per signal, so only the payload bits move). */
+    void syncFromRaw();
+
     const Design &design_;
     std::vector<Value> env_;
     ExprEvaluator evaluator_;
+    /** Compiled backend: the shared immutable model and this simulator's
+     *  raw state array (bits per SignalId). Null model = interpreting. */
+    std::shared_ptr<const compile::CompiledModel> compiled_;
+    std::vector<std::uint64_t> raw_;
     /** Persistent next-state buffer for step(): the per-cycle loop is
      *  allocation-free once it has grown to the register count. */
     std::vector<std::pair<SignalId, Value>> latchBuf_;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "campaign/campaign.hh"
+#include "rtl/sim.hh"
 #include "monitor/monitor.hh"
 #include "trace/fold.hh"
 #include "util/logging.hh"
@@ -112,6 +113,8 @@ main(int argc, char **argv)
     bool no_incremental = false;
     bool no_rewrite = false, no_preprocess = false, no_minimize = false;
     int fuzz_execs = -1, fuzz_stream = -1, fuzz_handoffs = -1;
+    int sim_backend = -1; // index into rtl::SimBackend; -1 = not set
+    bool require_backend = false;
     std::string trace_file;
     int monitor_port = -2; // -1 = spec default off; >= 0 = serve
     double monitor_linger = 0.0;
@@ -205,6 +208,15 @@ main(int argc, char **argv)
             no_preprocess = true;
         } else if (arg == "--no-minimize") {
             no_minimize = true;
+        } else if (arg == "--sim-backend") {
+            const std::string name = value(i, "--sim-backend");
+            rtl::SimBackend backend;
+            if (!rtl::parseSimBackendName(name, &backend))
+                badArg(argv[0], "unknown sim backend '" + name +
+                                    "' (interpret or compiled)");
+            sim_backend = static_cast<int>(backend);
+        } else if (arg == "--require-backend") {
+            require_backend = true;
         } else if (arg == "--conflict-budget") {
             conflict_budget = numeric(i, "--conflict-budget", to_ll);
         } else if (arg == "--out") {
@@ -268,6 +280,10 @@ main(int argc, char **argv)
         spec.fuzzMaxStream = fuzz_stream;
     if (fuzz_handoffs >= 0)
         spec.fuzzHandoffs = fuzz_handoffs;
+    if (sim_backend >= 0)
+        spec.simBackend = static_cast<rtl::SimBackend>(sim_backend);
+    if (require_backend)
+        spec.requireBackend = true;
     if (!trace_file.empty())
         spec.traceFile = trace_file;
     if (monitor_port >= -1)

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Differential equivalence of the compiled simulation backend
+ * (src/rtl/compile) against the IR interpreter: bit-for-bit identical
+ * environments, store effects, eval/cycle counters, and coverage counts
+ * over the full in-scope bug matrix and thousands of randomized stimuli.
+ * Also unit-asserts the codegen cache (a second construction performs no
+ * compiler invocation; after dropping the in-process memo the on-disk
+ * cache serves the model) and that a fixed-seed fuzzing run finds the
+ * identical divergences on either backend.
+ *
+ * Every test skips when the codegen backend is unavailable (no host
+ * toolchain): equivalence of a backend that cannot be built is vacuous,
+ * and the CI sim-equivalence job runs where the toolchain exists.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cpu/bugs.hh"
+#include "cpu/or1k/core.hh"
+#include "cpu/riscv/core.hh"
+#include "exploit/system.hh"
+#include "fuzz/coverage.hh"
+#include "fuzz/fuzzer.hh"
+#include "fuzz/mutate.hh"
+#include "rtl/compile/codegen.hh"
+#include "rtl/compile/compiled.hh"
+#include "rtl/sim.hh"
+#include "util/rng.hh"
+
+using namespace coppelia;
+
+namespace
+{
+
+#define SKIP_WITHOUT_BACKEND()                                              \
+    do {                                                                    \
+        if (!rtl::Simulator::compiledBackendAvailable())                    \
+            GTEST_SKIP() << "codegen backend unavailable (no toolchain)";   \
+    } while (0)
+
+rtl::Design
+buildFor(cpu::Processor proc, const cpu::BugConfig &bugs)
+{
+    switch (proc) {
+      case cpu::Processor::OR1200:
+        return cpu::or1k::buildOr1200(bugs);
+      case cpu::Processor::Mor1kxEspresso:
+        return cpu::or1k::buildMor1kx(bugs);
+      case cpu::Processor::PulpinoRi5cy:
+        return cpu::riscv::buildRi5cy(bugs);
+    }
+    return cpu::or1k::buildOr1200(bugs);
+}
+
+/** Full-environment bit-for-bit comparison (width and payload). */
+void
+expectEnvEqual(const rtl::Design &design, const rtl::Simulator &interp,
+               const rtl::Simulator &compiled, const std::string &ctx)
+{
+    ASSERT_EQ(interp.env().size(), compiled.env().size()) << ctx;
+    for (rtl::SignalId sig = 0; sig < design.numSignals(); ++sig) {
+        ASSERT_EQ(interp.env()[sig], compiled.env()[sig])
+            << ctx << ": signal '" << design.signal(sig).name
+            << "' interp=" << interp.env()[sig].toString()
+            << " compiled=" << compiled.env()[sig].toString();
+    }
+}
+
+/**
+ * Drive the same (insn, intr) stream through two CoreSystems — one per
+ * backend — comparing the full environment, the cycle result (store bus
+ * effects), and the eval/cycle counters after every instruction.
+ */
+void
+runLockstep(const rtl::Design &design,
+            const std::vector<std::uint32_t> &stream,
+            const std::string &ctx, unsigned intr_period = 0)
+{
+    exploit::CoreSystem interp(design, rtl::SimBackend::Interpret);
+    exploit::CoreSystem compiled(design, rtl::SimBackend::Compiled);
+    ASSERT_EQ(compiled.sim().backend(), rtl::SimBackend::Compiled) << ctx;
+    expectEnvEqual(design, interp.sim(), compiled.sim(), ctx + " @reset");
+
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const bool intr = intr_period != 0 && i % intr_period == 3;
+        const exploit::CycleResult a = interp.stepWithInsn(stream[i], intr);
+        const exploit::CycleResult b =
+            compiled.stepWithInsn(stream[i], intr);
+        const std::string at = ctx + " @cycle " + std::to_string(i);
+        EXPECT_EQ(a.pc, b.pc) << at;
+        EXPECT_EQ(a.storeDone, b.storeDone) << at;
+        EXPECT_EQ(a.storeAddr, b.storeAddr) << at;
+        EXPECT_EQ(a.storeData, b.storeData) << at;
+        EXPECT_EQ(a.storeBe, b.storeBe) << at;
+        EXPECT_EQ(interp.sim().evalCount(), compiled.sim().evalCount())
+            << at;
+        EXPECT_EQ(interp.sim().cycle(), compiled.sim().cycle()) << at;
+        expectEnvEqual(design, interp.sim(), compiled.sim(), at);
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// The full bug matrix: every in-scope bug of every processor, driven with
+// a deterministic ISA-biased stream (plus interrupt pulses). Equivalence
+// must hold on the buggy designs — the backend may not mask or invent a
+// single bit of any bug's behavior.
+// ---------------------------------------------------------------------------
+
+TEST(SimCompiled, BugMatrixBitForBit)
+{
+    SKIP_WITHOUT_BACKEND();
+    int designs = 0;
+    for (cpu::Processor proc :
+         {cpu::Processor::OR1200, cpu::Processor::Mor1kxEspresso,
+          cpu::Processor::PulpinoRi5cy}) {
+        fuzz::StreamGenerator gen(proc);
+        for (cpu::BugId bug : cpu::bugsFor(proc, false)) {
+            const rtl::Design design =
+                buildFor(proc, cpu::BugConfig::with(bug));
+            Rng rng(0xC0DE0000ull + static_cast<std::uint64_t>(designs));
+            std::vector<std::uint32_t> stream;
+            for (int chunk = 0; chunk < 4; ++chunk) {
+                const auto part = gen.randomStream(rng, 12);
+                stream.insert(stream.end(), part.begin(), part.end());
+            }
+            const std::string ctx = std::string(cpu::processorName(proc)) +
+                                    "/" + cpu::bugName(bug);
+            runLockstep(design, stream, ctx, /*intr_period=*/11);
+            ++designs;
+        }
+    }
+    // The paper's in-scope matrix: equivalence was demanded on every cell.
+    EXPECT_GE(designs, 29);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized stimuli on the bug-free cores: raw 32-bit words straight
+// from the RNG (not ISA-biased — illegal encodings and exception paths
+// must agree too), well past 1000 stimuli, with interrupts and a reset
+// in the middle.
+// ---------------------------------------------------------------------------
+
+TEST(SimCompiled, RandomStimuliBitForBit)
+{
+    SKIP_WITHOUT_BACKEND();
+    for (cpu::Processor proc :
+         {cpu::Processor::OR1200, cpu::Processor::PulpinoRi5cy}) {
+        const rtl::Design design = buildFor(proc, {});
+        rtl::Simulator interp(design, rtl::SimBackend::Interpret);
+        rtl::Simulator compiled(design, rtl::SimBackend::Compiled);
+        ASSERT_EQ(compiled.backend(), rtl::SimBackend::Compiled);
+        Rng rng(0xD1FF0000ull + static_cast<int>(proc));
+        const std::string name = cpu::processorName(proc);
+        for (int i = 0; i < 1200; ++i) {
+            if (i == 600) {
+                interp.reset();
+                compiled.reset();
+            }
+            const std::uint32_t word =
+                static_cast<std::uint32_t>(rng.next());
+            interp.setInput("insn", word);
+            compiled.setInput("insn", word);
+            const std::uint64_t intr = rng.next() % 7 == 0;
+            interp.setInput("intr", intr);
+            compiled.setInput("intr", intr);
+            interp.step();
+            compiled.step();
+            expectEnvEqual(design, interp, compiled,
+                           name + " @random " + std::to_string(i));
+        }
+        EXPECT_EQ(interp.evalCount(), compiled.evalCount());
+        EXPECT_EQ(interp.cycle(), compiled.cycle());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The StepObserver hook must see the identical settled post-edge state:
+// a CoverageMap attached to either backend accumulates exactly the same
+// coverage points on a fixed stream.
+// ---------------------------------------------------------------------------
+
+TEST(SimCompiled, CoverageCountsMatchExactly)
+{
+    SKIP_WITHOUT_BACKEND();
+    const rtl::Design design = cpu::or1k::buildOr1200();
+    exploit::CoreSystem interp(design, rtl::SimBackend::Interpret);
+    exploit::CoreSystem compiled(design, rtl::SimBackend::Compiled);
+    fuzz::CoverageMap covInterp(design);
+    fuzz::CoverageMap covCompiled(design);
+#ifdef COPPELIA_NO_SIM_OBSERVERS
+    GTEST_SKIP() << "observers compiled out";
+#else
+    interp.sim().setObserver(&covInterp);
+    compiled.sim().setObserver(&covCompiled);
+    covInterp.syncState(interp.sim());
+    covCompiled.syncState(compiled.sim());
+
+    fuzz::StreamGenerator gen(cpu::Processor::OR1200);
+    Rng rng(2026);
+    for (int round = 0; round < 16; ++round) {
+        const std::vector<std::uint32_t> stream = gen.randomStream(rng, 16);
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+            interp.stepWithInsn(stream[i], i % 13 == 5);
+            compiled.stepWithInsn(stream[i], i % 13 == 5);
+        }
+    }
+    ASSERT_EQ(covInterp.totalPoints(), covCompiled.totalPoints());
+    EXPECT_GT(covInterp.coveredPoints(), 0u);
+    EXPECT_EQ(covInterp.coveredPoints(), covCompiled.coveredPoints());
+    for (std::size_t p = 0; p < covInterp.totalPoints(); ++p)
+        ASSERT_EQ(covInterp.covered(p), covCompiled.covered(p))
+            << "coverage point " << p;
+    interp.sim().setObserver(nullptr);
+    compiled.sim().setObserver(nullptr);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// pokeRegister + evalComb parity (the BMC counterexample replay path) and
+// Simulator copy semantics (resolveTriggerDataSection copies a live sim).
+// ---------------------------------------------------------------------------
+
+TEST(SimCompiled, PokeAndCopyAgree)
+{
+    SKIP_WITHOUT_BACKEND();
+    const rtl::Design design = cpu::or1k::buildOr1200();
+    rtl::Simulator interp(design, rtl::SimBackend::Interpret);
+    rtl::Simulator compiled(design, rtl::SimBackend::Compiled);
+    const rtl::SignalId gpr3 = design.signalIdOf("gpr3");
+    interp.pokeRegister(gpr3, 0xdeadbeef);
+    compiled.pokeRegister(gpr3, 0xdeadbeef);
+    interp.evalComb();
+    compiled.evalComb();
+    expectEnvEqual(design, interp, compiled, "after poke");
+
+    // A copied compiled simulator must be independent of the original.
+    rtl::Simulator fork = compiled;
+    fork.setInput("insn", 0x15000000u); // l.nop
+    fork.step();
+    expectEnvEqual(design, interp, compiled, "original unperturbed");
+    interp.setInput("insn", 0x15000000u);
+    interp.step();
+    expectEnvEqual(design, interp, fork, "fork tracks interp");
+}
+
+// ---------------------------------------------------------------------------
+// Codegen cache: the model for a design is compiled at most once per
+// fleet. A second Simulator construction performs zero compiler
+// invocations (in-process memo), and after dropping the memo the on-disk
+// .so serves the model — still zero compiler invocations.
+// ---------------------------------------------------------------------------
+
+TEST(SimCompiled, CacheCompilesOncePerDesign)
+{
+    SKIP_WITHOUT_BACKEND();
+    const rtl::Design design =
+        cpu::or1k::buildOr1200(cpu::BugConfig::with(cpu::BugId::b09));
+
+    rtl::Simulator first(design, rtl::SimBackend::Compiled);
+    ASSERT_EQ(first.backend(), rtl::SimBackend::Compiled);
+
+    const rtl::compile::CodegenStats before = rtl::compile::codegenStats();
+    rtl::Simulator second(design, rtl::SimBackend::Compiled);
+    ASSERT_EQ(second.backend(), rtl::SimBackend::Compiled);
+    rtl::compile::CodegenStats after = rtl::compile::codegenStats();
+    EXPECT_EQ(after.compilerInvocations, before.compilerInvocations)
+        << "second construction must not invoke the compiler";
+    EXPECT_EQ(after.memoryCacheHits, before.memoryCacheHits + 1);
+
+    // Drop the in-process memo: the next construction must come from the
+    // on-disk cache, still without compiling.
+    rtl::compile::clearMemoryCache();
+    rtl::Simulator third(design, rtl::SimBackend::Compiled);
+    ASSERT_EQ(third.backend(), rtl::SimBackend::Compiled);
+    after = rtl::compile::codegenStats();
+    EXPECT_EQ(after.compilerInvocations, before.compilerInvocations)
+        << "disk-cached construction must not invoke the compiler";
+    EXPECT_EQ(after.diskCacheHits, before.diskCacheHits + 1);
+
+    // And the disk-loaded model is the same machine behavior.
+    rtl::Simulator interp(design, rtl::SimBackend::Interpret);
+    third.setInput("insn", 0x15000000u);
+    interp.setInput("insn", 0x15000000u);
+    third.step();
+    interp.step();
+    expectEnvEqual(design, interp, third, "disk-cached model");
+}
+
+// ---------------------------------------------------------------------------
+// The IR hash keys the cache: distinct designs (a different bug) get
+// distinct models; the same design built twice hashes identically.
+// ---------------------------------------------------------------------------
+
+TEST(SimCompiled, IrHashIsStableAndDiscriminates)
+{
+    const rtl::Design a1 =
+        cpu::or1k::buildOr1200(cpu::BugConfig::with(cpu::BugId::b04));
+    const rtl::Design a2 =
+        cpu::or1k::buildOr1200(cpu::BugConfig::with(cpu::BugId::b04));
+    const rtl::Design b =
+        cpu::or1k::buildOr1200(cpu::BugConfig::with(cpu::BugId::b05));
+    EXPECT_EQ(rtl::compile::designIrHash(a1),
+              rtl::compile::designIrHash(a2));
+    EXPECT_NE(rtl::compile::designIrHash(a1),
+              rtl::compile::designIrHash(b));
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-seed fuzz smoke: the whole fuzzing loop — coverage feedback,
+// corpus evolution, divergence detection and minimization — must be
+// byte-identical across backends. This is the CI sim-equivalence job's
+// "identical divergences" assertion.
+// ---------------------------------------------------------------------------
+
+TEST(SimCompiled, FuzzFindsIdenticalDivergences)
+{
+    SKIP_WITHOUT_BACKEND();
+    const rtl::Design design =
+        cpu::or1k::buildOr1200(cpu::BugConfig::with(cpu::BugId::b04));
+
+    auto run = [&](rtl::SimBackend backend) {
+        fuzz::FuzzOptions opts;
+        opts.seed = 7;
+        opts.maxExecs = 160;
+        opts.maxStreamLen = 12;
+        opts.backend = backend;
+        fuzz::Fuzzer fuzzer(design, cpu::Processor::OR1200, opts);
+        return fuzzer.run();
+    };
+    const fuzz::FuzzResult interp = run(rtl::SimBackend::Interpret);
+    const fuzz::FuzzResult compiled = run(rtl::SimBackend::Compiled);
+
+    EXPECT_EQ(interp.execs, compiled.execs);
+    EXPECT_EQ(interp.instructions, compiled.instructions);
+    EXPECT_EQ(interp.corpusSize, compiled.corpusSize);
+    EXPECT_EQ(interp.coveragePoints, compiled.coveragePoints);
+    EXPECT_EQ(interp.coverageTotal, compiled.coverageTotal);
+    ASSERT_EQ(interp.divergences.size(), compiled.divergences.size());
+    EXPECT_GT(interp.divergences.size(), 0u)
+        << "smoke seed should expose b04";
+    for (std::size_t i = 0; i < interp.divergences.size(); ++i) {
+        const fuzz::FuzzDivergence &a = interp.divergences[i];
+        const fuzz::FuzzDivergence &b = compiled.divergences[i];
+        EXPECT_EQ(a.stream, b.stream) << "divergence " << i;
+        EXPECT_EQ(a.rawLength, b.rawLength) << "divergence " << i;
+        EXPECT_EQ(a.divergence.cycle, b.divergence.cycle);
+        EXPECT_EQ(a.divergence.insn, b.divergence.insn);
+        EXPECT_EQ(a.divergence.field, b.divergence.field);
+        EXPECT_EQ(a.divergence.rtlValue, b.divergence.rtlValue);
+        EXPECT_EQ(a.divergence.issValue, b.divergence.issValue);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend-name plumbing used by the campaign spec and CLI.
+// ---------------------------------------------------------------------------
+
+TEST(SimCompiled, BackendNamesRoundTrip)
+{
+    rtl::SimBackend backend = rtl::SimBackend::Interpret;
+    EXPECT_TRUE(rtl::parseSimBackendName("compiled", &backend));
+    EXPECT_EQ(backend, rtl::SimBackend::Compiled);
+    EXPECT_TRUE(rtl::parseSimBackendName("interpret", &backend));
+    EXPECT_EQ(backend, rtl::SimBackend::Interpret);
+    EXPECT_FALSE(rtl::parseSimBackendName("verilator", &backend));
+    EXPECT_STREQ(rtl::simBackendName(rtl::SimBackend::Interpret),
+                 "interpret");
+    EXPECT_STREQ(rtl::simBackendName(rtl::SimBackend::Compiled),
+                 "compiled");
+}
