@@ -4,8 +4,10 @@
 #include <set>
 #include <unordered_set>
 
+#include "bse/recorder.hh"
 #include "coi/coi.hh"
 #include "metrics/metrics.hh"
+#include "solver/querylog.hh"
 #include "trace/trace.hh"
 #include "util/logging.hh"
 #include "util/timer.hh"
@@ -109,6 +111,7 @@ BackwardEngine::buildTrigger(const props::Assertion &assertion)
     // the recovery path uses the plain encoding whose convergence the
     // stitching heuristics were tuned against.
     trace::instant("bse.fallback", "bse");
+    recorder::event("fallback", "", -1);
     TriggerResult fresh = searchTrigger(assertion, /*use_incremental=*/false,
                                         /*use_simplification=*/false);
     fresh.stats.merge(result.stats);
@@ -150,8 +153,12 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
             return r;
         result.stats.inc("solver_unknowns");
         if (opts_.solverConflictBudget > 0) {
+            // Mark the retry dispatch in the query log so the record's
+            // retry level separates first attempts from 4x-budget reruns.
+            smt::querylog::context().retry = 1;
             r = solver.checkWithBudget(query, model,
                                        opts_.solverConflictBudget * 4);
+            smt::querylog::context().retry = 0;
             if (r != smt::Result::Unknown) {
                 result.stats.inc("solver_unknown_retries_recovered");
                 return r;
@@ -232,6 +239,17 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
     std::set<std::vector<std::pair<SignalId, std::uint64_t>>> history;
     bool bound_hit = false;
     int iteration_counter = 0;
+    // Query-log context hygiene: records emitted after this search (by
+    // another engine on the same worker, or outside any search) must not
+    // inherit this search's iteration/retry tags.
+    struct ContextGuard
+    {
+        ~ContextGuard()
+        {
+            smt::querylog::context().iteration = -1;
+            smt::querylog::context().retry = 0;
+        }
+    } context_guard;
     // Count of diversification (marching-set) rejects this search. A
     // converging search takes none; each one burns a full exploration
     // iteration, so a handful is a far earlier derailment signal than
@@ -310,6 +328,9 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
         metrics::heartbeat("bse.iteration",
                            static_cast<std::uint64_t>(iteration_counter),
                            depth);
+        smt::querylog::context().iteration = iteration_counter;
+        recorder::event("iteration", "", iteration_counter, depth,
+                        static_cast<std::uint64_t>(result.feedbackRounds));
 
         // Preconditioned symbolic execution (§II-E1).
         std::vector<TermRef> preconds;
@@ -378,6 +399,9 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
             if (!use_incremental)
                 return;
             trace::Span shrink_span("bse.shrink", "bse");
+            const std::uint64_t pins0 = result.stats.get("shrink_pins");
+            const std::uint64_t bit_pins0 =
+                result.stats.get("shrink_bit_pins");
             std::vector<std::pair<SignalId, TermRef>> regs(
                 level.bound.regVars.begin(), level.bound.regVars.end());
             std::sort(regs.begin(), regs.end());
@@ -445,6 +469,10 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
                     }
                 }
             }
+            recorder::event("shrink", "", iteration_counter,
+                            result.stats.get("shrink_pins") - pins0,
+                            result.stats.get("shrink_bit_pins") -
+                                bit_pins0);
         };
 
         for (int diff_bound : diff_schedule) {
@@ -539,6 +567,7 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
         } // diff_schedule
 
         if (closed_from_reset) {
+            recorder::event("candidate", "reset", iteration_counter, depth);
             // Record the closing level's choices and assemble the trigger.
             Level &top = levels.back();
             top.leafPathCond = candidate_leaf.pathCond;
@@ -552,6 +581,8 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
             // this closing assignment and the search continues.
             if (opts_.validator && !opts_.validator(result.cycles)) {
                 trace::instant("bse.replay_reject", "bse");
+                recorder::event("reject", "replay_validation_rejects",
+                                iteration_counter, depth);
                 result.stats.inc("replay_validation_rejects");
                 top.excludes.push_back(modelExclusion(
                     top, closing_model, /*include_inputs=*/true));
@@ -575,6 +606,10 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
                 break;
             }
             trace::instant("bse.feedback", "bse");
+            // "unsat": the level produced no satisfiable candidate at
+            // all — the strongest rejection reason the report can show.
+            recorder::event("feedback", "unsat", iteration_counter,
+                            depth - 1);
             levels.pop_back();
             Level &prev = levels.back();
             prev.excludes.push_back(
@@ -605,6 +640,7 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
             debugLog(desc);
         }
 
+        recorder::event("candidate", "", iteration_counter, depth);
         // Record the candidate on this level. The predecessor state to
         // stitch is the *subset* of registers the model pushed away from
         // reset (§II-D6: concrete values for a subset of internal
@@ -643,6 +679,7 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
 
         // --- Fast Validation (§II-D4) -------------------------------------
         auto reject = [&](const char *stat) {
+            recorder::event("reject", stat, iteration_counter, depth);
             result.stats.inc(stat);
             level.excludes.push_back(
                 modelExclusion(level, candidate_model,
@@ -720,6 +757,8 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
                     break;
                 }
                 trace::instant("bse.feedback", "bse");
+                recorder::event("feedback", "", iteration_counter,
+                                depth - 1);
                 levels.pop_back();
                 Level &prev = levels.back();
                 prev.excludes.push_back(modelExclusion(
@@ -737,6 +776,8 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
         // --- Stitching Cycles (§II-D6): open the next iteration ----------
         result.stats.inc("stitched_cycles");
         trace::instant("bse.stitch", "bse");
+        recorder::event("stitch", "", iteration_counter, depth + 1,
+                        static_cast<std::uint64_t>(level.predState.size()));
         levels.push_back(makeLevel(level.predState));
     }
 
@@ -774,6 +815,8 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
                      solver.stats().get("sat_decisions"));
     result.stats.inc("solver_sat_propagations",
                      solver.stats().get("sat_propagations"));
+    result.stats.inc("solver_sat_restarts",
+                     solver.stats().get("sat_restarts"));
     result.stats.inc("solver_preprocess_clauses_removed",
                      solver.stats().get("preprocess_clauses_removed"));
     result.stats.inc("solver_preprocess_vars_eliminated",

@@ -1,0 +1,131 @@
+#include "bse/recorder.hh"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "metrics/metrics.hh"
+
+namespace coppelia::bse::recorder
+{
+
+namespace
+{
+
+/** Event cap per thread between drains: a pathological search emits one
+ *  event per candidate, so the cap only trips on runaway loops; the
+ *  drain's dropped count makes the truncation visible. */
+constexpr std::size_t kMaxEvents = 1 << 16;
+
+std::atomic<bool> g_enabled{false};
+
+/** Per-thread buffer; owned by a leaked global registry so the storage
+ *  survives thread exit (same lifetime discipline as metrics shards). */
+struct Buffer
+{
+    std::vector<Event> events;
+    std::uint64_t dropped = 0;
+};
+
+struct Global
+{
+    std::mutex mu;
+    std::vector<std::unique_ptr<Buffer>> buffers;
+};
+
+Global &
+global()
+{
+    static Global *g = new Global();
+    return *g;
+}
+
+Buffer &
+threadBuffer()
+{
+    thread_local Buffer *buf = [] {
+        Global &g = global();
+        std::lock_guard<std::mutex> lock(g.mu);
+        g.buffers.push_back(std::make_unique<Buffer>());
+        return g.buffers.back().get();
+    }();
+    return *buf;
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+event(const char *type, const char *detail, int iteration, std::uint64_t a,
+      std::uint64_t b)
+{
+    if (!enabled())
+        return;
+    Buffer &buf = threadBuffer();
+    if (buf.events.size() >= kMaxEvents) {
+        ++buf.dropped;
+        return;
+    }
+    Event e;
+    e.us = metrics::nowUs();
+    e.type = type ? type : "";
+    e.detail = detail ? detail : "";
+    e.iteration = iteration;
+    e.a = a;
+    e.b = b;
+    buf.events.push_back(e);
+}
+
+Drained
+drainThread()
+{
+    Buffer &buf = threadBuffer();
+    Drained out;
+    out.events = std::move(buf.events);
+    out.dropped = buf.dropped;
+    buf.events.clear();
+    buf.dropped = 0;
+    return out;
+}
+
+json::Value
+eventToJson(const Event &e)
+{
+    json::Value v = json::Value::object();
+    v.set("us", json::Value::number(e.us));
+    v.set("type", json::Value::string(e.type));
+    if (e.detail && e.detail[0] != '\0')
+        v.set("detail", json::Value::string(e.detail));
+    v.set("iteration", json::Value::number(e.iteration));
+    v.set("a", json::Value::number(e.a));
+    v.set("b", json::Value::number(e.b));
+    return v;
+}
+
+void
+writeJsonl(std::ostream &out, const Drained &d)
+{
+    json::Value meta = json::Value::object();
+    meta.set("meta", json::Value::string("search"));
+    meta.set("schema_version", json::Value::number(kSearchSchemaVersion));
+    meta.set("events", json::Value::number(
+                           static_cast<std::uint64_t>(d.events.size())));
+    meta.set("dropped", json::Value::number(d.dropped));
+    out << meta.dump() << "\n";
+    for (const Event &e : d.events)
+        out << eventToJson(e).dump() << "\n";
+}
+
+} // namespace coppelia::bse::recorder

@@ -5,7 +5,9 @@
 #include <fstream>
 #include <memory>
 
+#include "bse/recorder.hh"
 #include "metrics/metrics.hh"
+#include "solver/querylog.hh"
 #include "trace/trace.hh"
 #include "util/logging.hh"
 
@@ -170,6 +172,32 @@ buildStatus(const CampaignSpec &spec, Scheduler &scheduler,
     }
     doc.set("slowest_jobs", std::move(slowest));
 
+    // Live forensics: the process-wide top-K slowest solver queries with
+    // their stat fingerprints, so a wedged campaign names the query that
+    // is eating the clock before any artifact is flushed.
+    json::Value slowest_queries = json::Value::array();
+    for (const smt::querylog::Record &q :
+         smt::querylog::globalSlowest()) {
+        json::Value qj = json::Value::object();
+        qj.set("query", json::Value::number(q.id));
+        qj.set("job", json::Value::number(q.job));
+        qj.set("iteration", json::Value::number(q.iteration));
+        if (q.origin && q.origin[0] != '\0')
+            qj.set("origin", json::Value::string(q.origin));
+        qj.set("wall_us", json::Value::number(q.wallUs));
+        qj.set("result",
+               json::Value::string(smt::querylog::resultName(q.result)));
+        qj.set("conflicts", json::Value::number(q.conflicts));
+        qj.set("decisions", json::Value::number(q.decisions));
+        qj.set("assumptions",
+               json::Value::number(
+                   static_cast<std::uint64_t>(q.assumptions)));
+        qj.set("retry", json::Value::number(
+                            static_cast<std::uint64_t>(q.retry)));
+        slowest_queries.push(std::move(qj));
+    }
+    doc.set("slowest_queries", std::move(slowest_queries));
+
     doc.set("metrics", metrics::snapshotJson(metrics::snapshot()));
     return doc;
 }
@@ -200,6 +228,21 @@ runCampaign(const CampaignSpec &spec, std::ostream *telemetry,
         trace::setThreadName("campaign");
     }
     trace::Span campaign_span("campaign.run", "campaign");
+
+    // Forensics lifecycle: the live slowest-query view is scoped to this
+    // campaign, and an artifact directory switches the search recorder
+    // on for the run (the query log itself is always-on unless compiled
+    // out — it costs one POD copy per solver dispatch).
+    smt::querylog::clearGlobalSlowest();
+    const bool artifacts = !spec.artifactDir.empty();
+    if (artifacts) {
+        std::error_code artifact_ec;
+        std::filesystem::create_directories(spec.artifactDir, artifact_ec);
+        if (artifact_ec)
+            fatal("cannot create artifact directory '", spec.artifactDir,
+                  "': ", artifact_ec.message());
+        bse::recorder::setEnabled(true);
+    }
 
     // A compiled-backend campaign with require-backend must not silently
     // run every job on the interpreter: probe the codegen toolchain once
@@ -260,7 +303,42 @@ runCampaign(const CampaignSpec &spec, std::ostream *telemetry,
         task.fn = [&spec, &store, &job, i](const TaskContext &ctx) {
             const std::uint64_t seed =
                 deriveJobSeed(spec.seed, static_cast<int>(i), ctx.attempt);
+            smt::querylog::context().job = static_cast<int>(i);
             JobResult result = runJob(spec, job, seed, ctx.cancel);
+            smt::querylog::context().job = -1;
+            // Drain this worker's forensics buffers whatever the
+            // disposition: the next job on this thread must start clean.
+            // Retried attempts append to the same per-job artifact, so
+            // the file's summed meta lines cover every attempt's solver
+            // time — that is what keeps the artifact in agreement with
+            // the cumulative smt.solve_us metric.
+            smt::querylog::Drained queries = smt::querylog::drainThread();
+            bse::recorder::Drained search = bse::recorder::drainThread();
+            if (!spec.artifactDir.empty()) {
+                const std::filesystem::path dir(spec.artifactDir);
+                const std::string stem = "job" + std::to_string(i);
+                const std::string qpath =
+                    (dir / (stem + "_queries.jsonl")).string();
+                const std::string spath =
+                    (dir / (stem + "_search.jsonl")).string();
+                const auto mode = ctx.attempt == 0 ? std::ios::trunc
+                                                   : std::ios::app;
+                std::ofstream qout(qpath, mode);
+                if (qout)
+                    smt::querylog::writeJsonl(qout, queries);
+                std::ofstream sout(spath, mode);
+                if (sout)
+                    bse::recorder::writeJsonl(sout, search);
+                result.queriesArtifact = qpath;
+                result.searchArtifact = spath;
+            }
+            result.stats.inc("querylog_records", queries.recorded);
+            result.stats.inc("querylog_dropped", queries.dropped);
+            result.stats.inc("querylog_wall_us", queries.totalWallUs);
+            result.stats.inc(
+                "search_events",
+                static_cast<std::uint64_t>(search.events.size()));
+            result.stats.inc("search_dropped", search.dropped);
             const bool retry = result.status == JobStatus::Retryable &&
                                ctx.attempt < spec.maxRetries;
             if (retry) {
@@ -316,6 +394,8 @@ runCampaign(const CampaignSpec &spec, std::ostream *telemetry,
         warn("campaign '", spec.name, "': ", out.records.size(),
              " records for ", spec.jobs.size(), " jobs");
 
+    if (artifacts)
+        bse::recorder::setEnabled(false);
     campaign_span.close();
     if (manage_trace) {
         trace::setEnabled(false);
@@ -342,12 +422,26 @@ runCampaignToFiles(const CampaignSpec &spec,
     if (!jsonl)
         fatal("cannot open ", (dir / "campaign.jsonl").string());
 
-    CampaignResult result = runCampaign(spec, &jsonl, server);
+    // A file-producing campaign gets forensics artifacts by default,
+    // co-located with campaign.jsonl so coppelia-report finds them by
+    // relative path.
+    CampaignSpec effective = spec;
+    if (effective.artifactDir.empty())
+        effective.artifactDir = (dir / "artifacts").string();
+
+    CampaignResult result = runCampaign(effective, &jsonl, server);
 
     std::ofstream summary(dir / "summary.txt");
     if (!summary)
         fatal("cannot open ", (dir / "summary.txt").string());
-    writeSummary(summary, spec, result.records, result.scheduler);
+    writeSummary(summary, effective, result.records, result.scheduler);
+
+    // Registry snapshot beside the telemetry: coppelia-report folds it
+    // into the cross-check section without a live /metrics endpoint.
+    std::ofstream metrics_out(dir / "metrics.json");
+    if (metrics_out)
+        metrics_out << metrics::snapshotJson(metrics::snapshot()).dump()
+                    << "\n";
     return result;
 }
 

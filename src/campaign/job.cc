@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "bmc/bmc.hh"
+#include "bse/recorder.hh"
 #include "core/coppelia.hh"
 #include "cpu/or1k/core.hh"
 #include "cpu/riscv/core.hh"
 #include "fuzz/fuzzer.hh"
 #include "fuzz/handoff.hh"
+#include "solver/querylog.hh"
 #include "trace/trace.hh"
 #include "util/timer.hh"
 
@@ -281,6 +283,7 @@ runFuzzJob(const CampaignSpec &spec, const JobSpec &job,
             ++attempts;
             const fuzz::HandoffOutcome ho =
                 bridge.attempt(*prefix, hopts, base);
+            bse::recorder::event("handoff", "", -1, ho.fired ? 1 : 0);
             if (ho.fired) {
                 ++out.fuzzHandoffs;
                 out.found = true;
@@ -330,6 +333,13 @@ runJob(const CampaignSpec &spec, const JobSpec &job, std::uint64_t seed,
         const props::Assertion *assertion = selectAssertion(job, asserts);
         bind_span.close();
 
+        // Query-log origin: every solver record this thread emits for the
+        // rest of the job names the assertion it serves. Interned — the
+        // context pointer outlives the job's own strings.
+        if (assertion)
+            smt::querylog::context().origin =
+                trace::internString(assertion->id);
+
         if (job.kind == JobKind::Fuzz) {
             // The fuzzer's divergence oracle needs no assertion; one only
             // gates the concolic hand-off stage.
@@ -349,6 +359,7 @@ runJob(const CampaignSpec &spec, const JobSpec &job, std::uint64_t seed,
     // Charge elaboration + assertion binding to the job, not just the
     // engine: the campaign's wall-clock accounting covers the whole cell.
     out.seconds = timer.seconds();
+    smt::querylog::context().origin = "";
     job_span.close();
     if (trace::enabled())
         out.traceEvents = trace::threadEventCount() - trace_before;

@@ -77,6 +77,13 @@ struct JobResult
      *  disabled); ties each JSONL record to its timeline slice. */
     std::uint64_t traceEvents = 0;
 
+    /** Forensics artifact paths, as written (empty when the campaign ran
+     *  without an artifact directory). The campaign layer fills these
+     *  after the job's per-thread query-log / search-recorder buffers
+     *  are drained and flushed. */
+    std::string queriesArtifact;
+    std::string searchArtifact;
+
     double seconds = 0.0;
     StatGroup stats;
 };

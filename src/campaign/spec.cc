@@ -177,6 +177,8 @@ parseSpec(std::istream &in, const std::string &origin)
             spec.validateByReplay = word("on/off") == "on";
         } else if (key == "trace") {
             spec.traceFile = word("file");
+        } else if (key == "artifacts") {
+            spec.artifactDir = word("directory");
         } else if (key == "monitor") {
             spec.monitorPort = intWord("port");
             if (spec.monitorPort < 0 || spec.monitorPort > 65535)

@@ -33,6 +33,9 @@
  * `trace FILE` records the run as a Chrome trace-event timeline.
  * `monitor PORT` serves live /metrics and /status over HTTP on
  * 127.0.0.1:PORT for the duration of the run (0 = ephemeral port).
+ * `artifacts DIR` writes per-job forensics artifacts (queries.jsonl,
+ * search.jsonl) under DIR; `coppelia-campaign -o` defaults it to
+ * `<output>/artifacts`.
  */
 
 #ifndef COPPELIA_CAMPAIGN_SPEC_HH
@@ -130,6 +133,14 @@ struct CampaignSpec
      *  campaign runs. 0 binds an ephemeral port; -1 (default) disables
      *  the monitor. */
     int monitorPort = -1;
+    /** Per-job forensics artifact directory (`artifacts DIR` /
+     *  `--artifacts`): each finished job flushes its solver query log to
+     *  `jobN_queries.jsonl` and its search-recorder event stream to
+     *  `jobN_search.jsonl` here, and the campaign.jsonl record points at
+     *  both. Empty (default) disables artifact files; the query log and
+     *  the live /status `slowest_queries` view still run.
+     *  `runCampaignToFiles` defaults it to `<output_dir>/artifacts`. */
+    std::string artifactDir;
 
     std::vector<JobSpec> jobs;
 };

@@ -59,6 +59,10 @@ jsonlSchema()
         {"seed", "RNG seed of the final attempt (decimal string)"},
         {"trace_events", "trace events emitted by this job (0 when "
                          "tracing is disabled)"},
+        {"queries_jsonl", "per-job solver query-log artifact path "
+                          "(only when the campaign wrote artifacts)"},
+        {"search_jsonl", "per-job search-recorder artifact path "
+                         "(only when the campaign wrote artifacts)"},
         {"stats", "solver/search work counters (object; counter names "
                   "are additive but individually unstable)"},
     };
@@ -120,6 +124,10 @@ recordToJson(const JobRecord &record)
     // As a string: a 64-bit seed does not round-trip through a double.
     v.set("seed", json::Value::string(std::to_string(record.seed)));
     v.set("trace_events", json::Value::number(r.traceEvents));
+    if (!r.queriesArtifact.empty())
+        v.set("queries_jsonl", json::Value::string(r.queriesArtifact));
+    if (!r.searchArtifact.empty())
+        v.set("search_jsonl", json::Value::string(r.searchArtifact));
     json::Value stats = json::Value::object();
     for (const auto &[name, count] : r.stats.all())
         stats.set(name, json::Value::number(count));

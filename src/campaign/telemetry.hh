@@ -38,11 +38,16 @@ namespace coppelia::campaign
  *   3  adds the fuzz job kind: `kind` may now be "fuzz", and fuzz
  *      records carry the fuzz_* fields instead of outcome/iterations/
  *      bmc_depth
+ *   4  adds the forensics artifact pointers: `queries_jsonl` and
+ *      `search_jsonl` name the per-job solver query log and search
+ *      recorder files when the campaign ran with an artifact directory
+ *      (absent otherwise); `stats` gains the querylog and search
+ *      recorder accounting counters
  *
  * Bump it whenever a documented field changes meaning, is removed, or
  * is renamed; adding a field is backward compatible and does not bump.
  */
-constexpr int kJsonlSchemaVersion = 3;
+constexpr int kJsonlSchemaVersion = 4;
 
 /**
  * One documented top-level field of the JSONL record. The schema is a

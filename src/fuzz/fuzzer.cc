@@ -3,9 +3,11 @@
 #include <string>
 #include <unordered_set>
 
+#include "bse/recorder.hh"
 #include "cpu/or1k/isa.hh"
 #include "cpu/riscv/isa.hh"
 #include "metrics/metrics.hh"
+#include "trace/trace.hh"
 #include "util/timer.hh"
 
 namespace coppelia::fuzz
@@ -173,6 +175,13 @@ Fuzzer::run()
             if (opts_.maxCorpus > 0 &&
                 static_cast<int>(corpus_.size()) > opts_.maxCorpus)
                 corpus_.erase(corpus_.begin());
+            // Coverage-over-time checkpoint for the forensics stream:
+            // one event per coverage step traces the plateau shape
+            // without per-exec volume.
+            bse::recorder::event("coverage", "", -1,
+                                 static_cast<std::uint64_t>(execs_ -
+                                                            start_execs),
+                                 coverage_.coveredPoints());
         }
 
         if (d) {
@@ -185,6 +194,14 @@ Fuzzer::run()
                 Divergence dm = *d;
                 fd.stream = minimize(stream, dm);
                 fd.divergence = dm;
+                bse::recorder::event(
+                    "divergence",
+                    bse::recorder::enabled()
+                        ? trace::internString(dm.field)
+                        : "",
+                    -1,
+                    static_cast<std::uint64_t>(execs_ - start_execs),
+                    coverage_.coveredPoints());
                 res.divergences.push_back(std::move(fd));
                 divergences_total->inc();
             }
@@ -198,6 +215,11 @@ Fuzzer::run()
                            coverage_.coveredPoints());
     }
 
+    // Terminal checkpoint: the timeline's last point is the run's final
+    // coverage even when the last executions found nothing new.
+    bse::recorder::event("coverage", "", -1,
+                         static_cast<std::uint64_t>(execs_ - start_execs),
+                         coverage_.coveredPoints());
     res.execs = execs_ - start_execs;
     res.instructions = instructions_;
     res.corpusSize = static_cast<int>(corpus_.size());

@@ -415,6 +415,32 @@ header(std::ostream &out, std::vector<std::string> &seen,
 
 } // namespace
 
+double
+histogramQuantile(const HistogramSample &s, double q)
+{
+    if (s.count == 0 || s.bounds.empty())
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    const double rank = q * static_cast<double>(s.count);
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+        const std::uint64_t in_bucket = s.bucketCounts[i];
+        if (static_cast<double>(below + in_bucket) >= rank &&
+            in_bucket > 0) {
+            const double lower =
+                i == 0 ? 0.0 : static_cast<double>(s.bounds[i - 1]);
+            const double upper = static_cast<double>(s.bounds[i]);
+            const double frac = (rank - static_cast<double>(below)) /
+                                static_cast<double>(in_bucket);
+            return lower + (upper - lower) * std::max(0.0, frac);
+        }
+        below += in_bucket;
+    }
+    // Target rank lives in the +Inf bucket: the histogram cannot say
+    // more than "past the last finite bound".
+    return static_cast<double>(s.bounds.back());
+}
+
 std::string
 prometheusName(const std::string &name)
 {
@@ -460,6 +486,22 @@ writePrometheus(std::ostream &out, const Snapshot &snap)
         out << name << "_count" << withLabel(s.labels, "") << " "
             << s.count << "\n";
     }
+    // Summary-style quantile estimates, as a derived gauge family per
+    // histogram (a `quantile` label on the histogram family itself would
+    // collide with TYPE histogram parsing). Same bucket interpolation as
+    // histogramQuantile, so dashboards need no PromQL.
+    for (const HistogramSample &s : snap.histograms) {
+        const std::string name = prometheusName(s.name) + "_quantile";
+        header(out, seen, name,
+               "estimated quantiles of " + prometheusName(s.name),
+               "gauge");
+        for (double q : {0.5, 0.9, 0.99}) {
+            out << name
+                << withLabel(s.labels,
+                             "quantile=\"" + fmtDouble(q) + "\"")
+                << " " << fmtDouble(histogramQuantile(s, q)) << "\n";
+        }
+    }
 }
 
 json::Value
@@ -494,6 +536,9 @@ snapshotJson(const Snapshot &snap)
         inf.push(json::Value::number(s.count));
         buckets.push(std::move(inf));
         h.set("buckets", std::move(buckets));
+        h.set("p50", json::Value::number(histogramQuantile(s, 0.5)));
+        h.set("p90", json::Value::number(histogramQuantile(s, 0.9)));
+        h.set("p99", json::Value::number(histogramQuantile(s, 0.99)));
         histograms.set(key(s.name, s.labels), std::move(h));
     }
     json::Value doc = json::Value::object();

@@ -161,6 +161,16 @@ struct Snapshot
 
 Snapshot snapshot();
 
+/**
+ * Estimate the @p q quantile (0 < q <= 1) of a histogram sample by
+ * linear interpolation inside the bucket that holds the target rank,
+ * Prometheus histogram_quantile-style: the first bucket interpolates
+ * from 0, and a rank that lands in the +Inf bucket clamps to the
+ * highest finite bound (the estimate cannot exceed what was bucketed).
+ * An empty histogram returns 0.
+ */
+double histogramQuantile(const HistogramSample &s, double q);
+
 /** Zero every counter/histogram cell and gauge without unregistering
  *  anything (handles stay valid). Test-only: concurrent writers make the
  *  zeroing non-atomic. */
@@ -169,9 +179,10 @@ void zeroAllMetrics();
 /**
  * Prometheus text exposition (format 0.0.4) of a snapshot: `# HELP` /
  * `# TYPE` per metric family, histogram `_bucket{le=...}` series
- * cumulative with a closing `+Inf`, `_sum`, `_count`. Metric names are
- * sanitized (dots and other invalid characters become underscores) and
- * prefixed `coppelia_`.
+ * cumulative with a closing `+Inf`, `_sum`, `_count`, plus a derived
+ * `<name>_quantile{quantile="0.5|0.9|0.99"}` gauge family estimated
+ * with histogramQuantile. Metric names are sanitized (dots and other
+ * invalid characters become underscores) and prefixed `coppelia_`.
  */
 void writePrometheus(std::ostream &out, const Snapshot &snap);
 
@@ -179,8 +190,9 @@ void writePrometheus(std::ostream &out, const Snapshot &snap);
 std::string prometheusName(const std::string &name);
 
 /** JSON document of a snapshot: `{"counters":{...},"gauges":{...},
- *  "histograms":{name:{count,sum,buckets:[[le,count],...]}}}`. Keys are
- *  the registered names with `{labels}` appended when present. */
+ *  "histograms":{name:{count,sum,buckets:[[le,count],...],p50,p90,
+ *  p99}}}` (quantiles estimated with histogramQuantile). Keys are the
+ *  registered names with `{labels}` appended when present. */
 json::Value snapshotJson(const Snapshot &snap);
 
 /**

@@ -4,6 +4,7 @@
 
 #include "metrics/metrics.hh"
 #include "solver/bitblast.hh"
+#include "solver/querylog.hh"
 #include "solver/rewrite.hh"
 #include "solver/sat/sat.hh"
 #include "trace/trace.hh"
@@ -141,6 +142,9 @@ Solver::check(const std::vector<TermRef> &assertions, Model *model)
         stats_.inc("rewrite_us",
                    static_cast<std::uint64_t>(rtimer.seconds() * 1e6));
         live().rewriteHits->inc(hits);
+        // Attributed to the SAT dispatch this check() leads to (if any);
+        // solveCore consumes it into the query-log record.
+        pendingRewriteHits_ = hits;
         asserts = &rewritten;
     }
 
@@ -208,6 +212,18 @@ Solver::solveCore(const std::vector<TermRef> &assertions, Model *model)
     stats_.inc("sat_calls");
     live().satCalls->inc();
     metrics::heartbeat("smt.solve", stats_.get("sat_calls"));
+    // Per-query deltas for the forensics record: the backends accumulate
+    // their SAT-core deltas into stats_, so the difference across the
+    // dispatch is exactly this query's work.
+    std::uint64_t c0 = 0, d0 = 0, p0 = 0, r0 = 0, l0 = 0, pp0 = 0;
+    if constexpr (querylog::kEnabled) {
+        c0 = stats_.get("sat_conflicts");
+        d0 = stats_.get("sat_decisions");
+        p0 = stats_.get("sat_propagations");
+        r0 = stats_.get("sat_restarts");
+        l0 = stats_.get("learnt_lits_saved");
+        pp0 = stats_.get("preprocess_clauses_removed");
+    }
     // The span brackets exactly the region the solve_us counter times, so
     // a folded trace's smt.solve total, the solver_solve_us telemetry,
     // and the smt.solve_us registry histogram agree (the acceptance
@@ -217,8 +233,29 @@ Solver::solveCore(const std::vector<TermRef> &assertions, Model *model)
     Result r = opts_.incremental ? solveIncremental(assertions, model)
                                  : solveFresh(assertions, model);
     const auto us = static_cast<std::uint64_t>(timer.seconds() * 1e6);
+    // Close with the timer so the span excludes the stats/querylog
+    // bookkeeping below: on a chatty search the per-query bookkeeping
+    // would otherwise accumulate into a systematic fold-vs-counter gap.
+    span.close();
     stats_.inc("solve_us", us);
     live().solveUs->observe(us);
+    if constexpr (querylog::kEnabled) {
+        querylog::Record rec;
+        rec.assumptions = static_cast<std::uint32_t>(assertions.size());
+        rec.conflicts = stats_.get("sat_conflicts") - c0;
+        rec.decisions = stats_.get("sat_decisions") - d0;
+        rec.propagations = stats_.get("sat_propagations") - p0;
+        rec.restarts = stats_.get("sat_restarts") - r0;
+        rec.learntLitsSaved = stats_.get("learnt_lits_saved") - l0;
+        rec.preprocessRemoved =
+            stats_.get("preprocess_clauses_removed") - pp0;
+        rec.rewriteHits = pendingRewriteHits_;
+        rec.wallUs = us;
+        rec.result = static_cast<int>(r);
+        rec.incremental = opts_.incremental;
+        querylog::record(rec);
+    }
+    pendingRewriteHits_ = 0;
     return r;
 }
 
@@ -270,6 +307,7 @@ Solver::solveFresh(const std::vector<TermRef> &assertions, Model *model)
     stats_.inc("sat_conflicts", sat.stats().get("conflicts"));
     stats_.inc("sat_decisions", sat.stats().get("decisions"));
     stats_.inc("sat_propagations", sat.stats().get("propagations"));
+    stats_.inc("sat_restarts", sat.stats().get("restarts"));
     stats_.inc("learnt_lits_saved", sat.stats().get("learnt_lits_saved"));
     live().learntLitsSaved->inc(sat.stats().get("learnt_lits_saved"));
 
@@ -371,12 +409,14 @@ Solver::solveIncremental(const std::vector<TermRef> &assertions, Model *model)
     const std::uint64_t c0 = incSat_->stats().get("conflicts");
     const std::uint64_t d0 = incSat_->stats().get("decisions");
     const std::uint64_t p0 = incSat_->stats().get("propagations");
+    const std::uint64_t rs0 = incSat_->stats().get("restarts");
     const std::uint64_t l0 = incSat_->stats().get("learnt_lits_saved");
     sat::SatResult sr = incSat_->solve(assumptions, opts_.conflictBudget);
     stats_.inc("sat_conflicts", incSat_->stats().get("conflicts") - c0);
     stats_.inc("sat_decisions", incSat_->stats().get("decisions") - d0);
     stats_.inc("sat_propagations",
                incSat_->stats().get("propagations") - p0);
+    stats_.inc("sat_restarts", incSat_->stats().get("restarts") - rs0);
     const std::uint64_t saved =
         incSat_->stats().get("learnt_lits_saved") - l0;
     stats_.inc("learnt_lits_saved", saved);

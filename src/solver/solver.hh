@@ -184,6 +184,9 @@ class Solver
     // Word-level rewriter (lazily created; persists across queries so its
     // ref -> ref memo amortizes like the blast cache).
     std::unique_ptr<Rewriter> rewriter_;
+    /** Rewrite hits of the in-flight check(), consumed by solveCore into
+     *  the query-log record (zero when the query short-circuits). */
+    std::uint64_t pendingRewriteHits_ = 0;
     /** Clause count after the last preprocess() of the incremental
      *  backend; inprocessing reruns once enough new clauses accumulate. */
     std::size_t preprocessedClauses_ = 0;

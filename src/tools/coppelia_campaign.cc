@@ -65,6 +65,10 @@ usage(const char *argv0)
         "  --no-minimize      skip learnt-clause minimization in conflict\n"
         "                     analysis\n"
         "  --out DIR          output directory (default: .)\n"
+        "  --artifacts DIR    per-job forensics artifacts (solver query\n"
+        "                     logs, search-recorder streams; default:\n"
+        "                     OUT/artifacts); fold into an HTML post-\n"
+        "                     mortem with coppelia-report\n"
         "  --trace FILE       record a Chrome trace-event timeline of the\n"
         "                     run (open in Perfetto; fold with\n"
         "                     coppelia-trace report); prints the per-phase\n"
@@ -116,6 +120,7 @@ main(int argc, char **argv)
     int sim_backend = -1; // index into rtl::SimBackend; -1 = not set
     bool require_backend = false;
     std::string trace_file;
+    std::string artifact_dir;
     int monitor_port = -2; // -1 = spec default off; >= 0 = serve
     double monitor_linger = 0.0;
 
@@ -221,6 +226,8 @@ main(int argc, char **argv)
             conflict_budget = numeric(i, "--conflict-budget", to_ll);
         } else if (arg == "--out") {
             out_dir = value(i, "--out");
+        } else if (arg == "--artifacts") {
+            artifact_dir = value(i, "--artifacts");
         } else if (arg == "--trace") {
             trace_file = value(i, "--trace");
         } else if (arg == "--monitor") {
@@ -286,6 +293,8 @@ main(int argc, char **argv)
         spec.requireBackend = true;
     if (!trace_file.empty())
         spec.traceFile = trace_file;
+    if (!artifact_dir.empty())
+        spec.artifactDir = artifact_dir;
     if (monitor_port >= -1)
         spec.monitorPort = monitor_port;
 

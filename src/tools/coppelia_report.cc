@@ -1,0 +1,108 @@
+/**
+ * @file
+ * `coppelia-report` — post-mortem HTML report for a campaign output
+ * directory. Folds campaign.jsonl, the per-job solver query logs and
+ * search-recorder streams, metrics.json, and (optionally) the Chrome
+ * trace into one dependency-free static page.
+ *
+ *   coppelia-campaign --spec smoke.campaign --out results/ --trace t.json
+ *   coppelia-report --campaign results/ --trace t.json
+ *   xdg-open results/report.html
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "campaign/report.hh"
+
+using namespace coppelia;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s --campaign DIR [options]\n"
+        "\n"
+        "  --campaign DIR  campaign output directory (campaign.jsonl\n"
+        "                  plus the artifacts/ forensics files)\n"
+        "  --trace FILE    Chrome trace of the run; adds the per-phase\n"
+        "                  time breakdown section\n"
+        "  --out FILE      output path (default: DIR/report.html)\n"
+        "  --title NAME    report title (default: DIR's basename)\n"
+        "  --help          this text\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string campaign_dir, trace_file, out_path, title;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: missing value for %s\n",
+                             argv[0], flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--campaign") {
+            campaign_dir = value("--campaign");
+        } else if (arg == "--trace") {
+            trace_file = value("--trace");
+        } else if (arg == "--out") {
+            out_path = value("--out");
+        } else if (arg == "--title") {
+            title = value("--title");
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n\n", argv[0],
+                         arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (campaign_dir.empty()) {
+        std::fprintf(stderr, "%s: give --campaign DIR\n\n", argv[0]);
+        usage(argv[0]);
+        return 2;
+    }
+    if (out_path.empty())
+        out_path = (std::filesystem::path(campaign_dir) / "report.html")
+                       .string();
+
+    campaign::report::ReportData data;
+    std::string error;
+    if (!campaign::report::loadCampaignDir(campaign_dir, trace_file,
+                                           &data, &error)) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+        return 1;
+    }
+    if (!title.empty())
+        data.title = title;
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::fprintf(stderr, "%s: cannot open %s\n", argv[0],
+                     out_path.c_str());
+        return 1;
+    }
+    campaign::report::writeHtml(out, data);
+    out.close();
+
+    std::printf("wrote %s (%zu jobs%s)\n", out_path.c_str(),
+                data.jobs.size(),
+                data.haveFold ? ", with trace fold" : "");
+    return 0;
+}

@@ -155,6 +155,32 @@ render(const json::Value &doc)
             }
         }
     }
+
+    // Forensics row: the process-wide slowest solver queries with their
+    // stat fingerprints (from the per-query log). One line per query is
+    // enough to spot a b19-class tail while the campaign still runs.
+    if (const json::Value *queries = doc.find("slowest_queries")) {
+        if (!queries->items().empty()) {
+            out += "\nslowest solver queries:\n";
+            out += "  " + padRight("query", 8) + padRight("job", 5) +
+                   padRight("iter", 6) + padRight("result", 9) +
+                   padRight("wall", 10) + padRight("conflicts", 11) +
+                   "origin\n";
+            for (const json::Value &q : queries->items()) {
+                out += "  " +
+                       padRight(fmt("%.0f", num(q.find("query"))), 8) +
+                       padRight(fmt("%.0f", num(q.find("job"))), 5) +
+                       padRight(fmt("%.0f", num(q.find("iteration"))), 6) +
+                       padRight(str(q.find("result"), "?"), 9) +
+                       padRight(
+                           fmt("%.1fms",
+                               num(q.find("wall_us")) / 1e3), 10) +
+                       padRight(fmt("%.0f", num(q.find("conflicts"))),
+                                11) +
+                       str(q.find("origin"), "-") + "\n";
+            }
+        }
+    }
     std::printf("%s", out.c_str());
     std::fflush(stdout);
 }

@@ -35,6 +35,10 @@ usage(const char *argv0)
         "Options:\n"
         "  --phase NAME   print one phase's row as `NAME total_us self_us\n"
         "                 count` (machine-readable; exits 1 when absent)\n"
+        "  --merge        fold all given files into one merged breakdown\n"
+        "                 (tracks stay distinct, so self-time accounting\n"
+        "                 is exact; spans timestamped by different\n"
+        "                 processes widen the merged timeline extent)\n"
         "  --help         this text\n",
         argv0);
 }
@@ -54,6 +58,7 @@ main(int argc, char **argv)
 {
     std::string mode;
     std::string phase;
+    bool merge = false;
     std::vector<std::string> paths;
 
     for (int i = 1; i < argc; ++i) {
@@ -65,6 +70,8 @@ main(int argc, char **argv)
             if (i + 1 >= argc)
                 badArg(argv[0], "missing value for --phase");
             phase = argv[++i];
+        } else if (arg == "--merge") {
+            merge = true;
         } else if (!arg.empty() && arg[0] == '-') {
             badArg(argv[0], "unknown option '" + arg + "'");
         } else if (mode.empty()) {
@@ -81,6 +88,10 @@ main(int argc, char **argv)
     if (paths.empty())
         badArg(argv[0], "missing trace file");
 
+    // --merge concatenates every file's tracks and folds once: one
+    // breakdown over a whole multi-run experiment (e.g. each campaign
+    // of an ablation sweep traced to its own file).
+    std::vector<trace::TrackEvents> merged;
     int status = 0;
     for (const std::string &path : paths) {
         std::vector<trace::TrackEvents> tracks;
@@ -89,6 +100,11 @@ main(int argc, char **argv)
             std::fprintf(stderr, "%s: cannot load trace '%s': %s\n",
                          argv[0], path.c_str(), error.c_str());
             return 1;
+        }
+        if (merge) {
+            for (trace::TrackEvents &t : tracks)
+                merged.push_back(std::move(t));
+            continue;
         }
         const trace::FoldReport report = trace::foldTracks(tracks);
 
@@ -109,6 +125,29 @@ main(int argc, char **argv)
 
         if (paths.size() > 1)
             std::printf("== %s ==\n", path.c_str());
+        std::ostringstream os;
+        trace::writeFoldReport(os, report);
+        std::printf("%s", os.str().c_str());
+    }
+
+    if (merge) {
+        const trace::FoldReport report = trace::foldTracks(merged);
+        if (!phase.empty()) {
+            const trace::FoldRow *row = report.find(phase);
+            if (!row) {
+                std::fprintf(stderr,
+                             "%s: no phase '%s' in the merged fold\n",
+                             argv[0], phase.c_str());
+                return 1;
+            }
+            std::printf("%s %llu %llu %llu\n", row->name.c_str(),
+                        static_cast<unsigned long long>(row->totalUs),
+                        static_cast<unsigned long long>(row->selfUs),
+                        static_cast<unsigned long long>(row->count));
+            return 0;
+        }
+        if (paths.size() > 1)
+            std::printf("== merged: %zu files ==\n", paths.size());
         std::ostringstream os;
         trace::writeFoldReport(os, report);
         std::printf("%s", os.str().c_str());

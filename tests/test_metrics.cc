@@ -196,7 +196,80 @@ TEST(Metrics, PrometheusExpositionGolden)
               "coppelia_smt_solve_us_bucket{le=\"1000\"} 5\n"
               "coppelia_smt_solve_us_bucket{le=\"+Inf\"} 7\n"
               "coppelia_smt_solve_us_sum 12345\n"
-              "coppelia_smt_solve_us_count 7\n");
+              "coppelia_smt_solve_us_count 7\n"
+              "# HELP coppelia_smt_solve_us_quantile "
+              "estimated quantiles of coppelia_smt_solve_us\n"
+              "# TYPE coppelia_smt_solve_us_quantile gauge\n"
+              // p50: rank 3.5 of 7 lands in the first bucket (4 obs,
+              // bound 100), interpolated from 0: 100 * 3.5/4 = 87.5.
+              // p90 (rank 6.3) and p99 (rank 6.93) land in +Inf and
+              // clamp to the highest finite bound.
+              "coppelia_smt_solve_us_quantile{quantile=\"0.5\"} 87.5\n"
+              "coppelia_smt_solve_us_quantile{quantile=\"0.9\"} 1000\n"
+              "coppelia_smt_solve_us_quantile{quantile=\"0.99\"} 1000\n");
+}
+
+TEST(Metrics, HistogramQuantileExactBucketMath)
+{
+    metrics::HistogramSample s;
+    s.bounds = {10, 100, 1000};
+    s.bucketCounts = {5, 3, 2, 0}; // per-bucket, +Inf last
+    s.count = 10;
+
+    // p50: rank 5 of 10 is exactly the last observation of bucket 0
+    // (5 obs, bound 10), interpolated from 0: 10 * 5/5 = 10.
+    EXPECT_DOUBLE_EQ(metrics::histogramQuantile(s, 0.5), 10.0);
+    // p90: rank 9 lands in bucket 2 (2 obs, 100..1000), one deep:
+    // 100 + 900 * (9-8)/2 = 550.
+    EXPECT_DOUBLE_EQ(metrics::histogramQuantile(s, 0.9), 550.0);
+    // p99: rank 9.9, 1.9 deep into bucket 2: 100 + 900 * 1.9/2 = 955.
+    EXPECT_DOUBLE_EQ(metrics::histogramQuantile(s, 0.99), 955.0);
+    // p10: rank 1 interpolates inside the first bucket from 0.
+    EXPECT_DOUBLE_EQ(metrics::histogramQuantile(s, 0.1), 2.0);
+    // q=1 is the top of the highest non-empty finite bucket.
+    EXPECT_DOUBLE_EQ(metrics::histogramQuantile(s, 1.0), 1000.0);
+
+    // Observations past every finite bound clamp to the last bound.
+    metrics::HistogramSample inf;
+    inf.bounds = {10, 100};
+    inf.bucketCounts = {1, 0, 4};
+    inf.count = 5;
+    EXPECT_DOUBLE_EQ(metrics::histogramQuantile(inf, 0.9), 100.0);
+
+    // Empty histogram: no estimate to give.
+    metrics::HistogramSample empty;
+    empty.bounds = {10};
+    empty.bucketCounts = {0, 0};
+    EXPECT_DOUBLE_EQ(metrics::histogramQuantile(empty, 0.5), 0.0);
+}
+
+TEST(Metrics, SnapshotJsonCarriesQuantiles)
+{
+    metrics::Histogram *h =
+        metrics::histogram("test_json_quantiles", {10, 100, 1000});
+    for (int i = 0; i < 5; ++i)
+        h->observe(5);
+    for (int i = 0; i < 3; ++i)
+        h->observe(50);
+    h->observe(500);
+    h->observe(500);
+
+    const json::Value doc = metrics::snapshotJson(metrics::snapshot());
+    const json::Value *hists = doc.find("histograms");
+    ASSERT_NE(hists, nullptr);
+    const json::Value *mine = hists->find("test_json_quantiles");
+    ASSERT_NE(mine, nullptr);
+    const json::Value *p50 = mine->find("p50");
+    const json::Value *p90 = mine->find("p90");
+    const json::Value *p99 = mine->find("p99");
+    ASSERT_NE(p50, nullptr);
+    ASSERT_NE(p90, nullptr);
+    ASSERT_NE(p99, nullptr);
+    // Same shape as HistogramQuantileExactBucketMath: {5,3,2} over
+    // bounds {10,100,1000}.
+    EXPECT_DOUBLE_EQ(p50->asNumber(), 10.0);
+    EXPECT_DOUBLE_EQ(p90->asNumber(), 550.0);
+    EXPECT_DOUBLE_EQ(p99->asNumber(), 955.0);
 }
 
 TEST(Metrics, HelpAndTypeEmittedOncePerFamily)

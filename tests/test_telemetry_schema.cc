@@ -9,12 +9,15 @@
 
 #include <algorithm>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "bse/recorder.hh"
 #include "campaign/telemetry.hh"
+#include "solver/querylog.hh"
 
 using namespace coppelia;
 using namespace coppelia::campaign;
@@ -40,6 +43,8 @@ exploitRecord()
     rec.result.iterations = 5;
     rec.result.seconds = 0.5;
     rec.result.traceEvents = 42;
+    rec.result.queriesArtifact = "artifacts/job0_queries.jsonl";
+    rec.result.searchArtifact = "artifacts/job0_search.jsonl";
     rec.result.stats.set("solver_solve_us", 1234);
     return rec;
 }
@@ -150,7 +155,7 @@ TEST(TelemetrySchema, SchemaVersionIsPinnedAndEmittedFirst)
     // it is a deliberate act (update this test alongside the documented
     // history in telemetry.hh), and every record carries it as the first
     // key so consumers can dispatch before reading anything else.
-    EXPECT_EQ(kJsonlSchemaVersion, 3);
+    EXPECT_EQ(kJsonlSchemaVersion, 4);
     EXPECT_TRUE(schemaKeys().count("schema_version"));
     EXPECT_EQ(jsonlSchema().front().key, std::string("schema_version"));
     for (const JobRecord &rec : {exploitRecord(), bmcRecord(), fuzzRecord()}) {
@@ -194,6 +199,123 @@ TEST(TelemetrySchema, StableKeysKeepTheirMeaning)
     EXPECT_EQ(b.find("iterations"), nullptr);
     EXPECT_NE(b.find("bmc_depth"), nullptr);
     EXPECT_EQ(b.find("fuzz_execs"), nullptr);
+}
+
+TEST(TelemetrySchema, ArtifactPointersEmittedOnlyWhenPresent)
+{
+    // Schema v4: artifact pointers appear exactly when the campaign
+    // wrote the files, as string paths.
+    const json::Value with = recordToJson(exploitRecord());
+    const json::Value *queries = with.find("queries_jsonl");
+    ASSERT_NE(queries, nullptr);
+    ASSERT_TRUE(queries->isString());
+    EXPECT_EQ(queries->asString(), "artifacts/job0_queries.jsonl");
+    const json::Value *search = with.find("search_jsonl");
+    ASSERT_NE(search, nullptr);
+    ASSERT_TRUE(search->isString());
+
+    JobRecord bare = exploitRecord();
+    bare.result.queriesArtifact.clear();
+    bare.result.searchArtifact.clear();
+    const json::Value without = recordToJson(bare);
+    EXPECT_EQ(without.find("queries_jsonl"), nullptr);
+    EXPECT_EQ(without.find("search_jsonl"), nullptr);
+}
+
+TEST(QuerylogSchema, RecordJsonShapeIsPinned)
+{
+    // The queries.jsonl line shape is a downstream contract exactly like
+    // the campaign record: key set, order, and value encodings pinned.
+    smt::querylog::Record r;
+    r.id = 7;
+    r.job = 2;
+    r.iteration = 4;
+    r.origin = "a01_test";
+    r.assumptions = 9;
+    r.retry = 1;
+    r.conflicts = 100;
+    r.decisions = 200;
+    r.propagations = 300;
+    r.restarts = 5;
+    r.rewriteHits = 11;
+    r.preprocessRemoved = 12;
+    r.learntLitsSaved = 13;
+    r.wallUs = 4567;
+    r.result = 1;
+    r.incremental = true;
+
+    const json::Value v = smt::querylog::recordToJson(r);
+    const std::vector<std::string> expected{
+        "q",         "job",          "iteration",
+        "origin",    "assumptions",  "retry",
+        "result",    "incremental",  "conflicts",
+        "decisions", "propagations", "restarts",
+        "rewrite_hits", "preprocess_removed", "learnt_lits_saved",
+        "wall_us"};
+    std::vector<std::string> emitted;
+    for (const auto &[key, value] : v.members())
+        emitted.push_back(key);
+    EXPECT_EQ(emitted, expected);
+    EXPECT_EQ(v.find("result")->asString(), "unsat");
+    EXPECT_EQ(v.find("wall_us")->asInt(), 4567);
+    EXPECT_TRUE(v.find("incremental")->asBool());
+    EXPECT_EQ(smt::querylog::kQuerylogSchemaVersion, 1);
+}
+
+TEST(QuerylogSchema, JsonlMetaLineCarriesTheAccountingTotals)
+{
+    smt::querylog::Drained d;
+    d.recorded = 5;
+    d.dropped = 2;
+    d.totalWallUs = 987654;
+    smt::querylog::Record r;
+    r.id = 1;
+    r.wallUs = 10;
+    d.records.push_back(r);
+
+    std::ostringstream os;
+    smt::querylog::writeJsonl(os, d);
+    std::istringstream in(os.str());
+    std::string meta_line;
+    ASSERT_TRUE(std::getline(in, meta_line));
+    const json::Value meta = json::parse(meta_line);
+    ASSERT_TRUE(meta.isObject());
+    EXPECT_EQ(meta.find("meta")->asString(), "querylog");
+    EXPECT_EQ(meta.find("schema_version")->asInt(),
+              smt::querylog::kQuerylogSchemaVersion);
+    EXPECT_EQ(meta.find("recorded")->asInt(), 5);
+    EXPECT_EQ(meta.find("dropped")->asInt(), 2);
+    // total_wall_us covers every recorded query, dropped included — the
+    // invariant that keeps the artifact in agreement with solve_us.
+    EXPECT_EQ(meta.find("total_wall_us")->asInt(), 987654);
+    std::string record_line;
+    ASSERT_TRUE(std::getline(in, record_line));
+    EXPECT_TRUE(json::parse(record_line).isObject());
+    EXPECT_FALSE(std::getline(in, record_line));
+}
+
+TEST(QuerylogSchema, SearchEventJsonShapeIsPinned)
+{
+    bse::recorder::Event e;
+    e.us = 1000;
+    e.type = "reject";
+    e.detail = "replay_validation_rejects";
+    e.iteration = 3;
+    e.a = 2;
+    e.b = 0;
+    const json::Value v = bse::recorder::eventToJson(e);
+    std::vector<std::string> emitted;
+    for (const auto &[key, value] : v.members())
+        emitted.push_back(key);
+    const std::vector<std::string> expected{"us", "type",      "detail",
+                                            "iteration", "a", "b"};
+    EXPECT_EQ(emitted, expected);
+    EXPECT_EQ(v.find("type")->asString(), "reject");
+    EXPECT_EQ(bse::recorder::kSearchSchemaVersion, 1);
+
+    // Empty details are elided, not emitted as "".
+    e.detail = "";
+    EXPECT_EQ(bse::recorder::eventToJson(e).find("detail"), nullptr);
 }
 
 TEST(TelemetrySchema, FuzzRecordsCarryTheFuzzFields)
