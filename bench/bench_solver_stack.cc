@@ -25,7 +25,14 @@
  *
  * With `--repeat N` each configuration's solver time is the median of N
  * runs (the engine is deterministic, so repeats only smooth machine
- * noise; the trigger from the first run is used for the checks).
+ * noise; the trigger from the first run is used for the checks), and the
+ * JSON carries the per-config min/max envelope next to each median.
+ *
+ * `--solver-threads N` hands stuck queries to the facade's parallel
+ * escalation ladder (portfolio race, then cube-and-conquer). The JSON
+ * then also reports the b19/b31 hard-row subtotal, the class those
+ * escalations exist for; compare against a threads=1 run of the same
+ * matrix (see EXPERIMENTS.md).
  */
 
 #include "bench_common.hh"
@@ -62,6 +69,8 @@ struct RunResult
     bse::TriggerResult trigger; ///< from the first repeat
     double seconds = 0.0;       ///< median end-to-end engine time
     double solverSeconds = 0.0; ///< median cumulative solver time
+    Spread solverSpread;        ///< min/max of the solver-time repeats
+    Spread wallSpread;          ///< min/max of the end-to-end repeats
 };
 
 RunResult
@@ -90,6 +99,10 @@ runConfig(cpu::BugId bug, const StackConfig &cfg, const BenchOptions &bench)
         opts.solverRewrite = cfg.rewrite;
         opts.solverPreprocess = cfg.preprocess;
         opts.solverMinimize = cfg.minimize;
+        // At threads > 1 the facade walks its escalation ladder (budget
+        // retries, portfolio race, cube-and-conquer) on stuck queries;
+        // at the default of 1 this is bit-for-bit the sequential bench.
+        opts.solverThreads = bench.solverThreads;
 
         Timer timer;
         bse::BackwardEngine engine(d, opts);
@@ -103,6 +116,8 @@ runConfig(cpu::BugId bug, const StackConfig &cfg, const BenchOptions &bench)
     }
     r.seconds = median(total_samples);
     r.solverSeconds = median(solver_samples);
+    r.solverSpread = spreadOf(solver_samples);
+    r.wallSpread = spreadOf(total_samples);
     return r;
 }
 
@@ -139,8 +154,9 @@ main(int argc, char **argv)
                 "single-instruction OR1200 bugs)%s\n",
                 bench.smoke ? " [smoke]" : "");
     std::printf("columns = cumulative solver time per configuration "
-                "(median of %d run%s)\n\n",
-                bench.repeat, bench.repeat == 1 ? "" : "s");
+                "(median of %d run%s, solver threads %d)\n\n",
+                bench.repeat, bench.repeat == 1 ? "" : "s",
+                bench.solverThreads);
     const std::vector<int> widths{5, 10, 11, 13, 11, 10, 9, 9};
     printRow({"No.", "stack", "no-rewrite", "no-preprocess", "no-minimize",
               "off", "speedup", "same-out"},
@@ -148,14 +164,28 @@ main(int argc, char **argv)
     printRule(widths);
 
     double totals[kNumConfigs] = {};
+    double totals_min[kNumConfigs] = {};
+    double totals_max[kNumConfigs] = {};
     double wall_totals[kNumConfigs] = {};
+    // The long-search rows (the b19/b31 class the parallel escalations
+    // target) get their own subtotal so a --solver-threads run can report
+    // its effect where it matters, not diluted by the sub-second bugs.
+    double hard_totals[kNumConfigs] = {};
+    int hard_bugs = 0;
     bool same_outcomes = true;
     for (cpu::BugId bug : rows) {
+        const bool hard =
+            bug == cpu::BugId::b19 || bug == cpu::BugId::b31;
+        hard_bugs += hard ? 1 : 0;
         RunResult results[kNumConfigs];
         for (std::size_t c = 0; c < kNumConfigs; ++c) {
             results[c] = runConfig(bug, kConfigs[c], bench);
             totals[c] += results[c].solverSeconds;
+            totals_min[c] += results[c].solverSpread.min;
+            totals_max[c] += results[c].solverSpread.max;
             wall_totals[c] += results[c].seconds;
+            if (hard)
+                hard_totals[c] += results[c].solverSeconds;
         }
         bool agree = true;
         for (std::size_t c = 1; c < kNumConfigs; ++c)
@@ -188,6 +218,12 @@ main(int argc, char **argv)
                 "(stack speedup %.2fx; the absolute all-on time is pinned "
                 "by the regression gate)\n",
                 yn(same_outcomes).c_str(), stack_speedup);
+    std::printf("all-on solver total %.3fs (repeat spread %.3f..%.3fs)\n",
+                totals[0], totals_min[0], totals_max[0]);
+    if (hard_bugs > 0)
+        std::printf("hard rows (b19/b31) all-on solver total %.3fs, "
+                    "stages-off %.3fs\n",
+                    hard_totals[0], hard_totals[kNumConfigs - 1]);
 
     if (!bench.jsonPath.empty()) {
         // The shape scripts/check_bench_regression.py gates on.
@@ -198,14 +234,35 @@ main(int argc, char **argv)
               json::Value::number(static_cast<double>(bench.repeat)));
         v.set("bugs",
               json::Value::number(static_cast<double>(rows.size())));
+        v.set("solver_threads",
+              json::Value::number(
+                  static_cast<double>(bench.solverThreads)));
         for (std::size_t c = 0; c < kNumConfigs; ++c) {
             v.set(std::string("total_solver_") + kConfigs[c].name +
                       "_seconds",
                   json::Value::number(totals[c]));
+            // The min/max envelope across the --repeat samples, summed
+            // per bug: how much of the median could be machine noise.
+            v.set(std::string("total_solver_") + kConfigs[c].name +
+                      "_min_seconds",
+                  json::Value::number(totals_min[c]));
+            v.set(std::string("total_solver_") + kConfigs[c].name +
+                      "_max_seconds",
+                  json::Value::number(totals_max[c]));
             v.set(std::string("total_") + kConfigs[c].name + "_seconds",
                   json::Value::number(wall_totals[c]));
         }
         v.set("stack_speedup", json::Value::number(stack_speedup));
+        v.set("hard_bugs",
+              json::Value::number(static_cast<double>(hard_bugs)));
+        if (hard_bugs > 0) {
+            // b19/b31 subtotal: the class the EXPERIMENTS.md parallel
+            // recipe compares across --solver-threads settings.
+            v.set("hard_solver_stack_seconds",
+                  json::Value::number(hard_totals[0]));
+            v.set("hard_solver_off_seconds",
+                  json::Value::number(hard_totals[kNumConfigs - 1]));
+        }
         v.set("same_outcomes", json::Value::boolean(same_outcomes));
         std::ofstream out = openOutputOrDie(argv[0], bench.jsonPath);
         out << v.dump() << "\n";

@@ -57,13 +57,23 @@ struct BmcOptions
     /** Persistent incremental SAT backend across per-depth queries (the
      *  depth-k query shares the whole depth-(k-1) unrolling prefix). */
     bool incrementalSolver = true;
-    /** Per-query SAT conflict budget (-1 = unlimited); Unknowns retry
-     *  once at 4x, then mark the result incomplete. */
+    /** Per-query SAT conflict budget (-1 = unlimited); Unknowns walk the
+     *  solver's escalation ladder (the historical single 4x retry at the
+     *  defaults), then mark the result incomplete. */
     std::int64_t solverConflictBudget = -1;
     /** Solver simplification-stack ablations (see smt::SolverOptions). */
     bool solverRewrite = true;
     bool solverPreprocess = true;
     bool solverMinimize = true;
+    /** Racer threads for the solver's parallel escalation stages
+     *  (1 = sequential, bit-for-bit the baseline). */
+    int solverThreads = 1;
+    /** Portfolio-race stage of the escalation chain. */
+    bool solverPortfolio = true;
+    /** Per-cube conflict budget for cube-and-conquer (0 = auto). */
+    std::int64_t solverCubeBudget = 0;
+    /** Adaptive rewrite/preprocess payoff heuristics. */
+    smt::AdaptiveSimplify solverAdaptive = smt::AdaptiveSimplify::Auto;
     /** Simulation substrate for the from-reset counterexample replay. */
     rtl::SimBackend simBackend = rtl::SimBackend::Interpret;
     /** Constrain instruction inputs to legal opcodes (§II-E1 parity with

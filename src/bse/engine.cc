@@ -137,14 +137,22 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
     solver_opts.rewrite = use_simplification && opts_.solverRewrite;
     solver_opts.preprocess = use_simplification && opts_.solverPreprocess;
     solver_opts.minimize = use_simplification && opts_.solverMinimize;
+    solver_opts.threads = opts_.solverThreads;
+    solver_opts.portfolio = opts_.solverPortfolio;
+    solver_opts.cubeBudget = opts_.solverCubeBudget;
+    solver_opts.adaptiveSimplify = use_simplification
+                                       ? opts_.solverAdaptive
+                                       : smt::AdaptiveSimplify::Off;
     smt::Solver solver(tm, solver_opts);
     sym::CycleExplorer explorer(design_, tm, solver, opts_.explorer);
 
-    // Three-valued check with a bounded retry: Unknown means the conflict
-    // budget died, NOT that the query is unsat. One retry at 4x the
-    // budget recovers most near-misses; a still-Unknown query taints the
-    // whole search as incomplete (a non-Found outcome can then no longer
-    // claim no violation exists).
+    // Three-valued check with escalation: Unknown means the conflict
+    // budget died, NOT that the query is unsat. escalate() walks the
+    // geometric budget ladder (the historical single 4x retry at the
+    // defaults, rung-tagged in the query log) and, at solverThreads > 1,
+    // the portfolio/cube parallel stages; a still-Unknown query taints
+    // the whole search as incomplete (a non-Found outcome can then no
+    // longer claim no violation exists).
     bool solver_incomplete = false;
     auto checkSolver = [&](const std::vector<TermRef> &query,
                            Model *model) -> smt::Result {
@@ -152,13 +160,8 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
         if (r != smt::Result::Unknown)
             return r;
         result.stats.inc("solver_unknowns");
-        if (opts_.solverConflictBudget > 0) {
-            // Mark the retry dispatch in the query log so the record's
-            // retry level separates first attempts from 4x-budget reruns.
-            smt::querylog::context().retry = 1;
-            r = solver.checkWithBudget(query, model,
-                                       opts_.solverConflictBudget * 4);
-            smt::querylog::context().retry = 0;
+        if (opts_.solverConflictBudget > 0 || opts_.solverThreads > 1) {
+            r = solver.escalate(query, model);
             if (r != smt::Result::Unknown) {
                 result.stats.inc("solver_unknown_retries_recovered");
                 return r;
@@ -823,6 +826,36 @@ BackwardEngine::searchTrigger(const props::Assertion &assertion,
                      solver.stats().get("preprocess_vars_eliminated"));
     result.stats.inc("solver_learnt_lits_saved",
                      solver.stats().get("learnt_lits_saved"));
+    result.stats.inc("solver_escalations", solver.stats().get("escalations"));
+    result.stats.inc("solver_escalation_rungs",
+                     solver.stats().get("escalation_rungs"));
+    result.stats.inc("solver_portfolio_races",
+                     solver.stats().get("portfolio_races"));
+    result.stats.inc("solver_portfolio_wins",
+                     solver.stats().get("portfolio_wins"));
+    result.stats.inc("solver_portfolio_clauses_exported",
+                     solver.stats().get("portfolio_clauses_exported"));
+    result.stats.inc("solver_portfolio_clauses_imported",
+                     solver.stats().get("portfolio_clauses_imported"));
+    result.stats.inc("solver_cube_escalations",
+                     solver.stats().get("cube_escalations"));
+    result.stats.inc("solver_cube_splits", solver.stats().get("cube_splits"));
+    result.stats.inc("solver_cube_sat_cubes",
+                     solver.stats().get("cube_sat_cubes"));
+    result.stats.inc("solver_cube_unsat_cubes",
+                     solver.stats().get("cube_unsat_cubes"));
+    result.stats.inc("solver_cube_unknown_cubes",
+                     solver.stats().get("cube_unknown_cubes"));
+    result.stats.inc("solver_adaptive_rewrite_skips",
+                     solver.stats().get("adaptive_rewrite_skips"));
+    result.stats.inc("solver_adaptive_preprocess_backoffs",
+                     solver.stats().get("adaptive_preprocess_backoffs"));
+    // Per-config win attribution carries dynamic names ("portfolio_win_"
+    // + racer config); forward whatever configs actually won.
+    for (const auto &[name, count] : solver.stats().all()) {
+        if (name.rfind("portfolio_win_", 0) == 0)
+            result.stats.inc("solver_" + name, count);
+    }
     result.seconds = timer.seconds();
     return result;
 }

@@ -115,6 +115,17 @@ struct Options
     /** Learnt-clause minimization in conflict analysis (the
      *  `--no-minimize` ablation flips this off). */
     bool solverMinimize = true;
+    /** Racer threads for the solver's parallel escalation stages
+     *  (`--solver-threads`; 1 = sequential, bit-for-bit the baseline). */
+    int solverThreads = 1;
+    /** Portfolio-race stage of the escalation chain (`--no-portfolio`). */
+    bool solverPortfolio = true;
+    /** Per-cube conflict budget for cube-and-conquer (`--cube-budget`;
+     *  0 = auto). */
+    std::int64_t solverCubeBudget = 0;
+    /** Adaptive rewrite/preprocess payoff heuristics
+     *  (`--adaptive-simplify`; Auto = active only at threads > 1). */
+    smt::AdaptiveSimplify solverAdaptive = smt::AdaptiveSimplify::Auto;
     /**
      * Iteration patience for the incremental attempt when the fallback is
      * armed: past this many iterations the search concedes to the fresh

@@ -159,6 +159,24 @@ parseSpec(std::istream &in, const std::string &origin)
             spec.solverPreprocess = word("on/off") == "on";
         } else if (key == "minimize") {
             spec.solverMinimize = word("on/off") == "on";
+        } else if (key == "solver-threads") {
+            spec.solverThreads = intWord("count");
+            if (spec.solverThreads < 1)
+                bad("thread count must be >= 1");
+        } else if (key == "portfolio") {
+            spec.solverPortfolio = word("on/off") == "on";
+        } else if (key == "cube-budget") {
+            spec.solverCubeBudget = intWord("count");
+        } else if (key == "adaptive-simplify") {
+            const std::string mode = word("on/off/auto");
+            if (mode == "on")
+                spec.solverAdaptive = smt::AdaptiveSimplify::On;
+            else if (mode == "off")
+                spec.solverAdaptive = smt::AdaptiveSimplify::Off;
+            else if (mode == "auto")
+                spec.solverAdaptive = smt::AdaptiveSimplify::Auto;
+            else
+                bad("unknown adaptive-simplify mode");
         } else if (key == "fuzz-execs") {
             spec.fuzzExecs = intWord("count");
         } else if (key == "fuzz-stream") {

@@ -48,6 +48,7 @@
 
 #include "cpu/bugs.hh"
 #include "rtl/sim.hh"
+#include "solver/solver.hh"
 
 namespace coppelia::campaign
 {
@@ -106,6 +107,19 @@ struct CampaignSpec
     bool solverRewrite = true;
     bool solverPreprocess = true;
     bool solverMinimize = true;
+    /** Racer threads for the solver's parallel escalation stages
+     *  (`solver-threads N` / `--solver-threads`; 1 = sequential,
+     *  bit-for-bit the baseline). */
+    int solverThreads = 1;
+    /** Portfolio-race stage of the escalation chain
+     *  (`portfolio on|off` / `--no-portfolio`). */
+    bool solverPortfolio = true;
+    /** Per-cube conflict budget for cube-and-conquer
+     *  (`cube-budget N` / `--cube-budget`; 0 = auto). */
+    std::int64_t solverCubeBudget = 0;
+    /** Adaptive rewrite/preprocess payoff heuristics
+     *  (`adaptive-simplify on|off|auto` / `--adaptive-simplify`). */
+    smt::AdaptiveSimplify solverAdaptive = smt::AdaptiveSimplify::Auto;
     /** Fuzz-kind knobs (`fuzz-execs`, `fuzz-stream`, `fuzz-handoffs`):
      *  stream executions per job, max stream length, and how many
      *  highest-proximity corpus states get a concolic BSEE hand-off. */

@@ -21,6 +21,17 @@ resultName(int result)
     return "?";
 }
 
+const char *
+modeName(int mode)
+{
+    switch (mode) {
+      case 0: return "seq";
+      case 1: return "portfolio";
+      case 2: return "cube";
+    }
+    return "?";
+}
+
 json::Value
 recordToJson(const Record &r)
 {
@@ -43,6 +54,11 @@ recordToJson(const Record &r)
     v.set("preprocess_removed", json::Value::number(r.preprocessRemoved));
     v.set("learnt_lits_saved", json::Value::number(r.learntLitsSaved));
     v.set("wall_us", json::Value::number(r.wallUs));
+    v.set("mode", json::Value::string(modeName(r.mode)));
+    v.set("racer", json::Value::number(static_cast<int>(r.racer)));
+    v.set("winner", json::Value::number(static_cast<int>(r.winner)));
+    v.set("cubes",
+          json::Value::number(static_cast<std::uint64_t>(r.cubes)));
     return v;
 }
 

@@ -49,8 +49,9 @@ inline constexpr bool kEnabled = true;
 #endif
 
 /** The per-job query-log artifact (queries.jsonl) schema version,
- *  emitted in the meta line that heads every flush. */
-constexpr int kQuerylogSchemaVersion = 1;
+ *  emitted in the meta line that heads every flush. v2 added the
+ *  parallel-dispatch fields (mode, racer, winner, cubes). */
+constexpr int kQuerylogSchemaVersion = 2;
 
 /** One SAT dispatch. POD: recording is a slot copy, no allocation. */
 struct Record
@@ -71,7 +72,18 @@ struct Record
     std::uint64_t wallUs = 0;
     int result = 0; ///< static_cast<int>(smt::Result): 0 Sat 1 Unsat 2 Unknown
     bool incremental = false; ///< answered by the persistent backend
+    /** Dispatch mode: 0 sequential, 1 portfolio race, 2 cube-and-conquer. */
+    std::uint8_t mode = 0;
+    /** Racer index for per-racer records of a portfolio dispatch; -1 on
+     *  the dispatch-level record itself. */
+    std::int16_t racer = -1;
+    /** Winning racer of the parallel dispatch (-1 = none definitive). */
+    std::int16_t winner = -1;
+    /** Cube fan-out of a cube-and-conquer dispatch (0 otherwise). */
+    std::uint16_t cubes = 0;
 };
+
+const char *modeName(int mode);
 
 /**
  * Thread-local origin context, stamped onto every record the calling

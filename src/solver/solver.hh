@@ -58,6 +58,16 @@ enum class Result
     Unknown, ///< conflict budget exhausted
 };
 
+/** Adaptive-simplification switch: Auto activates the per-query payoff
+ *  heuristics only at threads > 1, so single-threaded runs stay
+ *  bit-for-bit identical to the fixed-policy baseline. */
+enum class AdaptiveSimplify
+{
+    Off,
+    On,
+    Auto,
+};
+
 /** Solver configuration. */
 struct SolverOptions
 {
@@ -83,6 +93,32 @@ struct SolverOptions
     /** Learnt-clause minimization in conflict analysis (stage 3;
      *  `--no-minimize` ablation). */
     bool minimize = true;
+    /**
+     * Worker threads for the parallel escalation stages (portfolio race,
+     * cube-and-conquer). 1 = fully sequential: the parallel layer is
+     * never entered and every dispatch stays bit-for-bit identical to
+     * the seed baseline. At threads > 1 an unlimited base budget is
+     * bounded internally so the hard-query tail escalates into the
+     * parallel stages, whose final cube stage then runs unbounded —
+     * verdicts stay reproducible (soundness + a definitive final
+     * stage); witnesses and per-racer work are scheduling-dependent.
+     */
+    int threads = 1;
+    /** Portfolio-race stage of escalate() (threads > 1 only). */
+    bool portfolio = true;
+    /** Per-cube conflict budget for cube-and-conquer. 0 = auto: scales
+     *  off the configured budget, and is unlimited when the configured
+     *  budget is unlimited (keeping escalation definitive). */
+    std::int64_t cubeBudget = 0;
+    /** Sequential rungs of escalate()'s geometric budget ladder (rung k
+     *  retries at 4^k x the base budget) before the parallel stages.
+     *  The default single rung reproduces the historical one-shot 4x
+     *  retry exactly. */
+    int budgetLadderRungs = 1;
+    /** Per-query payoff heuristics for the rewrite/preprocess stages
+     *  (formula size, incremental depth, windowed hit history decide
+     *  when a stage runs). See AdaptiveSimplify. */
+    AdaptiveSimplify adaptiveSimplify = AdaptiveSimplify::Auto;
 };
 
 /**
@@ -119,6 +155,17 @@ class Solver
      */
     Result checkWithBudget(const std::vector<TermRef> &assertions,
                            Model *model, std::int64_t conflict_budget);
+
+    /**
+     * Escalation policy for a query check() answered Unknown: walk the
+     * geometric budget ladder sequentially (rung k at 4^k x the base
+     * budget, tagged retry=k in the querylog), then — at threads > 1 —
+     * race a diversified portfolio with learnt-clause sharing, then
+     * cube-and-conquer the query. Returns Unknown only when every stage
+     * exhausted its budget. At the defaults (one rung, threads = 1)
+     * this is exactly the historical single 4x retry.
+     */
+    Result escalate(const std::vector<TermRef> &assertions, Model *model);
 
     /**
      * True iff the conjunction of assertions is satisfiable; fatal on
@@ -164,6 +211,22 @@ class Solver
     Result solveIncremental(const std::vector<TermRef> &assertions,
                             Model *model);
 
+    /** Parallel escalation stages (portfolio + cube); mirrors check()'s
+     *  rewrite/cache wrapper around solveParallelCore. */
+    Result solveParallel(const std::vector<TermRef> &assertions,
+                         Model *model);
+    Result solveParallelCore(const std::vector<TermRef> &assertions,
+                             Model *model);
+
+    /** The base conflict budget actually dispatched: the configured one,
+     *  except that threads > 1 bounds an unlimited budget so hard
+     *  queries escalate into the parallel stages. */
+    std::int64_t effectiveBudget() const;
+
+    /** True when the adaptive simplification heuristics steer the
+     *  rewrite/preprocess stages this run. */
+    bool adaptiveActive() const;
+
     /** Read back every theory variable of @p assertions from @p sat. */
     void readModel(const BitBlaster &blaster, const sat::Solver &sat,
                    const std::vector<TermRef> &assertions,
@@ -190,6 +253,18 @@ class Solver
     /** Clause count after the last preprocess() of the incremental
      *  backend; inprocessing reruns once enough new clauses accumulate. */
     std::size_t preprocessedClauses_ = 0;
+
+    // Adaptive-simplification state (inert unless adaptiveActive()).
+    /** Windowed rewrite payoff: queries and rule hits since the last
+     *  window close; a low-yield window turns rewriting off (with a
+     *  periodic probe so it can come back). */
+    std::uint64_t adaptiveWindowQueries_ = 0;
+    std::uint64_t adaptiveWindowHits_ = 0;
+    bool adaptiveRewriteOff_ = false;
+    /** Multiplies the inprocessing growth threshold; doubles after an
+     *  unproductive pass (< 1% of the database removed), resets after a
+     *  productive one. */
+    std::size_t preprocessBackoff_ = 1;
 };
 
 } // namespace coppelia::smt

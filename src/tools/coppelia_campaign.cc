@@ -64,6 +64,16 @@ usage(const char *argv0)
         "                     bounded variable elimination)\n"
         "  --no-minimize      skip learnt-clause minimization in conflict\n"
         "                     analysis\n"
+        "  --solver-threads N racer threads for the solver's parallel\n"
+        "                     escalation stages (default 1: sequential,\n"
+        "                     bit-for-bit reproducible)\n"
+        "  --no-portfolio     skip the portfolio-race escalation stage\n"
+        "  --cube-budget N    per-cube conflict budget for cube-and-\n"
+        "                     conquer (default 0: auto)\n"
+        "  --adaptive-simplify on|off|auto\n"
+        "                     adaptive rewrite/preprocess payoff\n"
+        "                     heuristics (default auto: only at\n"
+        "                     --solver-threads > 1)\n"
         "  --out DIR          output directory (default: .)\n"
         "  --artifacts DIR    per-job forensics artifacts (solver query\n"
         "                     logs, search-recorder streams; default:\n"
@@ -116,6 +126,10 @@ main(int argc, char **argv)
     long long conflict_budget = -2; // -1 means "explicitly unlimited"
     bool no_incremental = false;
     bool no_rewrite = false, no_preprocess = false, no_minimize = false;
+    int solver_threads = -1;
+    bool no_portfolio = false;
+    long long cube_budget = -1; // >= 0 = set on the command line
+    int adaptive_simplify = -1; // index into smt::AdaptiveSimplify
     int fuzz_execs = -1, fuzz_stream = -1, fuzz_handoffs = -1;
     int sim_backend = -1; // index into rtl::SimBackend; -1 = not set
     bool require_backend = false;
@@ -213,6 +227,29 @@ main(int argc, char **argv)
             no_preprocess = true;
         } else if (arg == "--no-minimize") {
             no_minimize = true;
+        } else if (arg == "--solver-threads") {
+            solver_threads = numeric(i, "--solver-threads", to_int);
+            if (solver_threads < 1)
+                badArg(argv[0], "--solver-threads wants a count >= 1");
+        } else if (arg == "--no-portfolio") {
+            no_portfolio = true;
+        } else if (arg == "--cube-budget") {
+            cube_budget = numeric(i, "--cube-budget", to_ll);
+            if (cube_budget < 0)
+                badArg(argv[0], "--cube-budget wants a count >= 0");
+        } else if (arg == "--adaptive-simplify") {
+            const std::string mode = value(i, "--adaptive-simplify");
+            if (mode == "on")
+                adaptive_simplify =
+                    static_cast<int>(smt::AdaptiveSimplify::On);
+            else if (mode == "off")
+                adaptive_simplify =
+                    static_cast<int>(smt::AdaptiveSimplify::Off);
+            else if (mode == "auto")
+                adaptive_simplify =
+                    static_cast<int>(smt::AdaptiveSimplify::Auto);
+            else
+                badArg(argv[0], "--adaptive-simplify wants on|off|auto");
         } else if (arg == "--sim-backend") {
             const std::string name = value(i, "--sim-backend");
             rtl::SimBackend backend;
@@ -281,6 +318,15 @@ main(int argc, char **argv)
         spec.solverMinimize = false;
     if (conflict_budget >= -1)
         spec.solverConflictBudget = conflict_budget;
+    if (solver_threads >= 1)
+        spec.solverThreads = solver_threads;
+    if (no_portfolio)
+        spec.solverPortfolio = false;
+    if (cube_budget >= 0)
+        spec.solverCubeBudget = cube_budget;
+    if (adaptive_simplify >= 0)
+        spec.solverAdaptive =
+            static_cast<smt::AdaptiveSimplify>(adaptive_simplify);
     if (fuzz_execs >= 0)
         spec.fuzzExecs = fuzz_execs;
     if (fuzz_stream >= 0)

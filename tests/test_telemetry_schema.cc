@@ -251,7 +251,8 @@ TEST(QuerylogSchema, RecordJsonShapeIsPinned)
         "result",    "incremental",  "conflicts",
         "decisions", "propagations", "restarts",
         "rewrite_hits", "preprocess_removed", "learnt_lits_saved",
-        "wall_us"};
+        "wall_us",   "mode",         "racer",
+        "winner",    "cubes"};
     std::vector<std::string> emitted;
     for (const auto &[key, value] : v.members())
         emitted.push_back(key);
@@ -259,7 +260,12 @@ TEST(QuerylogSchema, RecordJsonShapeIsPinned)
     EXPECT_EQ(v.find("result")->asString(), "unsat");
     EXPECT_EQ(v.find("wall_us")->asInt(), 4567);
     EXPECT_TRUE(v.find("incremental")->asBool());
-    EXPECT_EQ(smt::querylog::kQuerylogSchemaVersion, 1);
+    // v2: parallel-dispatch attribution (mode/racer/winner/cubes).
+    EXPECT_EQ(v.find("mode")->asString(), "seq");
+    EXPECT_EQ(v.find("racer")->asInt(), -1);
+    EXPECT_EQ(v.find("winner")->asInt(), -1);
+    EXPECT_EQ(v.find("cubes")->asInt(), 0);
+    EXPECT_EQ(smt::querylog::kQuerylogSchemaVersion, 2);
 }
 
 TEST(QuerylogSchema, JsonlMetaLineCarriesTheAccountingTotals)
